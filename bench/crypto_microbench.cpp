@@ -1,0 +1,184 @@
+// Micro-benchmarks (google-benchmark) for the primitives backing every
+// figure: ristretto255 point arithmetic, Schnorr, ElGamal, Chaum–Pedersen,
+// the 2048-bit Schnorr-group exponentiation (Civitas substrate), hashing,
+// and the protocol hot paths (credential issuance, activation, PET).
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/dkg.h"
+#include "src/crypto/dleq.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/modp.h"
+#include "src/crypto/schnorr.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha512.h"
+#include "src/trip/registrar.h"
+
+namespace votegral {
+namespace {
+
+void BM_Sha256_1k(benchmark::State& state) {
+  ChaChaRng rng(1);
+  Bytes data = rng.RandomBytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_1k);
+
+void BM_Sha512_1k(benchmark::State& state) {
+  ChaChaRng rng(2);
+  Bytes data = rng.RandomBytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha512::Hash(data));
+  }
+}
+BENCHMARK(BM_Sha512_1k);
+
+void BM_RistrettoMulBase(benchmark::State& state) {
+  ChaChaRng rng(3);
+  Scalar s = Scalar::Random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RistrettoPoint::MulBase(s));
+  }
+}
+BENCHMARK(BM_RistrettoMulBase);
+
+void BM_RistrettoMulBaseSlow(benchmark::State& state) {
+  ChaChaRng rng(4);
+  Scalar s = Scalar::Random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RistrettoPoint::MulBaseSlow(s));
+  }
+}
+BENCHMARK(BM_RistrettoMulBaseSlow);
+
+void BM_RistrettoVarMul(benchmark::State& state) {
+  ChaChaRng rng(5);
+  RistrettoPoint p = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  Scalar s = Scalar::Random(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s * p);
+  }
+}
+BENCHMARK(BM_RistrettoVarMul);
+
+void BM_RistrettoEncodeDecode(benchmark::State& state) {
+  ChaChaRng rng(6);
+  RistrettoPoint p = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  for (auto _ : state) {
+    auto enc = p.Encode();
+    benchmark::DoNotOptimize(RistrettoPoint::Decode(enc));
+  }
+}
+BENCHMARK(BM_RistrettoEncodeDecode);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  ChaChaRng rng(7);
+  auto kp = SchnorrKeyPair::Generate(rng);
+  auto msg = AsBytes("benchmark message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.Sign(msg, rng));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  ChaChaRng rng(8);
+  auto kp = SchnorrKeyPair::Generate(rng);
+  auto msg = AsBytes("benchmark message");
+  auto sig = kp.Sign(msg, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SchnorrVerify(kp.public_bytes(), msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_ElGamalEncrypt(benchmark::State& state) {
+  ChaChaRng rng(9);
+  Scalar sk = Scalar::Random(rng);
+  RistrettoPoint pk = RistrettoPoint::MulBase(sk);
+  RistrettoPoint msg = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ElGamalEncrypt(pk, msg, rng));
+  }
+}
+BENCHMARK(BM_ElGamalEncrypt);
+
+void BM_DleqProveFs(benchmark::State& state) {
+  ChaChaRng rng(10);
+  Scalar x = Scalar::Random(rng);
+  RistrettoPoint g2 = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  DleqStatement st = DleqStatement::MakePair(RistrettoPoint::Base(),
+                                             RistrettoPoint::MulBase(x), g2, x * g2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProveDleqFs("bench", st, x, rng));
+  }
+}
+BENCHMARK(BM_DleqProveFs);
+
+void BM_DleqVerifyFs(benchmark::State& state) {
+  ChaChaRng rng(11);
+  Scalar x = Scalar::Random(rng);
+  RistrettoPoint g2 = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  DleqStatement st = DleqStatement::MakePair(RistrettoPoint::Base(),
+                                             RistrettoPoint::MulBase(x), g2, x * g2);
+  auto proof = ProveDleqFs("bench", st, x, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VerifyDleqFs("bench", st, proof));
+  }
+}
+BENCHMARK(BM_DleqVerifyFs);
+
+void BM_ModPExp2048(benchmark::State& state) {
+  ChaChaRng rng(12);
+  const ModPGroup& group = ModPGroup::Standard();
+  QScalar e = group.QRandom(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group.ExpG(e));
+  }
+}
+BENCHMARK(BM_ModPExp2048);
+
+void BM_ModPPetSingleTrustee(benchmark::State& state) {
+  ChaChaRng rng(13);
+  const ModPGroup& group = ModPGroup::Standard();
+  QScalar sk = group.QRandom(rng);
+  ModPElement pk = group.ExpG(sk);
+  ModPElement m = group.ExpG(group.QRandom(rng));
+  ModPCiphertext a = ModPEncrypt(group, pk, m, group.QRandom(rng));
+  ModPCiphertext b = ModPEncrypt(group, pk, m, group.QRandom(rng));
+  QScalar z = group.QRandom(rng);
+  ModPElement commitment = group.ExpG(z);
+  for (auto _ : state) {
+    ModPCiphertext q = ModPQuotient(group, a, b);
+    benchmark::DoNotOptimize(PetBlind(group, q, z, commitment, rng));
+  }
+}
+BENCHMARK(BM_ModPPetSingleTrustee);
+
+void BM_TripFullRegistration(benchmark::State& state) {
+  // The TRIP-Core per-voter registration crypto path (kiosk + official +
+  // activation; 1 real + 1 fake) — the per-voter unit behind Fig. 5a.
+  ChaChaRng rng(14);
+  std::vector<std::string> roster;
+  for (int i = 0; i < 20000; ++i) {
+    roster.push_back("v" + std::to_string(i));
+  }
+  TripSystemParams params;
+  params.roster = roster;
+  params.envelopes_per_voter = 3;
+  TripSystem system = TripSystem::Create(params, rng);
+  Vsd vsd = system.MakeVsd();
+  size_t next = 0;
+  for (auto _ : state) {
+    auto voter = RegisterAndActivate(system, roster.at(next++), 1, vsd, rng);
+    benchmark::DoNotOptimize(voter.ok());
+  }
+}
+BENCHMARK(BM_TripFullRegistration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace votegral
+
+BENCHMARK_MAIN();

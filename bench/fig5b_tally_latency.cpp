@@ -1,0 +1,91 @@
+// Reproduces Fig. 5b: total tally-phase latency (log-log, minutes) versus
+// electorate size for Civitas, SwissPost, VoteAgain and Votegral.
+//
+// The paper's headline numbers at one million ballots: VoteAgain ~3 h,
+// Votegral ~14 h, Swiss Post ~27 h, Civitas ~1768 *years* (quadratic,
+// extrapolated — by the paper too). We reproduce the growth laws and the
+// ordering; '*' marks extrapolated points (see fig5a for methodology).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "src/baselines/civitas.h"
+#include "src/baselines/swisspost.h"
+#include "src/baselines/voteagain.h"
+#include "src/baselines/votegral_model.h"
+#include "src/common/table.h"
+#include "src/crypto/drbg.h"
+#include "src/sim/pipeline.h"
+
+namespace votegral {
+namespace {
+
+void RunFig5b() {
+  const bool full = std::getenv("VOTEGRAL_BENCH_FULL") != nullptr;
+  const std::vector<size_t> display_sizes = {100,    1000,    10000,
+                                             100000, 1000000};
+
+  struct Plan {
+    std::unique_ptr<VotingSystemModel> model;
+    std::vector<size_t> sizes;
+    size_t max_measured;
+  };
+  std::vector<Plan> plans;
+  plans.push_back({std::make_unique<CivitasModel>(), {24, 100, 1000, 10000, 100000, 1000000},
+                   size_t{24}});
+  plans.push_back({std::make_unique<SwissPostModel>(), display_sizes,
+                   full ? size_t{1000} : size_t{100}});
+  plans.push_back({std::make_unique<VoteAgainModel>(), display_sizes,
+                   full ? size_t{2000} : size_t{100}});
+  plans.push_back({std::make_unique<VotegralModel>(), display_sizes,
+                   full ? size_t{1000} : size_t{100}});
+
+  TextTable table("Fig. 5b — Tally-phase wall-clock (minutes; '*' = extrapolated)");
+  std::vector<std::string> header = {"System"};
+  for (size_t n : display_sizes) {
+    header.push_back("10^" + std::to_string(static_cast<int>(std::log10(n))));
+  }
+  table.SetHeader(header);
+
+  std::map<std::string, std::map<size_t, ScalingRow>> results;
+  for (Plan& plan : plans) {
+    ChaChaRng rng(0x516B);
+    auto rows = SweepSystem(*plan.model, plan.sizes, plan.max_measured, rng);
+    for (const ScalingRow& row : rows) {
+      results[plan.model->name()][row.voters] = row;
+    }
+    std::vector<std::string> table_row = {plan.model->name()};
+    for (size_t n : display_sizes) {
+      const ScalingRow& row = results[plan.model->name()].at(n);
+      table_row.push_back(FormatMinutes(row.tally_total, row.extrapolated));
+    }
+    table.AddRow(table_row);
+  }
+  std::printf("%s\n", table.Format().c_str());
+
+  // Shape checks at 10^6.
+  double civitas = results["Civitas"][1000000].tally_total;
+  double votegral = results["TRIP-Core"][1000000].tally_total;
+  double swisspost = results["SwissPost"][1000000].tally_total;
+  double voteagain = results["VoteAgain"][1000000].tally_total;
+  std::printf("At 10^6 ballots (ours, extrapolated):\n");
+  std::printf("  VoteAgain  %s   (paper ~3 h; fastest)\n", FormatSeconds(voteagain).c_str());
+  std::printf("  Votegral   %s   (paper ~14 h)\n", FormatSeconds(votegral).c_str());
+  std::printf("  SwissPost  %s   (paper ~27 h)\n", FormatSeconds(swisspost).c_str());
+  std::printf("  Civitas    %s   (paper ~1768 years; impractical)\n",
+              FormatSeconds(civitas).c_str());
+  std::printf("Shape: VoteAgain fastest: %s; Civitas impractical vs all linear systems: %s\n",
+              (voteagain < votegral && voteagain < swisspost) ? "yes" : "NO",
+              (civitas > 100 * swisspost) ? "yes" : "NO");
+  std::printf("Civitas quadratic blow-up factor from 10^3 to 10^6: %.2e (expected ~1e6)\n",
+              results["Civitas"][1000000].tally_total / results["Civitas"][1000].tally_total);
+  std::printf("\nCSV:\n%s", table.Csv().c_str());
+}
+
+}  // namespace
+}  // namespace votegral
+
+int main() {
+  votegral::RunFig5b();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Civitas/JCJ baseline (§7 comparison): end-to-end verifiable and
+// coercion-resistant via fake credentials, the closest prior system to
+// Votegral — and the one TRIP improves on by two orders of magnitude.
+//
+// Implemented over the real 2048-bit Schnorr group (src/crypto/modp), since
+// the paper attributes part of the gap to Civitas' large-modulus group:
+//  * Registration: the voter contacts each of four registration tellers;
+//    every teller generates a credential share s_i, encrypts it, and runs a
+//    designated-verifier-style re-encryption proof with the voter. The
+//    credential is σ = Π s_i.
+//  * Voting: ballot = (Enc(σ), Enc(vote)) plus proofs of well-formedness.
+//  * Tally (JCJ): proof checks, then *pairwise plaintext-equivalence tests*
+//    for duplicate elimination (O(B²) PETs) and PETs of each ballot against
+//    each roster credential (O(B·R)) — the quadratic wall of Fig. 5b that
+//    extrapolates to ~1768 years for one million voters.
+#ifndef SRC_BASELINES_CIVITAS_H_
+#define SRC_BASELINES_CIVITAS_H_
+
+#include <vector>
+
+#include "src/baselines/model.h"
+#include "src/crypto/modp.h"
+
+namespace votegral {
+
+class CivitasModel : public VotingSystemModel {
+ public:
+  static constexpr size_t kRegistrationTellers = 4;
+  static constexpr size_t kTabulationTellers = 4;
+
+  std::string name() const override { return "Civitas"; }
+
+  void Setup(size_t voters, Rng& rng) override;
+  void RegisterAll(Rng& rng) override;
+  void VoteAll(Rng& rng) override;
+  void TallyAll(Rng& rng) override;
+  double tally_exponent() const override { return 2.0; }
+  bool OutcomeLooksCorrect() const override;
+
+  // PETs executed during the last tally (the quadratic driver; exposed so
+  // the benchmark can report it).
+  size_t pet_count() const { return pet_count_; }
+
+ private:
+  struct TellerShare {
+    ModPElement share;             // s_i
+    ModPCiphertext encrypted;      // Enc(s_i)
+    ModPDleqProof dv_proof;        // designated-verifier reencryption proof
+  };
+
+  struct CivitasCredential {
+    ModPElement credential;        // σ = Π s_i (held by the voter)
+    ModPCiphertext public_entry;   // Enc(σ) on the roster
+    std::vector<TellerShare> shares;
+  };
+
+  struct CivitasBallot {
+    ModPCiphertext enc_credential;
+    ModPCiphertext enc_vote;
+    ModPDleqProof credential_pok;  // proof of knowledge of σ's encryption
+    ModPDleqProof vote_proof;      // well-formedness
+  };
+
+  // Full PET between two ciphertexts with all tabulation tellers
+  // contributing verifiable blinding shares; returns plaintext equality.
+  bool RunPet(const ModPCiphertext& a, const ModPCiphertext& b, Rng& rng);
+
+  size_t voters_ = 0;
+  std::vector<QScalar> teller_secrets_;      // tabulation tellers' key shares
+  ModPElement election_pk_;
+  std::vector<QScalar> pet_secrets_;         // tellers' PET blinding keys
+  std::vector<ModPElement> pet_commitments_;
+  std::vector<CivitasCredential> roster_;
+  std::vector<CivitasBallot> ballots_;
+  size_t counted_ = 0;
+  size_t pet_count_ = 0;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_BASELINES_CIVITAS_H_

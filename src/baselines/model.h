@@ -1,0 +1,48 @@
+// Common harness interface for the §7.3/§7.4 cross-system comparison.
+//
+// Each model implements a real cryptographic path for its system's three
+// phases — registration, voting, tallying — with per-voter operation counts
+// matching the published protocol (see each header for the accounting).
+// The Fig. 5 benchmarks time these phases and, like the paper does for
+// Civitas beyond 10^4 voters, extrapolate along each phase's complexity.
+#ifndef SRC_BASELINES_MODEL_H_
+#define SRC_BASELINES_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace votegral {
+
+// A voting system under benchmark.
+class VotingSystemModel {
+ public:
+  virtual ~VotingSystemModel() = default;
+
+  virtual std::string name() const = 0;
+
+  // Creates authorities/parameters for an electorate of `voters` (untimed).
+  virtual void Setup(size_t voters, Rng& rng) = 0;
+
+  // Registers every voter (timed as the Registration phase).
+  virtual void RegisterAll(Rng& rng) = 0;
+
+  // Casts one ballot per voter (timed as the Voting phase).
+  virtual void VoteAll(Rng& rng) = 0;
+
+  // Full tally (timed as the Tally phase).
+  virtual void TallyAll(Rng& rng) = 0;
+
+  // Asymptotic tally exponent (1 = linear, 2 = quadratic) used when
+  // extrapolating beyond measured sizes, exactly as the paper extrapolates
+  // Civitas past 10^4 voters.
+  virtual double tally_exponent() const = 0;
+
+  // Post-tally sanity check: did the system count the expected ballots?
+  virtual bool OutcomeLooksCorrect() const = 0;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_BASELINES_MODEL_H_

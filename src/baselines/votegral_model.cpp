@@ -1,0 +1,42 @@
+#include "src/baselines/votegral_model.h"
+
+namespace votegral {
+
+void VotegralModel::Setup(size_t voters, Rng& rng) {
+  voters_ = voters;
+  ElectionConfig config;
+  for (size_t i = 0; i < voters; ++i) {
+    config.roster.push_back("voter-" + std::to_string(i));
+  }
+  config.candidates = {"candidate-0", "candidate-1"};
+  election_ = std::make_unique<Election>(config, rng);
+  vsd_ = std::make_unique<Vsd>(election_->trip().MakeVsd());
+  registered_.clear();
+  output_.reset();
+}
+
+void VotegralModel::RegisterAll(Rng& rng) {
+  registered_.reserve(voters_);
+  for (size_t i = 0; i < voters_; ++i) {
+    auto voter =
+        election_->Register("voter-" + std::to_string(i), fakes_per_voter_, *vsd_, rng);
+    Require(voter.ok(), "votegral model: registration failed");
+    registered_.push_back(std::move(*voter));
+  }
+}
+
+void VotegralModel::VoteAll(Rng& rng) {
+  for (size_t i = 0; i < registered_.size(); ++i) {
+    const char* choice = (i % 2 == 0) ? "candidate-0" : "candidate-1";
+    Status cast = election_->Cast(registered_[i].activated[0], choice, rng);
+    Require(cast.ok(), "votegral model: cast failed");
+  }
+}
+
+void VotegralModel::TallyAll(Rng& rng) { output_ = election_->Tally(rng); }
+
+bool VotegralModel::OutcomeLooksCorrect() const {
+  return output_.has_value() && output_->result.counted == voters_;
+}
+
+}  // namespace votegral

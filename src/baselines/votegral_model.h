@@ -1,0 +1,42 @@
+// TRIP-Core / Votegral under the cross-system harness: the paper's
+// "TRIP-Core" configuration omits all QR I/O and measures the cryptographic
+// path only (§7.3) — which is exactly what the protocol objects do when not
+// wrapped by the peripheral simulator.
+#ifndef SRC_BASELINES_VOTEGRAL_MODEL_H_
+#define SRC_BASELINES_VOTEGRAL_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/model.h"
+#include "src/votegral/election.h"
+
+namespace votegral {
+
+class VotegralModel : public VotingSystemModel {
+ public:
+  std::string name() const override { return "TRIP-Core"; }
+
+  void Setup(size_t voters, Rng& rng) override;
+  void RegisterAll(Rng& rng) override;
+  void VoteAll(Rng& rng) override;
+  void TallyAll(Rng& rng) override;
+  double tally_exponent() const override { return 1.0; }
+  bool OutcomeLooksCorrect() const override;
+
+  // Extra knob for the Fig. 4 harness: fakes per voter (default 1, the
+  // scripted workload of §7.2 uses 1 real + 1 fake).
+  void set_fakes_per_voter(size_t fakes) { fakes_per_voter_ = fakes; }
+
+ private:
+  size_t voters_ = 0;
+  size_t fakes_per_voter_ = 1;
+  std::unique_ptr<Election> election_;
+  std::unique_ptr<Vsd> vsd_;
+  std::vector<RegisteredVoter> registered_;
+  std::optional<TallyOutput> output_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_BASELINES_VOTEGRAL_MODEL_H_

@@ -1,0 +1,114 @@
+#include "src/common/bytes.h"
+
+#include "src/common/status.h"
+
+namespace votegral {
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(std::span<const uint8_t> data) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes HexDecode(std::string_view hex) {
+  Require(hex.size() % 2 == 0, "HexDecode: odd-length input");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    Require(hi >= 0 && lo >= 0, "HexDecode: non-hex character");
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(std::span<const uint8_t> a, std::span<const uint8_t> b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t LoadLe64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) | (static_cast<uint64_t>(LoadLe32(p + 4)) << 32);
+}
+
+void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void StoreLe64(uint8_t* p, uint64_t v) {
+  StoreLe32(p, static_cast<uint32_t>(v));
+  StoreLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) | (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+uint64_t LoadBe64(const uint8_t* p) {
+  return (static_cast<uint64_t>(LoadBe32(p)) << 32) | static_cast<uint64_t>(LoadBe32(p + 4));
+}
+
+void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+void StoreBe64(uint8_t* p, uint64_t v) {
+  StoreBe32(p, static_cast<uint32_t>(v >> 32));
+  StoreBe32(p + 4, static_cast<uint32_t>(v));
+}
+
+Bytes Concat(std::initializer_list<std::span<const uint8_t>> parts) {
+  size_t total = 0;
+  for (const auto& part : parts) {
+    total += part.size();
+  }
+  Bytes out;
+  out.reserve(total);
+  for (const auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace votegral

@@ -1,0 +1,51 @@
+// Byte-buffer helpers: hex encoding, constant-time comparison, little-endian
+// integer packing. These are the lowest-level utilities in the repository and
+// must stay dependency-free.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace votegral {
+
+// The repository-wide owned byte buffer type.
+using Bytes = std::vector<uint8_t>;
+
+// Encodes `data` as lowercase hex.
+std::string HexEncode(std::span<const uint8_t> data);
+
+// Decodes a hex string (case-insensitive, even length). Throws ProtocolError
+// on malformed input — hex literals in this codebase are programmer-supplied.
+Bytes HexDecode(std::string_view hex);
+
+// Constant-time equality. Returns false on length mismatch (length is public
+// in every use in this codebase).
+bool ConstantTimeEqual(std::span<const uint8_t> a, std::span<const uint8_t> b);
+
+// Little-endian integer packing used by the crypto layer and serializers.
+uint32_t LoadLe32(const uint8_t* p);
+uint64_t LoadLe64(const uint8_t* p);
+void StoreLe32(uint8_t* p, uint32_t v);
+void StoreLe64(uint8_t* p, uint64_t v);
+
+// Big-endian loads/stores (SHA-2 message schedule uses big-endian words).
+uint32_t LoadBe32(const uint8_t* p);
+uint64_t LoadBe64(const uint8_t* p);
+void StoreBe32(uint8_t* p, uint32_t v);
+void StoreBe64(uint8_t* p, uint64_t v);
+
+// Concatenates byte spans (convenience for building signed/hashed payloads).
+Bytes Concat(std::initializer_list<std::span<const uint8_t>> parts);
+
+// Returns the bytes of a string_view (for hashing ASCII domain separators).
+inline std::span<const uint8_t> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_BYTES_H_

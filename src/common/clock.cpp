@@ -1,0 +1,28 @@
+#include "src/common/clock.h"
+
+#include <sys/resource.h>
+
+#include "src/common/status.h"
+
+namespace votegral {
+
+namespace {
+
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+}  // namespace
+
+CpuSample CpuTimer::Now() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return {TimevalSeconds(usage.ru_utime), TimevalSeconds(usage.ru_stime)};
+}
+
+void VirtualClock::Advance(double seconds) {
+  Require(seconds >= 0.0, "VirtualClock::Advance: negative duration");
+  seconds_ += seconds;
+}
+
+}  // namespace votegral

@@ -1,0 +1,42 @@
+// Outcome<T>: a Status plus a value present exactly when the status is OK.
+// Used by protocol actors whose failures are expected values (bad MAC, wrong
+// envelope symbol, tampered receipt) that callers and tests branch on.
+#ifndef SRC_COMMON_OUTCOME_H_
+#define SRC_COMMON_OUTCOME_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace votegral {
+
+template <typename T>
+struct Outcome {
+  Status status = Status::Ok();
+  std::optional<T> value;
+
+  static Outcome Ok(T v) { return Outcome{Status::Ok(), std::move(v)}; }
+  static Outcome Fail(std::string reason) {
+    return Outcome{Status::Error(std::move(reason)), std::nullopt};
+  }
+
+  bool ok() const { return status.ok(); }
+
+  // Value access; misuse (access on failure) is a programming error.
+  T& operator*() {
+    Require(value.has_value(), "Outcome: dereference of failed outcome");
+    return *value;
+  }
+  const T& operator*() const {
+    Require(value.has_value(), "Outcome: dereference of failed outcome");
+    return *value;
+  }
+  T* operator->() { return &**this; }
+  const T* operator->() const { return &**this; }
+};
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_OUTCOME_H_

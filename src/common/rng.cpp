@@ -1,0 +1,21 @@
+#include "src/common/rng.h"
+
+#include "src/common/status.h"
+
+namespace votegral {
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  Require(bound > 0, "Rng::Uniform: bound must be positive");
+  // Rejection sampling over the largest multiple of `bound` below 2^64.
+  const uint64_t limit = UINT64_MAX - (UINT64_MAX % bound);
+  uint8_t buf[8];
+  for (;;) {
+    Fill(buf);
+    uint64_t v = LoadLe64(buf);
+    if (v < limit || limit == 0) {
+      return v % bound;
+    }
+  }
+}
+
+}  // namespace votegral

@@ -1,0 +1,35 @@
+// Randomness interface. Every protocol component takes an `Rng&` so tests and
+// benchmarks are reproducible (seeded ChaCha20 DRBG) while examples can use a
+// system-entropy-seeded instance. Implementations live in src/crypto/drbg.h.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace votegral {
+
+// Abstract byte-stream randomness source.
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  // Fills `out` with random bytes.
+  virtual void Fill(std::span<uint8_t> out) = 0;
+
+  // Convenience: returns `n` random bytes.
+  Bytes RandomBytes(size_t n) {
+    Bytes out(n);
+    Fill(out);
+    return out;
+  }
+
+  // Uniform integer in [0, bound) via rejection sampling. `bound` must be >0.
+  uint64_t Uniform(uint64_t bound);
+};
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_RNG_H_

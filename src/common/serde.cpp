@@ -1,0 +1,73 @@
+#include "src/common/serde.h"
+
+namespace votegral {
+
+void ByteWriter::U16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::U32(uint32_t v) {
+  uint8_t tmp[4];
+  StoreLe32(tmp, v);
+  buf_.insert(buf_.end(), tmp, tmp + 4);
+}
+
+void ByteWriter::U64(uint64_t v) {
+  uint8_t tmp[8];
+  StoreLe64(tmp, v);
+  buf_.insert(buf_.end(), tmp, tmp + 8);
+}
+
+void ByteWriter::Fixed(std::span<const uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::Var(std::span<const uint8_t> data) {
+  Require(data.size() <= UINT32_MAX, "ByteWriter::Var: field too large");
+  U32(static_cast<uint32_t>(data.size()));
+  Fixed(data);
+}
+
+void ByteWriter::Str(std::string_view s) { Var(AsBytes(s)); }
+
+std::span<const uint8_t> ByteReader::Need(size_t n) {
+  Require(pos_ + n <= data_.size(), "ByteReader: truncated message");
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+uint8_t ByteReader::U8() { return Need(1)[0]; }
+
+uint16_t ByteReader::U16() {
+  auto s = Need(2);
+  return static_cast<uint16_t>(s[0] | (s[1] << 8));
+}
+
+uint32_t ByteReader::U32() {
+  auto s = Need(4);
+  return LoadLe32(s.data());
+}
+
+uint64_t ByteReader::U64() {
+  auto s = Need(8);
+  return LoadLe64(s.data());
+}
+
+Bytes ByteReader::Fixed(size_t n) {
+  auto s = Need(n);
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes ByteReader::Var() {
+  uint32_t n = U32();
+  return Fixed(n);
+}
+
+std::string ByteReader::Str() {
+  Bytes b = Var();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace votegral

@@ -1,0 +1,81 @@
+// Minimal framing for protocol messages: length-prefixed fields with bounds
+// checking. Every TRIP/Votegral message (tickets, receipts, ballots, ledger
+// entries) serializes through these so that byte layouts are explicit and the
+// QR-code payload sizes used by the peripheral model are realistic.
+#ifndef SRC_COMMON_SERDE_H_
+#define SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace votegral {
+
+// Appends primitive values to an owned buffer. All integers little-endian.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+
+  // Raw bytes without a length prefix (for fixed-size fields like 32-byte
+  // group elements whose size is part of the schema).
+  void Fixed(std::span<const uint8_t> data);
+
+  // Length-prefixed (u32) variable-size field.
+  void Var(std::span<const uint8_t> data);
+
+  // Length-prefixed UTF-8 string.
+  void Str(std::string_view s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+// Reads primitive values back out, throwing ProtocolError on truncation.
+// Deserialization of attacker-supplied bytes is wrapped by callers that
+// convert ProtocolError into a Status (see e.g. trip::Vsd::Activate).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+
+  // Reads exactly `n` bytes.
+  Bytes Fixed(size_t n);
+
+  // Reads a u32-length-prefixed field.
+  Bytes Var();
+
+  // Reads a u32-length-prefixed string.
+  std::string Str();
+
+  // True when the whole buffer was consumed; messages must be exact.
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  // Throws unless the buffer was fully consumed.
+  void ExpectEnd() const { Require(AtEnd(), "ByteReader: trailing bytes"); }
+
+ private:
+  std::span<const uint8_t> Need(size_t n);
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_SERDE_H_

@@ -1,0 +1,46 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace votegral {
+
+double Median(std::vector<double> values) { return Percentile(std::move(values), 50.0); }
+
+double Percentile(std::vector<double> values, double p) {
+  Require(!values.empty(), "Percentile: empty sample");
+  Require(p >= 0.0 && p <= 100.0, "Percentile: p out of range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) {
+    return values[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+StatSummary Summarize(const std::vector<double>& values) {
+  Require(!values.empty(), "Summarize: empty sample");
+  StatSummary s;
+  s.count = values.size();
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  s.median = Median(values);
+  double var = 0.0;
+  for (double v : values) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = values.size() > 1 ? std::sqrt(var / static_cast<double>(values.size() - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace votegral

@@ -1,0 +1,33 @@
+// Descriptive statistics for benchmark reporting (the paper reports medians
+// over 10 registration runs; Fig. 4 uses per-component medians).
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace votegral {
+
+// Summary of a sample of measurements (seconds, operations, ...).
+struct StatSummary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+// Median of `values` (average of middle two for even sizes). Empty input is a
+// programming error.
+double Median(std::vector<double> values);
+
+// p-th percentile (0 <= p <= 100) using linear interpolation.
+double Percentile(std::vector<double> values, double p);
+
+// Computes a full summary of `values`.
+StatSummary Summarize(const std::vector<double>& values);
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_STATS_H_

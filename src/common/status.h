@@ -1,0 +1,63 @@
+// Status/error types used across the Votegral codebase.
+//
+// Convention (see DESIGN.md §4): *verification failures are values*, because
+// rejecting a forged proof or a tampered ledger entry is expected behaviour
+// that callers must branch on. Programming errors and protocol misuse (e.g.
+// deserializing a truncated receipt where the caller promised a full one)
+// throw ProtocolError.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace votegral {
+
+// Thrown on API misuse and unrecoverable internal invariant violations.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Throws ProtocolError when `condition` is false. Used for internal
+// invariants and argument validation, never for crypto verification results.
+inline void Require(bool condition, const char* message) {
+  if (!condition) {
+    throw ProtocolError(message);
+  }
+}
+
+// Result of a fallible operation that callers must inspect.
+//
+// A Status is either OK or a failure carrying a human-readable reason. The
+// reason strings are stable enough to assert on in tests ("which check
+// rejected this credential?") and are surfaced to voters/auditors by the
+// examples.
+class Status {
+ public:
+  // Successful status.
+  static Status Ok() { return Status(true, ""); }
+
+  // Failed status with a reason. `reason` should name the check that failed,
+  // e.g. "activation: kiosk commit signature invalid".
+  static Status Error(std::string reason) { return Status(false, std::move(reason)); }
+
+  bool ok() const { return ok_; }
+  const std::string& reason() const { return reason_; }
+
+  explicit operator bool() const { return ok_; }
+
+  // Returns the first failure among `this` and `other` (error short-circuit).
+  Status And(const Status& other) const { return ok_ ? other : *this; }
+
+ private:
+  Status(bool ok, std::string reason) : ok_(ok), reason_(std::move(reason)) {}
+
+  bool ok_;
+  std::string reason_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,107 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace votegral {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  Require(rows_.empty(), "TextTable::SetHeader: rows already added");
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  Require(row.size() == header_.size(), "TextTable::AddRow: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Format() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  if (!title_.empty()) {
+    out << "== " << title_ << " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out << "  " << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string TextTable::Csv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out << ",";
+      }
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  double abs = std::fabs(seconds);
+  if (abs < 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  } else if (abs < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (abs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (abs < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (abs < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else if (abs < 86400.0 * 3) {
+    std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600.0);
+  } else if (abs < 86400.0 * 365 * 2) {
+    std::snprintf(buf, sizeof(buf), "%.1f days", seconds / 86400.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f years", seconds / (86400.0 * 365.0));
+  }
+  return buf;
+}
+
+std::string FormatMinutes(double seconds, bool extrapolated) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g%s", seconds / 60.0, extrapolated ? "*" : "");
+  return buf;
+}
+
+}  // namespace votegral

@@ -1,0 +1,49 @@
+// Plain-text table rendering for the figure/table benchmark harnesses. Each
+// bench binary prints the same rows/series the paper's figure reports, plus a
+// CSV block that downstream plotting could consume.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace votegral {
+
+// Column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  // Sets the header row. Must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  // Adds a data row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the aligned table.
+  std::string Format() const;
+
+  // Renders the table as CSV (header + rows).
+  std::string Csv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double v, int digits = 3);
+
+// Formats seconds with an adaptive unit (ns/us/ms/s/min/h) for readability.
+std::string FormatSeconds(double seconds);
+
+// Formats seconds as the paper's Fig. 5b does (minutes on a log axis), while
+// flagging extrapolated values with a trailing '*'.
+std::string FormatMinutes(double seconds, bool extrapolated);
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,81 @@
+#include "src/crypto/batch.h"
+
+#include "src/crypto/sha512.h"
+
+namespace votegral {
+
+namespace {
+
+// 128-bit random weight (sufficient for 2^-128 soundness, half the scalar
+// multiplication cost of full-width weights).
+Scalar RandomWeight(Rng& rng) {
+  Bytes wide(64, 0);
+  rng.Fill(std::span<uint8_t>(wide.data(), 16));
+  return Scalar::FromBytesWide(wide);
+}
+
+Scalar SchnorrChallenge(const CompressedRistretto& r_bytes,
+                        const CompressedRistretto& pk_bytes,
+                        std::span<const uint8_t> message) {
+  // Must match src/crypto/schnorr.cpp.
+  auto digest = Sha512::HashParts(
+      {AsBytes("votegral/schnorr/challenge/v1"), r_bytes, pk_bytes, message});
+  return Scalar::FromBytesWide(digest);
+}
+
+}  // namespace
+
+Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) {
+  // Each signature satisfies: s_i*B - c_i*P_i - R_i == 0.
+  // Combined: (sum_i w_i*s_i)*B - sum_i (w_i*c_i)*P_i - sum_i w_i*R_i == 0.
+  Scalar combined_s = Scalar::Zero();
+  RistrettoPoint accumulator;  // identity
+  for (const SchnorrBatchEntry& entry : entries) {
+    auto pk = RistrettoPoint::Decode(entry.public_key);
+    auto r = RistrettoPoint::Decode(entry.signature.r_bytes);
+    if (!pk.has_value() || !r.has_value()) {
+      return Status::Error("batch-schnorr: undecodable point");
+    }
+    Scalar weight = RandomWeight(rng);
+    Scalar challenge = SchnorrChallenge(entry.signature.r_bytes, entry.public_key,
+                                        entry.message);
+    combined_s = combined_s + weight * entry.signature.s;
+    accumulator = accumulator + (weight * challenge) * *pk + weight * *r;
+  }
+  if (!(RistrettoPoint::MulBase(combined_s) == accumulator)) {
+    return Status::Error("batch-schnorr: combined verification equation failed");
+  }
+  return Status::Ok();
+}
+
+Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
+  // Each proof satisfies, for every pair j:
+  //   r_i*G_ij + e_i*P_ij - Y_ij == 0.
+  // All pairs of all proofs are combined with independent weights. Scalars
+  // multiplying the same base B never arise here (bases are arbitrary), so
+  // we accumulate a single point sum that must be the identity.
+  RistrettoPoint accumulator;  // identity
+  for (const DleqBatchEntry& entry : entries) {
+    const DleqStatement& st = entry.statement;
+    const DleqTranscript& t = entry.transcript;
+    if (st.bases.size() != st.publics.size() || t.commits.size() != st.bases.size()) {
+      return Status::Error("batch-dleq: malformed entry");
+    }
+    // The Fiat–Shamir challenge must still bind per proof.
+    Scalar expected = DeriveFsChallenge(entry.domain, st, t.commits, entry.extra);
+    if (expected != t.challenge) {
+      return Status::Error("batch-dleq: challenge mismatch");
+    }
+    for (size_t j = 0; j < st.bases.size(); ++j) {
+      Scalar weight = RandomWeight(rng);
+      accumulator = accumulator + (weight * t.response) * st.bases[j] +
+                    (weight * t.challenge) * st.publics[j] - weight * t.commits[j];
+    }
+  }
+  if (!accumulator.IsIdentity()) {
+    return Status::Error("batch-dleq: combined verification equation failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace votegral

@@ -1,0 +1,50 @@
+// Batch verification via random linear combination.
+//
+// The universal verifier checks thousands of Schnorr signatures and
+// Chaum–Pedersen proofs per election. Both have linear verification
+// equations, so n checks can be merged into one multi-term equation with
+// random 128-bit weights: if any single check fails, the combined equation
+// holds with probability at most 2^-128 (Schwartz–Zippel over Z_ℓ).
+//
+// Used by auditors who only need an accept/reject verdict for a whole
+// transcript section; the per-item paths remain for pinpointing failures.
+#ifndef SRC_CRYPTO_BATCH_H_
+#define SRC_CRYPTO_BATCH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/dleq.h"
+#include "src/crypto/schnorr.h"
+
+namespace votegral {
+
+// One Schnorr verification instance.
+struct SchnorrBatchEntry {
+  CompressedRistretto public_key{};
+  Bytes message;
+  SchnorrSignature signature;
+};
+
+// Verifies all entries at once. Empty batches verify trivially. On failure
+// the batch only reports *that* something failed; callers fall back to the
+// per-item path to locate it.
+Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng);
+
+// One Fiat–Shamir DLEQ verification instance.
+struct DleqBatchEntry {
+  std::string domain;
+  DleqStatement statement;
+  DleqTranscript transcript;
+  Bytes extra;
+};
+
+// Verifies all DLEQ proofs at once (challenge recomputation stays per-item;
+// the group equations are combined).
+Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng);
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_BATCH_H_

@@ -1,0 +1,93 @@
+#include "src/crypto/dkg.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kShareDomain = "votegral/authority/decryption-share/v1";
+
+}  // namespace
+
+ElectionAuthority ElectionAuthority::Create(size_t n, Rng& rng) {
+  Require(n >= 1, "ElectionAuthority::Create: need at least one member");
+  ElectionAuthority authority;
+  authority.public_key_ = RistrettoPoint::Identity();
+  authority.members_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    AuthorityMember m;
+    m.secret = Scalar::Random(rng);
+    m.public_share = RistrettoPoint::MulBase(m.secret);
+    // Proof of possession: sign the share encoding with the share's key.
+    SchnorrKeyPair kp = SchnorrKeyPair::FromSecret(m.secret);
+    m.proof_of_possession = kp.Sign(m.public_share.Encode(), rng);
+    authority.public_key_ = authority.public_key_ + m.public_share;
+    authority.members_.push_back(std::move(m));
+  }
+  return authority;
+}
+
+Status ElectionAuthority::VerifySetup() const {
+  for (const auto& m : members_) {
+    auto pk_bytes = m.public_share.Encode();
+    Status status = SchnorrVerify(pk_bytes, pk_bytes, m.proof_of_possession);
+    if (!status.ok()) {
+      return Status::Error("dkg: proof of possession invalid: " + status.reason());
+    }
+  }
+  return Status::Ok();
+}
+
+DecryptionShare ElectionAuthority::ComputeShare(size_t i, const ElGamalCiphertext& ct,
+                                                Rng& rng) const {
+  const AuthorityMember& m = members_.at(i);
+  DecryptionShare share;
+  share.member_index = i;
+  share.share = m.secret * ct.c1;
+  DleqStatement statement = DleqStatement::MakePair(RistrettoPoint::Base(), m.public_share,
+                                                    ct.c1, share.share);
+  share.proof = ProveDleqFs(kShareDomain, statement, m.secret, rng);
+  return share;
+}
+
+Status ElectionAuthority::VerifyShare(const ElGamalCiphertext& ct,
+                                      const DecryptionShare& share) const {
+  if (share.member_index >= members_.size()) {
+    return Status::Error("dkg: share from unknown member");
+  }
+  const AuthorityMember& m = members_[share.member_index];
+  DleqStatement statement = DleqStatement::MakePair(RistrettoPoint::Base(), m.public_share,
+                                                    ct.c1, share.share);
+  Status status = VerifyDleqFs(kShareDomain, statement, share.proof);
+  if (!status.ok()) {
+    return Status::Error("dkg: decryption share proof invalid: " + status.reason());
+  }
+  return Status::Ok();
+}
+
+RistrettoPoint ElectionAuthority::CombineShares(const ElGamalCiphertext& ct,
+                                                const std::vector<DecryptionShare>& shares) const {
+  Require(shares.size() == members_.size(), "dkg: need one share per member (n-of-n)");
+  std::vector<bool> seen(members_.size(), false);
+  RistrettoPoint sum;
+  for (const auto& share : shares) {
+    Require(share.member_index < members_.size(), "dkg: share index out of range");
+    Require(!seen[share.member_index], "dkg: duplicate share");
+    seen[share.member_index] = true;
+    sum = sum + share.share;
+  }
+  return ct.c2 - sum;
+}
+
+RistrettoPoint ElectionAuthority::Decrypt(const ElGamalCiphertext& ct) const {
+  return ElGamalDecrypt(CombinedSecret(), ct);
+}
+
+Scalar ElectionAuthority::CombinedSecret() const {
+  Scalar sum = Scalar::Zero();
+  for (const auto& m : members_) {
+    sum = sum + m.secret;
+  }
+  return sum;
+}
+
+}  // namespace votegral

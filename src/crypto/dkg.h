@@ -1,0 +1,77 @@
+// Election-authority key generation and verifiable threshold decryption.
+//
+// The paper's trust model (§D.1/§D.2) requires that decryption be impossible
+// unless *all* authority members collude, and that every decryption step be
+// publicly verifiable. We implement the standard additive n-of-n DKG: each
+// member holds x_i with public share X_i = x_i*B (plus a Schnorr
+// proof-of-possession to prevent rogue-key attacks), and the election key is
+// A_pk = ΣX_i. A ciphertext (C1, C2) is decrypted by combining verifiable
+// partial decryptions S_i = x_i*C1, each carrying a Chaum–Pedersen proof of
+// consistency with X_i.
+#ifndef SRC_CRYPTO_DKG_H_
+#define SRC_CRYPTO_DKG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/dleq.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/schnorr.h"
+
+namespace votegral {
+
+// One election-authority member's share.
+struct AuthorityMember {
+  Scalar secret;
+  RistrettoPoint public_share;
+  SchnorrSignature proof_of_possession;  // Schnorr signature of own share
+};
+
+// A verifiable partial decryption of some ciphertext's C1.
+struct DecryptionShare {
+  size_t member_index = 0;
+  RistrettoPoint share;    // x_i * C1
+  DleqTranscript proof;    // DLEQ((B, X_i), (C1, share))
+};
+
+// The distributed election authority A = {A_1, ..., A_n}.
+class ElectionAuthority {
+ public:
+  // Runs the DKG among `n` members.
+  static ElectionAuthority Create(size_t n, Rng& rng);
+
+  // The collective public key A_pk = sum of public shares.
+  const RistrettoPoint& public_key() const { return public_key_; }
+  size_t size() const { return members_.size(); }
+  const AuthorityMember& member(size_t i) const { return members_.at(i); }
+
+  // Verifies every member's proof of possession against the collective key.
+  Status VerifySetup() const;
+
+  // Member `i` produces its verifiable share for `ct`.
+  DecryptionShare ComputeShare(size_t i, const ElGamalCiphertext& ct, Rng& rng) const;
+
+  // Anyone can check a share against the member's public share.
+  Status VerifyShare(const ElGamalCiphertext& ct, const DecryptionShare& share) const;
+
+  // Combines all n shares: M = C2 - sum_i S_i. Requires exactly one share
+  // per member (n-of-n).
+  RistrettoPoint CombineShares(const ElGamalCiphertext& ct,
+                               const std::vector<DecryptionShare>& shares) const;
+
+  // Test/bench convenience: full decryption using all members' secrets.
+  RistrettoPoint Decrypt(const ElGamalCiphertext& ct) const;
+
+  // Test/bench convenience: the combined secret key (sum of member secrets).
+  Scalar CombinedSecret() const;
+
+ private:
+  std::vector<AuthorityMember> members_;
+  RistrettoPoint public_key_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_DKG_H_

@@ -1,0 +1,144 @@
+#include "src/crypto/dleq.h"
+
+#include "src/common/bytes.h"
+#include "src/common/serde.h"
+#include "src/crypto/sha512.h"
+
+namespace votegral {
+
+DleqStatement DleqStatement::MakePair(const RistrettoPoint& g1, const RistrettoPoint& p1,
+                                      const RistrettoPoint& g2, const RistrettoPoint& p2) {
+  DleqStatement s;
+  s.bases = {g1, g2};
+  s.publics = {p1, p2};
+  return s;
+}
+
+Bytes DleqTranscript::Serialize() const {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(commits.size()));
+  for (const auto& c : commits) {
+    w.Fixed(c.Encode());
+  }
+  w.Fixed(challenge.ToBytes());
+  w.Fixed(response.ToBytes());
+  return w.Take();
+}
+
+std::optional<DleqTranscript> DleqTranscript::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    uint32_t n = r.U32();
+    if (n > 1024) {
+      return std::nullopt;
+    }
+    DleqTranscript t;
+    t.commits.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto point = RistrettoPoint::Decode(r.Fixed(32));
+      if (!point.has_value()) {
+        return std::nullopt;
+      }
+      t.commits.push_back(*point);
+    }
+    auto challenge = Scalar::FromCanonicalBytes(r.Fixed(32));
+    auto response = Scalar::FromCanonicalBytes(r.Fixed(32));
+    r.ExpectEnd();
+    if (!challenge.has_value() || !response.has_value()) {
+      return std::nullopt;
+    }
+    t.challenge = *challenge;
+    t.response = *response;
+    return t;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+DleqProver::DleqProver(DleqStatement statement, const Scalar& x, Rng& rng)
+    : statement_(std::move(statement)), x_(x), y_(Scalar::Random(rng)) {
+  Require(statement_.bases.size() == statement_.publics.size() && !statement_.bases.empty(),
+          "DleqProver: malformed statement");
+  commits_.reserve(statement_.bases.size());
+  for (const auto& base : statement_.bases) {
+    commits_.push_back(y_ * base);
+  }
+}
+
+DleqTranscript DleqProver::Respond(const Scalar& challenge) const {
+  DleqTranscript t;
+  t.commits = commits_;
+  t.challenge = challenge;
+  t.response = y_ - challenge * x_;
+  return t;
+}
+
+DleqTranscript SimulateDleq(const DleqStatement& statement, const Scalar& challenge, Rng& rng) {
+  Require(statement.bases.size() == statement.publics.size() && !statement.bases.empty(),
+          "SimulateDleq: malformed statement");
+  DleqTranscript t;
+  t.challenge = challenge;
+  t.response = Scalar::Random(rng);
+  t.commits.reserve(statement.bases.size());
+  for (size_t i = 0; i < statement.bases.size(); ++i) {
+    // Y_i = r*G_i + e*P_i makes the verification equation hold by
+    // construction — without any witness.
+    t.commits.push_back(t.response * statement.bases[i] + challenge * statement.publics[i]);
+  }
+  return t;
+}
+
+Status VerifyDleqTranscript(const DleqStatement& statement, const DleqTranscript& transcript) {
+  if (statement.bases.size() != statement.publics.size() || statement.bases.empty()) {
+    return Status::Error("dleq: malformed statement");
+  }
+  if (transcript.commits.size() != statement.bases.size()) {
+    return Status::Error("dleq: commit count mismatch");
+  }
+  for (size_t i = 0; i < statement.bases.size(); ++i) {
+    RistrettoPoint expected =
+        transcript.response * statement.bases[i] + transcript.challenge * statement.publics[i];
+    if (!(expected == transcript.commits[i])) {
+      return Status::Error("dleq: verification equation failed");
+    }
+  }
+  return Status::Ok();
+}
+
+Scalar DeriveFsChallenge(std::string_view domain, const DleqStatement& statement,
+                         std::span<const RistrettoPoint> commits,
+                         std::span<const uint8_t> extra) {
+  Sha512 h;
+  h.Update(AsBytes(domain));
+  uint8_t sep = 0;
+  h.Update({&sep, 1});
+  for (const auto& base : statement.bases) {
+    h.Update(base.Encode());
+  }
+  for (const auto& pub : statement.publics) {
+    h.Update(pub.Encode());
+  }
+  for (const auto& commit : commits) {
+    h.Update(commit.Encode());
+  }
+  h.Update(extra);
+  return Scalar::FromBytesWide(h.Finalize());
+}
+
+DleqTranscript ProveDleqFs(std::string_view domain, const DleqStatement& statement,
+                           const Scalar& x, Rng& rng, std::span<const uint8_t> extra) {
+  DleqProver prover(statement, x, rng);
+  Scalar challenge = DeriveFsChallenge(domain, statement, prover.commits(), extra);
+  return prover.Respond(challenge);
+}
+
+Status VerifyDleqFs(std::string_view domain, const DleqStatement& statement,
+                    const DleqTranscript& transcript, std::span<const uint8_t> extra) {
+  Scalar expected = DeriveFsChallenge(domain, statement, transcript.commits, extra);
+  if (expected != transcript.challenge) {
+    return Status::Error("dleq-fs: challenge mismatch");
+  }
+  return VerifyDleqTranscript(statement, transcript);
+}
+
+}  // namespace votegral

@@ -1,0 +1,100 @@
+// Chaum–Pedersen proofs of discrete-log equality (the paper's ZKPoE, §E.1):
+// given pairs (G_i, P_i), prove knowledge of x with P_i = x*G_i for all i.
+//
+// This single Σ-protocol underpins the whole system:
+//  * TRIP real credentials: the kiosk proves interactively that the public
+//    credential c_pc = (C1, X·c_pk) satisfies C1 = g^x ∧ X = A^x — executed
+//    in the sound commit→challenge→response order (§E.4),
+//  * TRIP fake credentials: the same transcript *simulated* from a known
+//    challenge (§E.5) — structurally valid, proves nothing,
+//  * verifiable decryption shares and deterministic tagging: non-interactive
+//    (Fiat–Shamir) variants over 2- and 3-element statements.
+//
+// The transcript deliberately does not record which order was used: that is
+// the "voter's-eyes-only" bit at the heart of TRIP's coercion resistance
+// (§4.3). VerifyDleqTranscript accepts both.
+#ifndef SRC_CRYPTO_DLEQ_H_
+#define SRC_CRYPTO_DLEQ_H_
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/ristretto.h"
+#include "src/crypto/scalar.h"
+
+namespace votegral {
+
+// The statement: P_i = x * G_i for every (base, public) pair.
+struct DleqStatement {
+  std::vector<RistrettoPoint> bases;
+  std::vector<RistrettoPoint> publics;
+
+  // Two-pair convenience (the common TRIP/decryption case).
+  static DleqStatement MakePair(const RistrettoPoint& g1, const RistrettoPoint& p1,
+                                const RistrettoPoint& g2, const RistrettoPoint& p2);
+};
+
+// A (possibly simulated) transcript: commits Y_i, challenge e, response r.
+// Valid iff r*G_i + e*P_i == Y_i for all i.
+struct DleqTranscript {
+  std::vector<RistrettoPoint> commits;
+  Scalar challenge;
+  Scalar response;
+
+  Bytes Serialize() const;
+  static std::optional<DleqTranscript> Parse(std::span<const uint8_t> bytes);
+};
+
+// Interactive prover running the *sound* order: the commitment is fixed
+// before the verifier's challenge is known. TRIP's kiosk uses this for real
+// credentials; the printed receipt bears the commits before the voter picks
+// an envelope.
+class DleqProver {
+ public:
+  // Starts a proof of `statement` with witness `x`; draws the commitment
+  // nonce from `rng`.
+  DleqProver(DleqStatement statement, const Scalar& x, Rng& rng);
+
+  // The commits Y_i = y*G_i, available before any challenge exists.
+  const std::vector<RistrettoPoint>& commits() const { return commits_; }
+
+  // Completes the transcript for the verifier-chosen challenge.
+  DleqTranscript Respond(const Scalar& challenge) const;
+
+ private:
+  DleqStatement statement_;
+  Scalar x_;
+  Scalar y_;
+  std::vector<RistrettoPoint> commits_;
+};
+
+// Simulates a structurally valid transcript for an arbitrary statement given
+// a challenge known *in advance* — the unsound order used for fake
+// credentials. Works for statements with no witness at all.
+DleqTranscript SimulateDleq(const DleqStatement& statement, const Scalar& challenge, Rng& rng);
+
+// Checks r*G_i + e*P_i == Y_i for all pairs. Accepts sound and simulated
+// transcripts alike (by design; see header comment).
+Status VerifyDleqTranscript(const DleqStatement& statement, const DleqTranscript& transcript);
+
+// Derives a Fiat–Shamir challenge binding the domain, statement, commits and
+// optional extra context.
+Scalar DeriveFsChallenge(std::string_view domain, const DleqStatement& statement,
+                         std::span<const RistrettoPoint> commits,
+                         std::span<const uint8_t> extra);
+
+// Non-interactive (Fiat–Shamir) proof; sound in the random-oracle model.
+DleqTranscript ProveDleqFs(std::string_view domain, const DleqStatement& statement,
+                           const Scalar& x, Rng& rng, std::span<const uint8_t> extra = {});
+
+// Verifies a Fiat–Shamir proof (recomputes and checks the challenge).
+Status VerifyDleqFs(std::string_view domain, const DleqStatement& statement,
+                    const DleqTranscript& transcript, std::span<const uint8_t> extra = {});
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_DLEQ_H_

@@ -1,0 +1,62 @@
+#include "src/crypto/elgamal.h"
+
+namespace votegral {
+
+ElGamalCiphertext ElGamalCiphertext::operator+(const ElGamalCiphertext& other) const {
+  return {c1 + other.c1, c2 + other.c2};
+}
+
+ElGamalCiphertext ElGamalCiphertext::ReRandomize(const RistrettoPoint& pk,
+                                                 const Scalar& r) const {
+  return {c1 + RistrettoPoint::MulBase(r), c2 + r * pk};
+}
+
+ElGamalCiphertext ElGamalCiphertext::ExponentiateBy(const Scalar& z) const {
+  return {z * c1, z * c2};
+}
+
+bool ElGamalCiphertext::operator==(const ElGamalCiphertext& other) const {
+  return c1 == other.c1 && c2 == other.c2;
+}
+
+Bytes ElGamalCiphertext::Serialize() const {
+  auto a = c1.Encode();
+  auto b = c2.Encode();
+  return Concat({a, b});
+}
+
+std::optional<ElGamalCiphertext> ElGamalCiphertext::Parse(std::span<const uint8_t> bytes) {
+  if (bytes.size() != 64) {
+    return std::nullopt;
+  }
+  auto c1 = RistrettoPoint::Decode(bytes.subspan(0, 32));
+  auto c2 = RistrettoPoint::Decode(bytes.subspan(32, 32));
+  if (!c1.has_value() || !c2.has_value()) {
+    return std::nullopt;
+  }
+  return ElGamalCiphertext{*c1, *c2};
+}
+
+ElGamalCiphertext ElGamalEncrypt(const RistrettoPoint& pk, const RistrettoPoint& message,
+                                 const Scalar& r) {
+  return {RistrettoPoint::MulBase(r), r * pk + message};
+}
+
+ElGamalCiphertext ElGamalEncrypt(const RistrettoPoint& pk, const RistrettoPoint& message,
+                                 Rng& rng, Scalar* randomness_out) {
+  Scalar r = Scalar::Random(rng);
+  if (randomness_out != nullptr) {
+    *randomness_out = r;
+  }
+  return ElGamalEncrypt(pk, message, r);
+}
+
+ElGamalCiphertext ElGamalTrivialEncrypt(const RistrettoPoint& message) {
+  return {RistrettoPoint::Identity(), message};
+}
+
+RistrettoPoint ElGamalDecrypt(const Scalar& sk, const ElGamalCiphertext& ct) {
+  return ct.c2 - sk * ct.c1;
+}
+
+}  // namespace votegral

@@ -1,0 +1,265 @@
+#include "src/crypto/fe25519.h"
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace votegral {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr uint64_t kMask51 = (uint64_t{1} << 51) - 1;
+
+// Limbs of 2p in radix 2^51: subtracting b from a computes a + 2p - b so no
+// limb underflows for loosely reduced inputs.
+constexpr uint64_t kTwoP0 = 0xFFFFFFFFFFFDAULL;  // 2*(2^51 - 19)
+constexpr uint64_t kTwoP1234 = 0xFFFFFFFFFFFFEULL;  // 2*(2^51 - 1)
+
+// One pass of carry propagation; leaves each limb < 2^51 + 2^13 for any
+// input whose limbs are < 2^63.
+Fe25519 Carry(Fe25519 f) {
+  uint64_t c;
+  c = f.limb[0] >> 51;
+  f.limb[0] &= kMask51;
+  f.limb[1] += c;
+  c = f.limb[1] >> 51;
+  f.limb[1] &= kMask51;
+  f.limb[2] += c;
+  c = f.limb[2] >> 51;
+  f.limb[2] &= kMask51;
+  f.limb[3] += c;
+  c = f.limb[3] >> 51;
+  f.limb[3] &= kMask51;
+  f.limb[4] += c;
+  c = f.limb[4] >> 51;
+  f.limb[4] &= kMask51;
+  f.limb[0] += 19 * c;
+  c = f.limb[0] >> 51;
+  f.limb[0] &= kMask51;
+  f.limb[1] += c;
+  return f;
+}
+
+// The exponent p - 2 = 2^255 - 21 as 32 little-endian bytes (for inversion).
+constexpr uint8_t kExpPMinus2[32] = {
+    0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0x7f};
+
+// The exponent (p - 5) / 8 = 2^252 - 3.
+constexpr uint8_t kExpP58[32] = {
+    0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0x0f};
+
+// The exponent (p - 1) / 4 = 2^253 - 5 (sqrt(-1) = 2^((p-1)/4) since 2 is a
+// quadratic non-residue mod p).
+constexpr uint8_t kExpP14[32] = {
+    0xfb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+    0xff, 0x1f};
+
+}  // namespace
+
+Fe25519 FeZero() { return Fe25519{{0, 0, 0, 0, 0}}; }
+
+Fe25519 FeOne() { return Fe25519{{1, 0, 0, 0, 0}}; }
+
+Fe25519 FeFromU64(uint64_t value) {
+  Fe25519 f{{value & kMask51, value >> 51, 0, 0, 0}};
+  return f;
+}
+
+Fe25519 FeFromBytes(std::span<const uint8_t> bytes32) {
+  Require(bytes32.size() == 32, "FeFromBytes: need 32 bytes");
+  const uint8_t* s = bytes32.data();
+  Fe25519 f;
+  f.limb[0] = LoadLe64(s) & kMask51;
+  f.limb[1] = (LoadLe64(s + 6) >> 3) & kMask51;
+  f.limb[2] = (LoadLe64(s + 12) >> 6) & kMask51;
+  f.limb[3] = (LoadLe64(s + 19) >> 1) & kMask51;
+  f.limb[4] = (LoadLe64(s + 24) >> 12) & kMask51;
+  return f;
+}
+
+std::array<uint8_t, 32> FeToBytes(const Fe25519& f) {
+  Fe25519 t = Carry(Carry(f));
+  // Compute q = 1 iff t >= p, by propagating the carry of (t + 19) past bit
+  // 255, then subtract q*p by adding 19*q and masking bit 255.
+  uint64_t q = (t.limb[0] + 19) >> 51;
+  q = (t.limb[1] + q) >> 51;
+  q = (t.limb[2] + q) >> 51;
+  q = (t.limb[3] + q) >> 51;
+  q = (t.limb[4] + q) >> 51;
+  t.limb[0] += 19 * q;
+  t.limb[1] += t.limb[0] >> 51;
+  t.limb[0] &= kMask51;
+  t.limb[2] += t.limb[1] >> 51;
+  t.limb[1] &= kMask51;
+  t.limb[3] += t.limb[2] >> 51;
+  t.limb[2] &= kMask51;
+  t.limb[4] += t.limb[3] >> 51;
+  t.limb[3] &= kMask51;
+  t.limb[4] &= kMask51;
+
+  std::array<uint8_t, 32> out;
+  uint64_t w0 = t.limb[0] | (t.limb[1] << 51);
+  uint64_t w1 = (t.limb[1] >> 13) | (t.limb[2] << 38);
+  uint64_t w2 = (t.limb[2] >> 26) | (t.limb[3] << 25);
+  uint64_t w3 = (t.limb[3] >> 39) | (t.limb[4] << 12);
+  StoreLe64(out.data(), w0);
+  StoreLe64(out.data() + 8, w1);
+  StoreLe64(out.data() + 16, w2);
+  StoreLe64(out.data() + 24, w3);
+  return out;
+}
+
+bool FeBytesAreCanonical(std::span<const uint8_t> bytes32) {
+  if (bytes32.size() != 32) {
+    return false;
+  }
+  auto round_trip = FeToBytes(FeFromBytes(bytes32));
+  return ConstantTimeEqual(round_trip, bytes32);
+}
+
+Fe25519 FeAdd(const Fe25519& a, const Fe25519& b) {
+  Fe25519 r;
+  for (int i = 0; i < 5; ++i) {
+    r.limb[i] = a.limb[i] + b.limb[i];
+  }
+  return Carry(r);
+}
+
+Fe25519 FeSub(const Fe25519& a, const Fe25519& b) {
+  Fe25519 r;
+  r.limb[0] = a.limb[0] + kTwoP0 - b.limb[0];
+  r.limb[1] = a.limb[1] + kTwoP1234 - b.limb[1];
+  r.limb[2] = a.limb[2] + kTwoP1234 - b.limb[2];
+  r.limb[3] = a.limb[3] + kTwoP1234 - b.limb[3];
+  r.limb[4] = a.limb[4] + kTwoP1234 - b.limb[4];
+  return Carry(r);
+}
+
+Fe25519 FeNeg(const Fe25519& a) { return FeSub(FeZero(), a); }
+
+Fe25519 FeMul(const Fe25519& a, const Fe25519& b) {
+  const uint64_t f0 = a.limb[0], f1 = a.limb[1], f2 = a.limb[2], f3 = a.limb[3], f4 = a.limb[4];
+  const uint64_t g0 = b.limb[0], g1 = b.limb[1], g2 = b.limb[2], g3 = b.limb[3], g4 = b.limb[4];
+
+  u128 t0 = (u128)f0 * g0 +
+            (u128)19 * ((u128)f1 * g4 + (u128)f2 * g3 + (u128)f3 * g2 + (u128)f4 * g1);
+  u128 t1 = (u128)f0 * g1 + (u128)f1 * g0 +
+            (u128)19 * ((u128)f2 * g4 + (u128)f3 * g3 + (u128)f4 * g2);
+  u128 t2 = (u128)f0 * g2 + (u128)f1 * g1 + (u128)f2 * g0 +
+            (u128)19 * ((u128)f3 * g4 + (u128)f4 * g3);
+  u128 t3 = (u128)f0 * g3 + (u128)f1 * g2 + (u128)f2 * g1 + (u128)f3 * g0 +
+            (u128)19 * ((u128)f4 * g4);
+  u128 t4 = (u128)f0 * g4 + (u128)f1 * g3 + (u128)f2 * g2 + (u128)f3 * g1 + (u128)f4 * g0;
+
+  Fe25519 r;
+  u128 c;
+  c = t0 >> 51;
+  r.limb[0] = (uint64_t)t0 & kMask51;
+  t1 += c;
+  c = t1 >> 51;
+  r.limb[1] = (uint64_t)t1 & kMask51;
+  t2 += c;
+  c = t2 >> 51;
+  r.limb[2] = (uint64_t)t2 & kMask51;
+  t3 += c;
+  c = t3 >> 51;
+  r.limb[3] = (uint64_t)t3 & kMask51;
+  t4 += c;
+  c = t4 >> 51;
+  r.limb[4] = (uint64_t)t4 & kMask51;
+  r.limb[0] += (uint64_t)c * 19;
+  r.limb[1] += r.limb[0] >> 51;
+  r.limb[0] &= kMask51;
+  return r;
+}
+
+Fe25519 FeSquare(const Fe25519& a) { return FeMul(a, a); }
+
+Fe25519 FeMulSmall(const Fe25519& a, uint32_t small) {
+  Fe25519 r;
+  u128 c = 0;
+  for (int i = 0; i < 5; ++i) {
+    u128 t = (u128)a.limb[i] * small + c;
+    r.limb[i] = (uint64_t)t & kMask51;
+    c = t >> 51;
+  }
+  r.limb[0] += (uint64_t)c * 19;
+  return Carry(r);
+}
+
+Fe25519 FePow(const Fe25519& f, std::span<const uint8_t> exponent32) {
+  Require(exponent32.size() == 32, "FePow: need 32-byte exponent");
+  Fe25519 result = FeOne();
+  bool started = false;
+  for (int i = 255; i >= 0; --i) {
+    if (started) {
+      result = FeSquare(result);
+    }
+    int bit = (exponent32[static_cast<size_t>(i / 8)] >> (i % 8)) & 1;
+    if (bit != 0) {
+      result = started ? FeMul(result, f) : f;
+      started = true;
+    }
+  }
+  return started ? result : FeOne();
+}
+
+Fe25519 FeInvert(const Fe25519& f) { return FePow(f, kExpPMinus2); }
+
+Fe25519 FePow2523(const Fe25519& f) { return FePow(f, kExpP58); }
+
+bool FeIsNegative(const Fe25519& f) { return (FeToBytes(f)[0] & 1) != 0; }
+
+bool FeIsZero(const Fe25519& f) {
+  auto bytes = FeToBytes(f);
+  uint8_t acc = 0;
+  for (uint8_t b : bytes) {
+    acc |= b;
+  }
+  return acc == 0;
+}
+
+bool FeEqual(const Fe25519& a, const Fe25519& b) {
+  return ConstantTimeEqual(FeToBytes(a), FeToBytes(b));
+}
+
+Fe25519 FeAbs(const Fe25519& f) { return FeIsNegative(f) ? FeNeg(f) : f; }
+
+Fe25519 FeSelect(const Fe25519& f, const Fe25519& t, bool b) { return b ? t : f; }
+
+const Fe25519& FeSqrtM1() {
+  static const Fe25519 kSqrtM1 = FePow(FeFromU64(2), kExpP14);
+  return kSqrtM1;
+}
+
+const Fe25519& FeEdwardsD() {
+  static const Fe25519 kD = FeNeg(FeMul(FeFromU64(121665), FeInvert(FeFromU64(121666))));
+  return kD;
+}
+
+SqrtRatioResult FeSqrtRatioM1(const Fe25519& u, const Fe25519& v) {
+  // RFC 9496 §4.2 (SQRT_RATIO_M1).
+  Fe25519 v3 = FeMul(FeSquare(v), v);
+  Fe25519 v7 = FeMul(FeSquare(v3), v);
+  Fe25519 r = FeMul(FeMul(u, v3), FePow2523(FeMul(u, v7)));
+  Fe25519 check = FeMul(v, FeSquare(r));
+
+  bool correct_sign_sqrt = FeEqual(check, u);
+  Fe25519 u_neg = FeNeg(u);
+  bool flipped_sign_sqrt = FeEqual(check, u_neg);
+  bool flipped_sign_sqrt_i = FeEqual(check, FeMul(u_neg, FeSqrtM1()));
+
+  Fe25519 r_prime = FeMul(r, FeSqrtM1());
+  r = FeSelect(r, r_prime, flipped_sign_sqrt || flipped_sign_sqrt_i);
+  r = FeAbs(r);
+
+  return SqrtRatioResult{correct_sign_sqrt || flipped_sign_sqrt, r};
+}
+
+}  // namespace votegral

@@ -1,0 +1,91 @@
+// Arithmetic in GF(2^255 - 19), the curve25519 base field, using the
+// standard 5×51-bit unsigned radix with 128-bit intermediate products.
+//
+// Representation invariant: after every public operation each limb is
+// "loosely reduced" (< 2^51 + 2^13), which keeps all intermediate products
+// within 128 bits. ToBytes performs full canonical reduction.
+//
+// This implementation favours clarity and testability over raw speed and is
+// not hardened against timing side channels; the paper's threat model
+// explicitly places side-channel attacks out of scope (Appendix L).
+#ifndef SRC_CRYPTO_FE25519_H_
+#define SRC_CRYPTO_FE25519_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace votegral {
+
+// A field element in GF(2^255 - 19).
+struct Fe25519 {
+  uint64_t limb[5];
+};
+
+// Constants.
+Fe25519 FeZero();
+Fe25519 FeOne();
+// Constructs a field element from a small integer.
+Fe25519 FeFromU64(uint64_t value);
+
+// Parses 32 little-endian bytes; the top bit (2^255) is ignored, matching
+// the edwards25519/ristretto conventions.
+Fe25519 FeFromBytes(std::span<const uint8_t> bytes32);
+
+// Serializes to the canonical 32-byte little-endian representation in
+// [0, 2^255 - 19).
+std::array<uint8_t, 32> FeToBytes(const Fe25519& f);
+
+// True when `bytes32` is the canonical encoding of a field element (i.e. it
+// round-trips). Ristretto decoding requires this check.
+bool FeBytesAreCanonical(std::span<const uint8_t> bytes32);
+
+Fe25519 FeAdd(const Fe25519& a, const Fe25519& b);
+Fe25519 FeSub(const Fe25519& a, const Fe25519& b);
+Fe25519 FeNeg(const Fe25519& a);
+Fe25519 FeMul(const Fe25519& a, const Fe25519& b);
+Fe25519 FeSquare(const Fe25519& a);
+// Multiplies by a small scalar (e.g. 2, 121666).
+Fe25519 FeMulSmall(const Fe25519& a, uint32_t small);
+
+// f^e where `exponent32` is a 32-byte little-endian constant. Used with the
+// fixed exponents below; not constant-time in the exponent (exponents here
+// are public constants).
+Fe25519 FePow(const Fe25519& f, std::span<const uint8_t> exponent32);
+
+// f^(p-2): multiplicative inverse (0 maps to 0).
+Fe25519 FeInvert(const Fe25519& f);
+
+// f^((p-5)/8): the core of the combined square-root/inverse-square-root.
+Fe25519 FePow2523(const Fe25519& f);
+
+// Canonical-sign helpers ("negative" = canonical encoding has lsb 1, per the
+// ristretto255 spec).
+bool FeIsNegative(const Fe25519& f);
+bool FeIsZero(const Fe25519& f);
+bool FeEqual(const Fe25519& a, const Fe25519& b);
+
+// |f|: f if non-negative, -f otherwise.
+Fe25519 FeAbs(const Fe25519& f);
+
+// Returns `b ? t : f` (value select).
+Fe25519 FeSelect(const Fe25519& f, const Fe25519& t, bool b);
+
+// Computes (was_square, r) with r = sqrt(u/v) when u/v is a square, else
+// r = sqrt(SQRT_M1 * u/v); r is always non-negative. This is the
+// SQRT_RATIO_M1 routine from the ristretto255 spec (RFC 9496 §4.2).
+struct SqrtRatioResult {
+  bool was_square;
+  Fe25519 root;
+};
+SqrtRatioResult FeSqrtRatioM1(const Fe25519& u, const Fe25519& v);
+
+// sqrt(-1) mod p (computed once at startup as 2^((p-1)/4)).
+const Fe25519& FeSqrtM1();
+
+// The edwards25519 curve constant d = -121665/121666.
+const Fe25519& FeEdwardsD();
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_FE25519_H_

@@ -1,0 +1,30 @@
+#include "src/crypto/hmac.h"
+
+namespace votegral {
+
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(std::span<const uint8_t> key,
+                                                    std::span<const uint8_t> message) {
+  std::array<uint8_t, Sha256::kBlockSize> key_block{};
+  if (key.size() > Sha256::kBlockSize) {
+    auto digest = Sha256::Hash(key);
+    std::copy(digest.begin(), digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+  std::array<uint8_t, Sha256::kBlockSize> ipad;
+  std::array<uint8_t, Sha256::kBlockSize> opad;
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] = static_cast<uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(key_block[i] ^ 0x5c);
+  }
+  auto inner = Sha256::HashParts({ipad, message});
+  return Sha256::HashParts({opad, inner});
+}
+
+bool HmacSha256Verify(std::span<const uint8_t> key, std::span<const uint8_t> message,
+                      std::span<const uint8_t> tag) {
+  auto expected = HmacSha256(key, message);
+  return ConstantTimeEqual(expected, tag);
+}
+
+}  // namespace votegral

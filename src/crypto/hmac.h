@@ -1,0 +1,26 @@
+// HMAC-SHA-256 (RFC 2104). TRIP uses it as the MAC scheme authorizing
+// check-in tickets between registration officials and kiosks (§E.3: the
+// OSD/kiosk shared secret s_rk; a barcode fits a MAC tag but not a
+// signature, per the paper's footnote 7).
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <array>
+#include <span>
+
+#include "src/common/bytes.h"
+#include "src/crypto/sha256.h"
+
+namespace votegral {
+
+// Computes HMAC-SHA-256(key, message).
+std::array<uint8_t, Sha256::kDigestSize> HmacSha256(std::span<const uint8_t> key,
+                                                    std::span<const uint8_t> message);
+
+// Constant-time verification of an HMAC tag.
+bool HmacSha256Verify(std::span<const uint8_t> key, std::span<const uint8_t> message,
+                      std::span<const uint8_t> tag);
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,98 @@
+#include "src/crypto/orproof.h"
+
+#include "src/crypto/sha512.h"
+
+namespace votegral {
+
+namespace {
+
+// Fiat–Shamir master challenge over the statement and all branch commits.
+Scalar MasterChallenge(const ElGamalCiphertext& ct, const RistrettoPoint& pk,
+                       std::span<const RistrettoPoint> candidates,
+                       const std::vector<OrProofBranch>& branches, std::string_view domain) {
+  Sha512 h;
+  h.Update(AsBytes(domain));
+  uint8_t sep = 0;
+  h.Update({&sep, 1});
+  h.Update(ct.Serialize());
+  h.Update(pk.Encode());
+  for (const RistrettoPoint& candidate : candidates) {
+    h.Update(candidate.Encode());
+  }
+  for (const OrProofBranch& branch : branches) {
+    h.Update(branch.commit_1.Encode());
+    h.Update(branch.commit_2.Encode());
+  }
+  return Scalar::FromBytesWide(h.Finalize());
+}
+
+}  // namespace
+
+EncryptionOrProof ProveEncryptsOneOf(const ElGamalCiphertext& ct, const RistrettoPoint& pk,
+                                     std::span<const RistrettoPoint> candidates,
+                                     size_t true_index, const Scalar& randomness,
+                                     std::string_view domain, Rng& rng) {
+  Require(true_index < candidates.size(), "orproof: true index out of range");
+  const size_t n = candidates.size();
+  EncryptionOrProof proof;
+  proof.branches.resize(n);
+
+  // Simulate every false branch with pre-chosen challenge and response.
+  Scalar simulated_sum = Scalar::Zero();
+  for (size_t j = 0; j < n; ++j) {
+    if (j == true_index) {
+      continue;
+    }
+    OrProofBranch& branch = proof.branches[j];
+    branch.challenge = Scalar::Random(rng);
+    branch.response = Scalar::Random(rng);
+    simulated_sum = simulated_sum + branch.challenge;
+    RistrettoPoint diff = ct.c2 - candidates[j];
+    branch.commit_1 = RistrettoPoint::MulBase(branch.response) + branch.challenge * ct.c1;
+    branch.commit_2 = branch.response * pk + branch.challenge * diff;
+  }
+
+  // Real commitment on the true branch.
+  Scalar y = Scalar::Random(rng);
+  proof.branches[true_index].commit_1 = RistrettoPoint::MulBase(y);
+  proof.branches[true_index].commit_2 = y * pk;
+
+  // Split the master challenge.
+  Scalar master = MasterChallenge(ct, pk, candidates, proof.branches, domain);
+  Scalar e_true = master - simulated_sum;
+  proof.branches[true_index].challenge = e_true;
+  proof.branches[true_index].response = y - e_true * randomness;
+  return proof;
+}
+
+Status VerifyEncryptsOneOf(const ElGamalCiphertext& ct, const RistrettoPoint& pk,
+                           std::span<const RistrettoPoint> candidates,
+                           const EncryptionOrProof& proof, std::string_view domain) {
+  if (proof.branches.size() != candidates.size() || candidates.empty()) {
+    return Status::Error("orproof: branch count mismatch");
+  }
+  Scalar sum = Scalar::Zero();
+  for (const OrProofBranch& branch : proof.branches) {
+    sum = sum + branch.challenge;
+  }
+  if (sum != MasterChallenge(ct, pk, candidates, proof.branches, domain)) {
+    return Status::Error("orproof: challenge split does not match master challenge");
+  }
+  for (size_t j = 0; j < candidates.size(); ++j) {
+    const OrProofBranch& branch = proof.branches[j];
+    RistrettoPoint diff = ct.c2 - candidates[j];
+    RistrettoPoint lhs1 =
+        RistrettoPoint::MulBase(branch.response) + branch.challenge * ct.c1;
+    if (!(lhs1 == branch.commit_1)) {
+      return Status::Error("orproof: branch " + std::to_string(j) + " first equation failed");
+    }
+    RistrettoPoint lhs2 = branch.response * pk + branch.challenge * diff;
+    if (!(lhs2 == branch.commit_2)) {
+      return Status::Error("orproof: branch " + std::to_string(j) +
+                           " second equation failed");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace votegral

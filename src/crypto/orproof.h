@@ -1,0 +1,50 @@
+// Disjunctive ("OR") Chaum–Pedersen proofs of ballot well-formedness: given
+// an ElGamal ciphertext, prove it encrypts *one of* a public candidate set
+// without revealing which (CDS composition: the true branch runs the real
+// Σ-protocol, every other branch is simulated, and the branch challenges
+// must sum to the Fiat–Shamir hash).
+//
+// This is the standard validity proof of secret-ballot systems (the Swiss
+// Post baseline uses it here). Votegral's own pipeline does not need it —
+// invalid votes are caught after verifiable decryption — but an auditor
+// gains earlier rejection when ballots carry one.
+#ifndef SRC_CRYPTO_ORPROOF_H_
+#define SRC_CRYPTO_ORPROOF_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/crypto/elgamal.h"
+
+namespace votegral {
+
+// One branch of the disjunction.
+struct OrProofBranch {
+  RistrettoPoint commit_1;  // Y1 = r*B + e*C1 (or y*B on the true branch)
+  RistrettoPoint commit_2;  // Y2 = r*pk + e*(C2 - M_j)
+  Scalar challenge;
+  Scalar response;
+};
+
+// Proof that a ciphertext encrypts one element of a candidate list.
+struct EncryptionOrProof {
+  std::vector<OrProofBranch> branches;  // one per candidate, in list order
+};
+
+// Proves that `ct` = Enc(pk, candidates[true_index]; randomness).
+EncryptionOrProof ProveEncryptsOneOf(const ElGamalCiphertext& ct, const RistrettoPoint& pk,
+                                     std::span<const RistrettoPoint> candidates,
+                                     size_t true_index, const Scalar& randomness,
+                                     std::string_view domain, Rng& rng);
+
+// Verifies the disjunction; rejects when the ciphertext encrypts anything
+// outside the candidate set (or the proof was built for different data).
+Status VerifyEncryptsOneOf(const ElGamalCiphertext& ct, const RistrettoPoint& pk,
+                           std::span<const RistrettoPoint> candidates,
+                           const EncryptionOrProof& proof, std::string_view domain);
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_ORPROOF_H_

@@ -1,0 +1,95 @@
+// ristretto255 (RFC 9496): a prime-order group built on edwards25519,
+// implemented from scratch on top of src/crypto/fe25519.
+//
+// Votegral/TRIP needs a prime-order group with canonical encodings for
+// ElGamal credentials, Schnorr signatures, Chaum–Pedersen proofs and
+// deterministic tagging; ristretto removes the cofactor pitfalls of raw
+// edwards25519 that a from-scratch protocol stack would otherwise have to
+// handle case by case.
+//
+// Internal representation: extended Edwards coordinates (X:Y:Z:T) with
+// x = X/Z, y = Y/Z, x*y = T/Z on the a=-1 twisted Edwards curve.
+#ifndef SRC_CRYPTO_RISTRETTO_H_
+#define SRC_CRYPTO_RISTRETTO_H_
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "src/crypto/fe25519.h"
+#include "src/crypto/scalar.h"
+
+namespace votegral {
+
+// An element of the ristretto255 group.
+class RistrettoPoint {
+ public:
+  // The identity element.
+  RistrettoPoint();
+
+  static RistrettoPoint Identity() { return RistrettoPoint(); }
+
+  // The canonical generator (the edwards25519 basepoint's coset).
+  static const RistrettoPoint& Base();
+
+  // Decodes a canonical 32-byte encoding; rejects non-canonical field
+  // encodings, negative s, and off-curve inputs (RFC 9496 §4.3.1).
+  static std::optional<RistrettoPoint> Decode(std::span<const uint8_t> bytes32);
+
+  // Canonical 32-byte encoding (RFC 9496 §4.3.2).
+  std::array<uint8_t, 32> Encode() const;
+
+  // Maps 64 uniform bytes to a group element (two Elligator evaluations,
+  // RFC 9496 §4.3.4). The basis of HashToGroup.
+  static RistrettoPoint FromUniformBytes(std::span<const uint8_t> bytes64);
+
+  // Domain-separated hash-to-group via SHA-512.
+  static RistrettoPoint HashToGroup(std::string_view domain, std::span<const uint8_t> data);
+
+  // Group operations.
+  RistrettoPoint operator+(const RistrettoPoint& other) const;
+  RistrettoPoint operator-(const RistrettoPoint& other) const;
+  RistrettoPoint operator-() const;
+  RistrettoPoint Double() const;
+
+  // Variable-base scalar multiplication (4-bit window).
+  friend RistrettoPoint operator*(const Scalar& s, const RistrettoPoint& p);
+
+  // Fixed-base scalar multiplication s*B using a precomputed radix-16 table
+  // (~16x faster than the variable-base path; an ablation bench quantifies
+  // this, see bench/ablation_design_choices).
+  static RistrettoPoint MulBase(const Scalar& s);
+
+  // Fixed-base multiplication without the precomputed table (ablation only).
+  static RistrettoPoint MulBaseSlow(const Scalar& s);
+
+  // a*P + b*Base, the Schnorr verification workhorse.
+  static RistrettoPoint DoubleScalarMulBase(const Scalar& a, const RistrettoPoint& p,
+                                            const Scalar& b);
+
+  // Ristretto equality (coset-aware; does not require encoding).
+  bool operator==(const RistrettoPoint& other) const;
+  bool operator!=(const RistrettoPoint& other) const { return !(*this == other); }
+
+  bool IsIdentity() const { return *this == RistrettoPoint(); }
+
+ private:
+  RistrettoPoint(const Fe25519& x, const Fe25519& y, const Fe25519& z, const Fe25519& t)
+      : x_(x), y_(y), z_(z), t_(t) {}
+
+  // One Elligator 2 evaluation (MAP of RFC 9496 §4.3.4).
+  static RistrettoPoint ElligatorMap(const Fe25519& t);
+
+  Fe25519 x_;
+  Fe25519 y_;
+  Fe25519 z_;
+  Fe25519 t_;
+};
+
+// Convenience alias used by protocol signatures.
+using CompressedRistretto = std::array<uint8_t, 32>;
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_RISTRETTO_H_

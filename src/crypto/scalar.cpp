@@ -1,0 +1,196 @@
+#include "src/crypto/scalar.h"
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace votegral {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// ℓ = 2^252 + 27742317777372353535851937790883648493, little-endian limbs.
+constexpr std::array<uint64_t, 4> kL = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL,
+                                        0x0000000000000000ULL, 0x1000000000000000ULL};
+
+// ℓ - 2, the inversion exponent.
+constexpr std::array<uint64_t, 4> kLMinus2 = {0x5812631a5cf5d3ebULL, 0x14def9dea2f79cd6ULL,
+                                              0x0000000000000000ULL, 0x1000000000000000ULL};
+
+// Compares two 4-limb values; returns -1, 0, or 1.
+int Compare4(const std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(i)]) {
+      return a[static_cast<size_t>(i)] < b[static_cast<size_t>(i)] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+// a -= b, returns borrow (a, b are 4-limb).
+uint64_t SubBorrow4(std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 d = (u128)a[static_cast<size_t>(i)] - b[static_cast<size_t>(i)] - borrow;
+    a[static_cast<size_t>(i)] = (uint64_t)d;
+    borrow = (uint64_t)(d >> 64) & 1;
+  }
+  return borrow;
+}
+
+// a += b, returns carry.
+uint64_t AddCarry4(std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 s = (u128)a[static_cast<size_t>(i)] + b[static_cast<size_t>(i)] + carry;
+    a[static_cast<size_t>(i)] = (uint64_t)s;
+    carry = (uint64_t)(s >> 64);
+  }
+  return carry;
+}
+
+}  // namespace
+
+Scalar Scalar::One() { return Scalar(std::array<uint64_t, 4>{1, 0, 0, 0}); }
+
+Scalar Scalar::FromU64(uint64_t v) { return Scalar(std::array<uint64_t, 4>{v, 0, 0, 0}); }
+
+Scalar Scalar::Reduce512(const std::array<uint64_t, 8>& wide) {
+  // Binary long division: shift bits of `wide` (MSB first) into a 5-limb
+  // remainder, conditionally subtracting ℓ.
+  std::array<uint64_t, 4> rem = {0, 0, 0, 0};
+  uint64_t rem_top = 0;  // 5th limb: remainder can briefly reach 2^256..2ℓ.
+  int top = 511;
+  while (top >= 0) {
+    size_t limb = static_cast<size_t>(top / 64);
+    if (wide[limb] == 0 && rem_top == 0 && rem == std::array<uint64_t, 4>{0, 0, 0, 0} &&
+        top % 64 == 63) {
+      top -= 64;  // skip whole zero limbs while the remainder is zero
+      continue;
+    }
+    uint64_t bit = (wide[limb] >> (top % 64)) & 1;
+    // rem = (rem << 1) | bit
+    rem_top = (rem_top << 1) | (rem[3] >> 63);
+    for (int i = 3; i > 0; --i) {
+      rem[static_cast<size_t>(i)] =
+          (rem[static_cast<size_t>(i)] << 1) | (rem[static_cast<size_t>(i) - 1] >> 63);
+    }
+    rem[0] = (rem[0] << 1) | bit;
+    // if rem >= ℓ: rem -= ℓ  (rem < 2ℓ here because rem was < ℓ before the
+    // shift, so the shifted value is < 2ℓ + 1 < 2^253.1; rem_top can only be
+    // nonzero transiently when rem[3]'s top bit was set, which cannot happen
+    // for rem < ℓ since ℓ < 2^253).
+    if (rem_top != 0 || Compare4(rem, kL) >= 0) {
+      uint64_t borrow = SubBorrow4(rem, kL);
+      rem_top -= borrow;
+    }
+    --top;
+  }
+  return Scalar(rem);
+}
+
+Scalar Scalar::FromBytesModL(std::span<const uint8_t> bytes32) {
+  Require(bytes32.size() == 32, "Scalar::FromBytesModL: need 32 bytes");
+  std::array<uint64_t, 8> wide{};
+  for (int i = 0; i < 4; ++i) {
+    wide[static_cast<size_t>(i)] = LoadLe64(bytes32.data() + 8 * i);
+  }
+  return Reduce512(wide);
+}
+
+Scalar Scalar::FromBytesWide(std::span<const uint8_t> bytes64) {
+  Require(bytes64.size() == 64, "Scalar::FromBytesWide: need 64 bytes");
+  std::array<uint64_t, 8> wide{};
+  for (int i = 0; i < 8; ++i) {
+    wide[static_cast<size_t>(i)] = LoadLe64(bytes64.data() + 8 * i);
+  }
+  return Reduce512(wide);
+}
+
+std::optional<Scalar> Scalar::FromCanonicalBytes(std::span<const uint8_t> bytes32) {
+  if (bytes32.size() != 32) {
+    return std::nullopt;
+  }
+  std::array<uint64_t, 4> limbs;
+  for (int i = 0; i < 4; ++i) {
+    limbs[static_cast<size_t>(i)] = LoadLe64(bytes32.data() + 8 * i);
+  }
+  if (Compare4(limbs, kL) >= 0) {
+    return std::nullopt;
+  }
+  return Scalar(limbs);
+}
+
+Scalar Scalar::Random(Rng& rng) {
+  Bytes wide = rng.RandomBytes(64);
+  return FromBytesWide(wide);
+}
+
+std::array<uint8_t, 32> Scalar::ToBytes() const {
+  std::array<uint8_t, 32> out;
+  for (int i = 0; i < 4; ++i) {
+    StoreLe64(out.data() + 8 * i, limb_[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Scalar Scalar::operator+(const Scalar& other) const {
+  std::array<uint64_t, 4> r = limb_;
+  uint64_t carry = AddCarry4(r, other.limb_);
+  if (carry != 0 || Compare4(r, kL) >= 0) {
+    SubBorrow4(r, kL);
+  }
+  return Scalar(r);
+}
+
+Scalar Scalar::operator-(const Scalar& other) const {
+  std::array<uint64_t, 4> r = limb_;
+  uint64_t borrow = SubBorrow4(r, other.limb_);
+  if (borrow != 0) {
+    AddCarry4(r, kL);
+  }
+  return Scalar(r);
+}
+
+Scalar Scalar::operator*(const Scalar& other) const {
+  std::array<uint64_t, 8> wide{};
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 t = (u128)limb_[static_cast<size_t>(i)] * other.limb_[static_cast<size_t>(j)] +
+               wide[static_cast<size_t>(i + j)] + carry;
+      wide[static_cast<size_t>(i + j)] = (uint64_t)t;
+      carry = t >> 64;
+    }
+    wide[static_cast<size_t>(i + 4)] = (uint64_t)carry;
+  }
+  return Reduce512(wide);
+}
+
+Scalar Scalar::operator-() const { return Scalar::Zero() - *this; }
+
+Scalar Scalar::Invert() const {
+  Require(!IsZero(), "Scalar::Invert: zero has no inverse");
+  // Square-and-multiply with the fixed public exponent ℓ - 2.
+  Scalar result = Scalar::One();
+  bool started = false;
+  for (int i = 255; i >= 0; --i) {
+    if (started) {
+      result = result * result;
+    }
+    uint64_t bit = (kLMinus2[static_cast<size_t>(i / 64)] >> (i % 64)) & 1;
+    if (bit != 0) {
+      result = started ? result * *this : *this;
+      started = true;
+    }
+  }
+  return result;
+}
+
+bool Scalar::IsZero() const {
+  return (limb_[0] | limb_[1] | limb_[2] | limb_[3]) == 0;
+}
+
+bool Scalar::operator==(const Scalar& other) const { return limb_ == other.limb_; }
+
+}  // namespace votegral

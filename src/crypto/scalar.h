@@ -1,0 +1,73 @@
+// Arithmetic modulo ℓ = 2^252 + 27742317777372353535851937790883648493, the
+// prime order of the ristretto255 group. Values are kept canonical (< ℓ) as
+// four 64-bit little-endian limbs.
+//
+// Reduction uses a straightforward binary shift-and-subtract over the 512-bit
+// product; this is deliberately simple (the repository optimizes protocol
+// structure, not scalar-reduction micro-performance — point multiplication
+// dominates every benchmark).
+#ifndef SRC_CRYPTO_SCALAR_H_
+#define SRC_CRYPTO_SCALAR_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "src/common/rng.h"
+
+namespace votegral {
+
+// A scalar in Z_ℓ, always canonically reduced.
+class Scalar {
+ public:
+  // Zero scalar.
+  Scalar() : limb_{0, 0, 0, 0} {}
+
+  static Scalar Zero() { return Scalar(); }
+  static Scalar One();
+  static Scalar FromU64(uint64_t v);
+
+  // Interprets 32 little-endian bytes modulo ℓ.
+  static Scalar FromBytesModL(std::span<const uint8_t> bytes32);
+
+  // Interprets 64 little-endian bytes modulo ℓ (the uniform path used for
+  // hash-derived scalars, per the usual "wide reduction" construction).
+  static Scalar FromBytesWide(std::span<const uint8_t> bytes64);
+
+  // Parses bytes that must already be canonical (< ℓ); returns nullopt
+  // otherwise. Used when deserializing signatures/proofs.
+  static std::optional<Scalar> FromCanonicalBytes(std::span<const uint8_t> bytes32);
+
+  // Uniformly random scalar.
+  static Scalar Random(Rng& rng);
+
+  std::array<uint8_t, 32> ToBytes() const;
+
+  Scalar operator+(const Scalar& other) const;
+  Scalar operator-(const Scalar& other) const;
+  Scalar operator*(const Scalar& other) const;
+  Scalar operator-() const;
+
+  // Multiplicative inverse; `this` must be nonzero.
+  Scalar Invert() const;
+
+  bool IsZero() const;
+  bool operator==(const Scalar& other) const;
+  bool operator!=(const Scalar& other) const { return !(*this == other); }
+
+  // Raw limb access for the benchmark harness and tests.
+  const std::array<uint64_t, 4>& limbs() const { return limb_; }
+
+ private:
+  explicit Scalar(const std::array<uint64_t, 4>& limbs) : limb_(limbs) {}
+
+  // Reduces a 512-bit little-endian value modulo ℓ.
+  static Scalar Reduce512(const std::array<uint64_t, 8>& wide);
+
+  std::array<uint64_t, 4> limb_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_SCALAR_H_

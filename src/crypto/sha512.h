@@ -1,0 +1,48 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. The wide (64-byte) output
+// feeds uniform scalar derivation (Schnorr nonces/challenges, Fiat–Shamir)
+// and ristretto255 hash-to-group.
+#ifndef SRC_CRYPTO_SHA512_H_
+#define SRC_CRYPTO_SHA512_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.h"
+
+namespace votegral {
+
+// Incremental SHA-512 hasher.
+class Sha512 {
+ public:
+  static constexpr size_t kDigestSize = 64;
+  static constexpr size_t kBlockSize = 128;
+
+  Sha512();
+
+  // Absorbs more input.
+  Sha512& Update(std::span<const uint8_t> data);
+
+  // Finalizes and returns the digest. The hasher must not be reused after.
+  std::array<uint8_t, kDigestSize> Finalize();
+
+  // One-shot convenience.
+  static std::array<uint8_t, kDigestSize> Hash(std::span<const uint8_t> data);
+
+  // One-shot over the concatenation of several parts.
+  static std::array<uint8_t, kDigestSize> HashParts(
+      std::initializer_list<std::span<const uint8_t>> parts);
+
+ private:
+  void Compress(const uint8_t* block);
+
+  std::array<uint64_t, 8> state_;
+  std::array<uint8_t, kBlockSize> buffer_;
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_SHA512_H_

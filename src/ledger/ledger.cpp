@@ -1,0 +1,178 @@
+#include "src/ledger/ledger.h"
+
+#include "src/common/serde.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr LedgerHash kZeroHash = {};
+
+}  // namespace
+
+LedgerHash Ledger::HashEntry(uint64_t index, std::string_view topic,
+                             std::span<const uint8_t> payload, const LedgerHash& prev) {
+  ByteWriter w;
+  w.U64(index);
+  w.Str(topic);
+  w.Var(payload);
+  w.Fixed(prev);
+  return Sha256::Hash(w.bytes());
+}
+
+LedgerHash Ledger::HashInternal(const LedgerHash& left, const LedgerHash& right) {
+  // Domain-separate internal nodes from leaves (RFC 6962 style).
+  uint8_t prefix = 1;
+  return Sha256::HashParts({{&prefix, 1}, left, right});
+}
+
+uint64_t Ledger::Append(std::string_view topic, Bytes payload) {
+  LedgerEntry entry;
+  entry.index = entries_.size();
+  entry.topic = std::string(topic);
+  entry.payload = std::move(payload);
+  entry.prev_hash = entries_.empty() ? kZeroHash : entries_.back().entry_hash;
+  entry.entry_hash = HashEntry(entry.index, entry.topic, entry.payload, entry.prev_hash);
+  entries_.push_back(std::move(entry));
+  return entries_.back().index;
+}
+
+const LedgerEntry& Ledger::At(uint64_t index) const {
+  Require(index < entries_.size(), "Ledger::At: index out of range");
+  return entries_[index];
+}
+
+LedgerHash Ledger::Head() const {
+  return entries_.empty() ? kZeroHash : entries_.back().entry_hash;
+}
+
+Status Ledger::VerifyChain() const {
+  LedgerHash prev = kZeroHash;
+  for (const auto& entry : entries_) {
+    if (entry.prev_hash != prev) {
+      return Status::Error("ledger: chain break at index " + std::to_string(entry.index));
+    }
+    LedgerHash expected = HashEntry(entry.index, entry.topic, entry.payload, entry.prev_hash);
+    if (expected != entry.entry_hash) {
+      return Status::Error("ledger: entry hash mismatch at index " +
+                           std::to_string(entry.index));
+    }
+    prev = entry.entry_hash;
+  }
+  return Status::Ok();
+}
+
+LedgerHash Ledger::SubtreeRoot(uint64_t lo, uint64_t hi) const {
+  if (hi - lo == 1) {
+    return entries_[lo].entry_hash;
+  }
+  // Split at the largest power of two strictly less than the range size.
+  uint64_t size = hi - lo;
+  uint64_t split = 1;
+  while (split * 2 < size) {
+    split *= 2;
+  }
+  return HashInternal(SubtreeRoot(lo, lo + split), SubtreeRoot(lo + split, hi));
+}
+
+LedgerHash Ledger::MerkleRoot() const {
+  if (entries_.empty()) {
+    return kZeroHash;
+  }
+  return SubtreeRoot(0, entries_.size());
+}
+
+void Ledger::SubtreePath(uint64_t lo, uint64_t hi, uint64_t index,
+                         std::vector<LedgerHash>& path) const {
+  if (hi - lo == 1) {
+    return;
+  }
+  uint64_t size = hi - lo;
+  uint64_t split = 1;
+  while (split * 2 < size) {
+    split *= 2;
+  }
+  if (index < lo + split) {
+    SubtreePath(lo, lo + split, index, path);
+    path.push_back(SubtreeRoot(lo + split, hi));
+  } else {
+    SubtreePath(lo + split, hi, index, path);
+    path.push_back(SubtreeRoot(lo, lo + split));
+  }
+}
+
+InclusionProof Ledger::ProveInclusion(uint64_t index) const {
+  Require(index < entries_.size(), "Ledger::ProveInclusion: index out of range");
+  InclusionProof proof;
+  proof.index = index;
+  proof.tree_size = entries_.size();
+  SubtreePath(0, entries_.size(), index, proof.path);
+  return proof;
+}
+
+Status Ledger::VerifyInclusion(const LedgerHash& root, const LedgerHash& leaf,
+                               const InclusionProof& proof) {
+  if (proof.index >= proof.tree_size || proof.tree_size == 0) {
+    return Status::Error("ledger: malformed inclusion proof");
+  }
+  // Recompute the root by walking the path; at each level we must know
+  // whether the current node is a left or right child. Replaying the same
+  // split rule from the bottom up: reconstruct by simulating the recursion.
+  // Simpler equivalent: recompute the sequence of (lo, hi) ranges top-down,
+  // then fold bottom-up.
+  std::vector<bool> is_left_child;  // for each path element, whether sibling is on the right
+  uint64_t lo = 0;
+  uint64_t hi = proof.tree_size;
+  while (hi - lo > 1) {
+    uint64_t size = hi - lo;
+    uint64_t split = 1;
+    while (split * 2 < size) {
+      split *= 2;
+    }
+    if (proof.index < lo + split) {
+      is_left_child.push_back(true);
+      hi = lo + split;
+    } else {
+      is_left_child.push_back(false);
+      lo = lo + split;
+    }
+  }
+  if (is_left_child.size() != proof.path.size()) {
+    return Status::Error("ledger: inclusion proof length mismatch");
+  }
+  LedgerHash acc = leaf;
+  for (size_t level = proof.path.size(); level-- > 0;) {
+    // The path was appended bottom-up during recursion unwinding, so
+    // path[k] corresponds to is_left_child in reverse order... both were
+    // built in the same recursion; path is leaf-to-root (pushed after the
+    // recursive call), is_left_child is root-to-leaf. Align them:
+    size_t path_pos = proof.path.size() - 1 - level;
+    const LedgerHash& sibling = proof.path[path_pos];
+    if (is_left_child[level]) {
+      acc = HashInternal(acc, sibling);
+    } else {
+      acc = HashInternal(sibling, acc);
+    }
+  }
+  if (acc != root) {
+    return Status::Error("ledger: inclusion proof does not match root");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint64_t> Ledger::IndicesWithTopic(std::string_view topic) const {
+  std::vector<uint64_t> out;
+  for (const auto& entry : entries_) {
+    if (entry.topic == topic) {
+      out.push_back(entry.index);
+    }
+  }
+  return out;
+}
+
+void Ledger::TamperWithPayloadForTest(uint64_t index, Bytes new_payload) {
+  Require(index < entries_.size(), "Ledger::TamperWithPayloadForTest: index out of range");
+  entries_[index].payload = std::move(new_payload);
+}
+
+}  // namespace votegral

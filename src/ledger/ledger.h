@@ -1,0 +1,86 @@
+// Append-only, tamper-evident public ledger (the paper's L, §D.1), modeled
+// after hash-chained tamper-evident logs [Crosby & Wallach]. The paper
+// idealizes the ledger as globally consistent with detectable tampering;
+// we implement exactly that contract: a SHA-256 hash chain over entries plus
+// Merkle inclusion proofs so light clients (VSDs) can check membership
+// without holding the full log.
+#ifndef SRC_LEDGER_LEDGER_H_
+#define SRC_LEDGER_LEDGER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+
+namespace votegral {
+
+using LedgerHash = std::array<uint8_t, 32>;
+
+// One immutable ledger entry.
+struct LedgerEntry {
+  uint64_t index = 0;
+  std::string topic;     // namespacing, e.g. "registration", "envelope", "ballot"
+  Bytes payload;
+  LedgerHash prev_hash;  // hash of the preceding entry (zero for the first)
+  LedgerHash entry_hash; // H(index || topic || payload || prev_hash)
+};
+
+// Merkle inclusion proof for one entry against a root.
+struct InclusionProof {
+  uint64_t index = 0;
+  uint64_t tree_size = 0;
+  std::vector<LedgerHash> path;  // sibling hashes, leaf to root
+};
+
+// The append-only log.
+class Ledger {
+ public:
+  // Appends a payload under `topic`; returns the new entry's index.
+  uint64_t Append(std::string_view topic, Bytes payload);
+
+  size_t size() const { return entries_.size(); }
+  const LedgerEntry& At(uint64_t index) const;
+
+  // Head commitment: hash of the latest entry (zero hash when empty).
+  LedgerHash Head() const;
+
+  // Recomputes the whole hash chain; detects any in-place tampering.
+  Status VerifyChain() const;
+
+  // Merkle root over all entry hashes (RFC 6962-style tree).
+  LedgerHash MerkleRoot() const;
+
+  // Inclusion proof for entry `index` against the current tree.
+  InclusionProof ProveInclusion(uint64_t index) const;
+
+  // Verifies an inclusion proof for `leaf` against `root`.
+  static Status VerifyInclusion(const LedgerHash& root, const LedgerHash& leaf,
+                                const InclusionProof& proof);
+
+  // Indices of all entries with the given topic, in append order.
+  std::vector<uint64_t> IndicesWithTopic(std::string_view topic) const;
+
+  // Test hook: mutates a stored payload in place, simulating a compromised
+  // ledger replica. Production code has no business calling this.
+  void TamperWithPayloadForTest(uint64_t index, Bytes new_payload);
+
+ private:
+  static LedgerHash HashEntry(uint64_t index, std::string_view topic,
+                              std::span<const uint8_t> payload, const LedgerHash& prev);
+  static LedgerHash HashInternal(const LedgerHash& left, const LedgerHash& right);
+  LedgerHash SubtreeRoot(uint64_t lo, uint64_t hi) const;  // [lo, hi)
+  void SubtreePath(uint64_t lo, uint64_t hi, uint64_t index,
+                   std::vector<LedgerHash>& path) const;
+
+  std::vector<LedgerEntry> entries_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_LEDGER_LEDGER_H_

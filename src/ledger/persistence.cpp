@@ -1,0 +1,170 @@
+#include "src/ledger/persistence.h"
+
+#include <fstream>
+
+#include "src/common/serde.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kMagic = "votegral-ledger/v1";
+
+constexpr std::string_view kRegistrationTopic = "registration";
+constexpr std::string_view kEnvelopeTopic = "envelope-commitment";
+constexpr std::string_view kChallengeTopic = "envelope-challenge";
+constexpr std::string_view kBallotTopic = "ballot";
+
+}  // namespace
+
+Bytes SerializeLedger(const Ledger& ledger) {
+  ByteWriter w;
+  w.U64(ledger.size());
+  for (uint64_t i = 0; i < ledger.size(); ++i) {
+    const LedgerEntry& entry = ledger.At(i);
+    w.Str(entry.topic);
+    w.Var(entry.payload);
+  }
+  w.Fixed(ledger.Head());
+  return w.Take();
+}
+
+Outcome<Ledger> ParseLedger(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    uint64_t count = r.U64();
+    Ledger ledger;
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string topic = r.Str();
+      Bytes payload = r.Var();
+      ledger.Append(topic, std::move(payload));
+    }
+    Bytes head = r.Fixed(32);
+    r.ExpectEnd();
+    // Re-appending recomputes every hash; the stored head must match.
+    if (!ConstantTimeEqual(ledger.Head(), head)) {
+      return Outcome<Ledger>::Fail("persistence: ledger head mismatch (file tampered?)");
+    }
+    if (Status chain = ledger.VerifyChain(); !chain.ok()) {
+      return Outcome<Ledger>::Fail(chain.reason());
+    }
+    return Outcome<Ledger>::Ok(std::move(ledger));
+  } catch (const ProtocolError& error) {
+    return Outcome<Ledger>::Fail(std::string("persistence: ") + error.what());
+  }
+}
+
+Bytes SerializePublicLedger(const PublicLedger& ledger) {
+  ByteWriter w;
+  w.Str(kMagic);
+  auto roster = ledger.EligibleVoters();
+  w.U64(roster.size());
+  for (const std::string& voter : roster) {
+    w.Str(voter);
+  }
+  w.Var(SerializeLedger(ledger.registration_log()));
+  w.Var(SerializeLedger(ledger.envelope_log()));
+  w.Var(SerializeLedger(ledger.ballot_log()));
+  return w.Take();
+}
+
+Outcome<PublicLedger> ParsePublicLedger(std::span<const uint8_t> bytes) {
+  using Out = Outcome<PublicLedger>;
+  try {
+    ByteReader r(bytes);
+    if (r.Str() != kMagic) {
+      return Out::Fail("persistence: bad magic");
+    }
+    PublicLedger ledger;
+    uint64_t roster_size = r.U64();
+    for (uint64_t i = 0; i < roster_size; ++i) {
+      ledger.AddEligibleVoter(r.Str());
+    }
+    Bytes reg_bytes = r.Var();
+    Bytes env_bytes = r.Var();
+    Bytes ballot_bytes = r.Var();
+    r.ExpectEnd();
+
+    auto registration = ParseLedger(reg_bytes);
+    auto envelope = ParseLedger(env_bytes);
+    auto ballots = ParseLedger(ballot_bytes);
+    if (!registration.ok() || !envelope.ok() || !ballots.ok()) {
+      return Out::Fail("persistence: sub-ledger corrupt");
+    }
+
+    // Replay every entry through the typed APIs so the derived indices
+    // (active registrations, used challenges, ...) are rebuilt, and the
+    // regenerated hash chains coincide with the verified ones.
+    for (uint64_t i = 0; i < envelope->size(); ++i) {
+      const LedgerEntry& entry = envelope->At(i);
+      if (entry.topic == kEnvelopeTopic) {
+        auto commitment = EnvelopeCommitment::Parse(entry.payload);
+        if (!commitment.has_value()) {
+          return Out::Fail("persistence: corrupt envelope commitment");
+        }
+        ledger.PostEnvelopeCommitment(*commitment);
+      } else if (entry.topic == kChallengeTopic) {
+        auto challenge = Scalar::FromCanonicalBytes(entry.payload);
+        if (!challenge.has_value() ||
+            !ledger.RevealEnvelopeChallenge(*challenge).ok()) {
+          return Out::Fail("persistence: corrupt challenge reveal");
+        }
+      } else {
+        return Out::Fail("persistence: unknown envelope-log topic");
+      }
+    }
+    for (uint64_t i = 0; i < registration->size(); ++i) {
+      const LedgerEntry& entry = registration->At(i);
+      if (entry.topic != kRegistrationTopic) {
+        return Out::Fail("persistence: unknown registration-log topic");
+      }
+      auto record = RegistrationRecord::Parse(entry.payload);
+      if (!record.has_value() || !ledger.PostRegistration(*record).ok()) {
+        return Out::Fail("persistence: corrupt registration record");
+      }
+    }
+    for (uint64_t i = 0; i < ballots->size(); ++i) {
+      const LedgerEntry& entry = ballots->At(i);
+      if (entry.topic != kBallotTopic) {
+        return Out::Fail("persistence: unknown ballot-log topic");
+      }
+      ledger.PostBallot(entry.payload);
+    }
+
+    // Replay must reproduce the exact chains.
+    if (!ConstantTimeEqual(ledger.registration_log().Head(), registration->Head()) ||
+        !ConstantTimeEqual(ledger.envelope_log().Head(), envelope->Head()) ||
+        !ConstantTimeEqual(ledger.ballot_log().Head(), ballots->Head())) {
+      return Out::Fail("persistence: replay diverged from stored chains");
+    }
+    return Out::Ok(std::move(ledger));
+  } catch (const ProtocolError& error) {
+    return Out::Fail(std::string("persistence: ") + error.what());
+  }
+}
+
+Status SavePublicLedger(const PublicLedger& ledger, const std::string& path) {
+  Bytes bytes = SerializePublicLedger(ledger);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Error("persistence: cannot open " + path + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status::Error("persistence: write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Outcome<PublicLedger> LoadPublicLedger(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Outcome<PublicLedger>::Fail("persistence: cannot open " + path);
+  }
+  Bytes bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return ParsePublicLedger(bytes);
+}
+
+}  // namespace votegral

@@ -1,0 +1,34 @@
+// On-disk persistence for the public ledger: the full system state an
+// auditor downloads (§D.1's "publicly accessible" ledger), serialized with
+// the same length-prefixed framing as every protocol message and re-verified
+// hash-by-hash on load — tampering with the file is as detectable as
+// tampering with the live log.
+#ifndef SRC_LEDGER_PERSISTENCE_H_
+#define SRC_LEDGER_PERSISTENCE_H_
+
+#include <string>
+
+#include "src/common/outcome.h"
+#include "src/ledger/subledgers.h"
+
+namespace votegral {
+
+// Serializes one append-only log (entries with topics and payloads).
+Bytes SerializeLedger(const Ledger& ledger);
+
+// Parses and *re-verifies* a serialized log: every entry hash and the chain
+// are recomputed; any corruption yields a descriptive failure.
+Outcome<Ledger> ParseLedger(std::span<const uint8_t> bytes);
+
+// Serializes the full public ledger (roster + three sub-ledgers + derived
+// indices are rebuilt on load).
+Bytes SerializePublicLedger(const PublicLedger& ledger);
+Outcome<PublicLedger> ParsePublicLedger(std::span<const uint8_t> bytes);
+
+// File convenience wrappers.
+Status SavePublicLedger(const PublicLedger& ledger, const std::string& path);
+Outcome<PublicLedger> LoadPublicLedger(const std::string& path);
+
+}  // namespace votegral
+
+#endif  // SRC_LEDGER_PERSISTENCE_H_

@@ -1,0 +1,177 @@
+#include "src/ledger/subledgers.h"
+
+#include "src/common/serde.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kRegistrationTopic = "registration";
+constexpr std::string_view kEnvelopeTopic = "envelope-commitment";
+constexpr std::string_view kChallengeTopic = "envelope-challenge";
+constexpr std::string_view kBallotTopic = "ballot";
+
+std::array<uint8_t, 32> HashChallenge(const Scalar& challenge) {
+  return Sha256::Hash(challenge.ToBytes());
+}
+
+}  // namespace
+
+Bytes RegistrationRecord::Serialize() const {
+  ByteWriter w;
+  w.Str(voter_id);
+  w.Var(public_credential.Serialize());
+  w.Fixed(kiosk_pk);
+  w.Var(kiosk_sig.Serialize());
+  w.Fixed(official_pk);
+  w.Var(official_sig.Serialize());
+  return w.Take();
+}
+
+std::optional<RegistrationRecord> RegistrationRecord::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    RegistrationRecord record;
+    record.voter_id = r.Str();
+    auto ct = ElGamalCiphertext::Parse(r.Var());
+    if (!ct.has_value()) {
+      return std::nullopt;
+    }
+    record.public_credential = *ct;
+    Bytes kiosk_pk = r.Fixed(32);
+    std::copy(kiosk_pk.begin(), kiosk_pk.end(), record.kiosk_pk.begin());
+    auto kiosk_sig = SchnorrSignature::Parse(r.Var());
+    if (!kiosk_sig.has_value()) {
+      return std::nullopt;
+    }
+    record.kiosk_sig = *kiosk_sig;
+    Bytes official_pk = r.Fixed(32);
+    std::copy(official_pk.begin(), official_pk.end(), record.official_pk.begin());
+    auto official_sig = SchnorrSignature::Parse(r.Var());
+    if (!official_sig.has_value()) {
+      return std::nullopt;
+    }
+    record.official_sig = *official_sig;
+    r.ExpectEnd();
+    return record;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes EnvelopeCommitment::Serialize() const {
+  ByteWriter w;
+  w.Fixed(printer_pk);
+  w.Fixed(challenge_hash);
+  w.Var(printer_sig.Serialize());
+  return w.Take();
+}
+
+std::optional<EnvelopeCommitment> EnvelopeCommitment::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    EnvelopeCommitment c;
+    Bytes pk = r.Fixed(32);
+    std::copy(pk.begin(), pk.end(), c.printer_pk.begin());
+    Bytes hash = r.Fixed(32);
+    std::copy(hash.begin(), hash.end(), c.challenge_hash.begin());
+    auto sig = SchnorrSignature::Parse(r.Var());
+    if (!sig.has_value()) {
+      return std::nullopt;
+    }
+    c.printer_sig = *sig;
+    r.ExpectEnd();
+    return c;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+void PublicLedger::AddEligibleVoter(const std::string& voter_id) {
+  eligible_.insert(voter_id);
+}
+
+bool PublicLedger::IsEligible(const std::string& voter_id) const {
+  return eligible_.count(voter_id) > 0;
+}
+
+Status PublicLedger::PostRegistration(const RegistrationRecord& record) {
+  if (!IsEligible(record.voter_id)) {
+    return Status::Error("ledger: voter not on the electoral roll: " + record.voter_id);
+  }
+  uint64_t index = registration_log_.Append(kRegistrationTopic, record.Serialize());
+  registrations_by_voter_[record.voter_id].push_back(index);
+  return Status::Ok();
+}
+
+std::optional<RegistrationRecord> PublicLedger::ActiveRegistration(
+    const std::string& voter_id) const {
+  auto it = registrations_by_voter_.find(voter_id);
+  if (it == registrations_by_voter_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  // The most recent record supersedes all prior ones (§3.1).
+  const LedgerEntry& entry = registration_log_.At(it->second.back());
+  return RegistrationRecord::Parse(entry.payload);
+}
+
+std::vector<RegistrationRecord> PublicLedger::ActiveRegistrations() const {
+  std::vector<RegistrationRecord> out;
+  out.reserve(registrations_by_voter_.size());
+  for (const auto& [voter_id, indices] : registrations_by_voter_) {
+    if (indices.empty()) {
+      continue;
+    }
+    auto record = RegistrationRecord::Parse(registration_log_.At(indices.back()).payload);
+    Require(record.has_value(), "ledger: stored registration record is corrupt");
+    out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+size_t PublicLedger::RegistrationEventCount(const std::string& voter_id) const {
+  auto it = registrations_by_voter_.find(voter_id);
+  return it == registrations_by_voter_.end() ? 0 : it->second.size();
+}
+
+void PublicLedger::PostEnvelopeCommitment(const EnvelopeCommitment& commitment) {
+  envelope_log_.Append(kEnvelopeTopic, commitment.Serialize());
+  envelope_hashes_.insert(commitment.challenge_hash);
+}
+
+bool PublicLedger::HasEnvelopeCommitment(const std::array<uint8_t, 32>& challenge_hash) const {
+  return envelope_hashes_.count(challenge_hash) > 0;
+}
+
+Status PublicLedger::RevealEnvelopeChallenge(const Scalar& challenge) {
+  auto hash = HashChallenge(challenge);
+  if (!HasEnvelopeCommitment(hash)) {
+    return Status::Error("ledger: challenge has no printer commitment (forged envelope?)");
+  }
+  if (revealed_challenges_.count(hash) > 0) {
+    return Status::Error("ledger: duplicate envelope challenge (possible envelope stuffing)");
+  }
+  revealed_challenges_.insert(hash);
+  auto challenge_bytes = challenge.ToBytes();
+  envelope_log_.Append(kChallengeTopic, Bytes(challenge_bytes.begin(), challenge_bytes.end()));
+  return Status::Ok();
+}
+
+uint64_t PublicLedger::PostBallot(Bytes ballot_payload) {
+  return ballot_log_.Append(kBallotTopic, std::move(ballot_payload));
+}
+
+std::vector<Bytes> PublicLedger::AllBallots() const {
+  std::vector<Bytes> out;
+  for (uint64_t index : ballot_log_.IndicesWithTopic(kBallotTopic)) {
+    out.push_back(ballot_log_.At(index).payload);
+  }
+  return out;
+}
+
+Status PublicLedger::VerifyChains() const {
+  return registration_log_.VerifyChain().And(envelope_log_.VerifyChain()).And(
+      ballot_log_.VerifyChain());
+}
+
+}  // namespace votegral

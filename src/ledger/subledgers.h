@@ -1,0 +1,126 @@
+// Typed views over the public ledger: the registration sub-ledger L_R, the
+// envelope-commitment sub-ledger L_E and the ballot sub-ledger L_V (§D.1).
+//
+// Key semantics implemented here, straight from the paper:
+//  * L_R: one *active* record per voter identity; a new registration
+//    supersedes and invalidates all prior records for that voter (§3.1).
+//  * L_E: at setup, envelope printers publish (printer_pk, H(e), σ_p) for
+//    every envelope; at activation, VSDs publish the revealed challenge e
+//    and reject duplicates — the duplicate-envelope defense of App. F.3.5.
+//  * L_V: append-only encrypted ballots.
+#ifndef SRC_LEDGER_SUBLEDGERS_H_
+#define SRC_LEDGER_SUBLEDGERS_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/schnorr.h"
+#include "src/ledger/ledger.h"
+
+namespace votegral {
+
+// A voter's registration record as posted at check-out (Fig. 10):
+// L_R[V_id] <- (c_pc, K_pk, σ_kot, O_pk, σ_o).
+struct RegistrationRecord {
+  std::string voter_id;
+  ElGamalCiphertext public_credential;  // c_pc = Enc_A(c_pk of the real credential)
+  CompressedRistretto kiosk_pk{};
+  SchnorrSignature kiosk_sig;           // σ_kot over (V_id || c_pc)
+  CompressedRistretto official_pk{};
+  SchnorrSignature official_sig;        // σ_o over (V_id || c_pc || σ_kot)
+
+  Bytes Serialize() const;
+  static std::optional<RegistrationRecord> Parse(std::span<const uint8_t> bytes);
+};
+
+// An envelope commitment published at setup (Fig. 7, line 5):
+// (P_pk, H(e), Sig(P_sk, H(e))).
+struct EnvelopeCommitment {
+  CompressedRistretto printer_pk{};
+  std::array<uint8_t, 32> challenge_hash{};
+  SchnorrSignature printer_sig;
+
+  Bytes Serialize() const;
+  static std::optional<EnvelopeCommitment> Parse(std::span<const uint8_t> bytes);
+};
+
+// The three sub-ledgers plus an eligibility roster, bundled as the paper's
+// single logical ledger L. All mutations go through typed methods that also
+// append to the underlying tamper-evident logs.
+class PublicLedger {
+ public:
+  // --- Roster (electoral roll V, populated at setup) -----------------------
+  void AddEligibleVoter(const std::string& voter_id);
+  bool IsEligible(const std::string& voter_id) const;
+  size_t eligible_count() const { return eligible_.size(); }
+  // The roster in sorted order (for audits and persistence).
+  std::vector<std::string> EligibleVoters() const {
+    return std::vector<std::string>(eligible_.begin(), eligible_.end());
+  }
+
+  // --- L_R ------------------------------------------------------------------
+  // Posts a registration record; supersedes any previous record for the
+  // voter. Fails if the voter is not on the roster.
+  Status PostRegistration(const RegistrationRecord& record);
+
+  // The voter's currently active record, if any.
+  std::optional<RegistrationRecord> ActiveRegistration(const std::string& voter_id) const;
+
+  // All currently active records (one per registered voter).
+  std::vector<RegistrationRecord> ActiveRegistrations() const;
+
+  // How many times this voter has (re-)registered — the registration-event
+  // notification feed of Appendix J.
+  size_t RegistrationEventCount(const std::string& voter_id) const;
+
+  // --- L_E ------------------------------------------------------------------
+  // Setup-time: record an envelope commitment.
+  void PostEnvelopeCommitment(const EnvelopeCommitment& commitment);
+  size_t envelope_commitment_count() const { return envelope_hashes_.size(); }
+
+  // True when some printer committed to H(e).
+  bool HasEnvelopeCommitment(const std::array<uint8_t, 32>& challenge_hash) const;
+
+  // Activation-time: reveal a challenge. Fails if e was already revealed
+  // (duplicate envelope) or if no commitment to H(e) exists.
+  Status RevealEnvelopeChallenge(const Scalar& challenge);
+
+  // Number of challenges revealed so far (the coercer-visible aggregate the
+  // coercion-resistance proof reasons about).
+  size_t revealed_challenge_count() const { return revealed_challenges_.size(); }
+
+  // --- L_V ------------------------------------------------------------------
+  // Appends an opaque ballot payload; returns its ledger index.
+  uint64_t PostBallot(Bytes ballot_payload);
+  std::vector<Bytes> AllBallots() const;
+
+  // --- Integrity -------------------------------------------------------------
+  // Verifies all three underlying hash chains.
+  Status VerifyChains() const;
+
+  // Raw log access (audits, tests).
+  const Ledger& registration_log() const { return registration_log_; }
+  const Ledger& envelope_log() const { return envelope_log_; }
+  const Ledger& ballot_log() const { return ballot_log_; }
+  Ledger& mutable_registration_log() { return registration_log_; }
+
+ private:
+  std::set<std::string> eligible_;
+  Ledger registration_log_;
+  Ledger envelope_log_;
+  Ledger ballot_log_;
+
+  // Index: voter id -> ledger indices of their registration records.
+  std::map<std::string, std::vector<uint64_t>> registrations_by_voter_;
+  std::set<std::array<uint8_t, 32>> envelope_hashes_;
+  std::set<std::array<uint8_t, 32>> revealed_challenges_;  // keyed by H(e)
+};
+
+}  // namespace votegral
+
+#endif  // SRC_LEDGER_SUBLEDGERS_H_

@@ -1,0 +1,138 @@
+#include "src/peripherals/devices.h"
+
+namespace votegral {
+
+namespace {
+
+// Shared scanner model: the paper attaches the *same* Bluetooth scanner to
+// all four platforms (§7.1), so scan wall time is platform-independent; only
+// host-side CPU differs. Constants target the reported ~948 ms mean per QR.
+ScannerModel SharedScanner(double cpu_seconds) {
+  ScannerModel m;
+  m.trigger_seconds = 0.15;
+  m.bt_setup_seconds = 0.35;
+  m.seconds_per_byte = 0.00315;
+  m.cpu_seconds_per_scan = cpu_seconds;
+  return m;
+}
+
+// All platforms also use the same EPSON TM-T20III printer, but job wall time
+// includes host-side rasterization through CUPS, which is slower on the
+// resource-constrained devices (the paper measures print CPU ~380% higher).
+PrinterModel Printer(double setup, double mm_per_second, double module_row_mm,
+                     double cpu_per_job) {
+  PrinterModel m;
+  m.job_setup_seconds = setup;
+  m.seconds_per_mm = 1.0 / mm_per_second;
+  m.cutter_seconds = 0.5;
+  m.mm_per_module_row = module_row_mm;
+  m.text_line_mm = 4.0;
+  m.cpu_seconds_per_job = cpu_per_job;
+  return m;
+}
+
+}  // namespace
+
+const DeviceProfile& DeviceProfile::L1PosKiosk() {
+  static const DeviceProfile kProfile = [] {
+    DeviceProfile p;
+    p.code = "L1";
+    p.name = "Point-of-Sale Kiosk (Cortex-A17, 2GB)";
+    p.resource_constrained = true;
+    p.crypto_scale = 3.8;
+    p.cpu_scale = 3.6;
+    p.print_cpu_scale = 4.8;
+    p.system_cpu_fraction = 0.38;
+    p.printer = Printer(/*setup=*/1.24, /*mm_per_second=*/55.0, /*module_row_mm=*/0.90,
+                        /*cpu_per_job=*/0.19);
+    p.scanner = SharedScanner(0.028);
+    return p;
+  }();
+  return kProfile;
+}
+
+const DeviceProfile& DeviceProfile::L2RaspberryPi4() {
+  static const DeviceProfile kProfile = [] {
+    DeviceProfile p;
+    p.code = "L2";
+    p.name = "Raspberry Pi 4 (Cortex-A72, 4GB)";
+    p.resource_constrained = true;
+    p.crypto_scale = 3.1;
+    p.cpu_scale = 3.2;
+    p.print_cpu_scale = 4.2;
+    p.system_cpu_fraction = 0.36;
+    p.printer = Printer(1.10, 58.0, 0.90, 0.19);
+    p.scanner = SharedScanner(0.026);
+    return p;
+  }();
+  return kProfile;
+}
+
+const DeviceProfile& DeviceProfile::H1MacbookPro() {
+  static const DeviceProfile kProfile = [] {
+    DeviceProfile p;
+    p.code = "H1";
+    p.name = "MacBook Pro VM (M1 Max, 8GB)";
+    p.resource_constrained = false;
+    p.crypto_scale = 1.0;
+    p.cpu_scale = 1.0;
+    p.print_cpu_scale = 1.15;
+    p.system_cpu_fraction = 0.28;
+    p.printer = Printer(0.69, 76.0, 0.90, 0.19);
+    p.scanner = SharedScanner(0.030);
+    return p;
+  }();
+  return kProfile;
+}
+
+const DeviceProfile& DeviceProfile::H2BeelinkGtr7() {
+  static const DeviceProfile kProfile = [] {
+    DeviceProfile p;
+    p.code = "H2";
+    p.name = "Beelink GTR7 (Ryzen 7840HS, 32GB)";
+    p.resource_constrained = false;
+    p.crypto_scale = 1.08;
+    p.cpu_scale = 1.05;
+    p.print_cpu_scale = 1.25;
+    p.system_cpu_fraction = 0.30;
+    p.printer = Printer(0.70, 74.0, 0.90, 0.19);
+    p.scanner = SharedScanner(0.030);
+    return p;
+  }();
+  return kProfile;
+}
+
+const std::vector<const DeviceProfile*>& DeviceProfile::All() {
+  static const std::vector<const DeviceProfile*> kAll = {
+      &L1PosKiosk(), &L2RaspberryPi4(), &H1MacbookPro(), &H2BeelinkGtr7()};
+  return kAll;
+}
+
+double ModelPrintJob(const DeviceProfile& device, const std::vector<QrSymbol>& symbols,
+                     VirtualClock& clock) {
+  const PrinterModel& printer = device.printer;
+  double mm = 0.0;
+  for (const QrSymbol& symbol : symbols) {
+    if (symbol.symbology == Symbology::kQrCode) {
+      mm += symbol.modules * printer.mm_per_module_row;
+    } else {
+      // Barcodes print as a fixed-height band.
+      mm += 15.0;
+    }
+    mm += printer.text_line_mm;  // caption under each symbol
+  }
+  double wall = printer.job_setup_seconds + mm * printer.seconds_per_mm +
+                printer.cutter_seconds;
+  clock.Advance(wall);
+  return printer.cpu_seconds_per_job * device.print_cpu_scale;
+}
+
+double ModelScan(const DeviceProfile& device, const QrSymbol& symbol, VirtualClock& clock) {
+  const ScannerModel& scanner = device.scanner;
+  double wall = scanner.trigger_seconds + scanner.bt_setup_seconds +
+                static_cast<double>(symbol.framed.size()) * scanner.seconds_per_byte;
+  clock.Advance(wall);
+  return scanner.cpu_seconds_per_scan * device.cpu_scale;
+}
+
+}  // namespace votegral

@@ -1,0 +1,56 @@
+#include "src/sim/pipeline.h"
+
+#include <cmath>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace votegral {
+
+ScalingRow MeasureSystemAt(VotingSystemModel& model, size_t voters, Rng& rng) {
+  ScalingRow row;
+  row.voters = voters;
+  model.Setup(voters, rng);
+
+  WallTimer timer;
+  model.RegisterAll(rng);
+  row.registration_per_voter = timer.Seconds() / static_cast<double>(voters);
+
+  timer.Reset();
+  model.VoteAll(rng);
+  row.voting_per_voter = timer.Seconds() / static_cast<double>(voters);
+
+  timer.Reset();
+  model.TallyAll(rng);
+  row.tally_total = timer.Seconds();
+
+  Require(model.OutcomeLooksCorrect(), "pipeline: system produced a wrong outcome");
+  return row;
+}
+
+std::vector<ScalingRow> SweepSystem(VotingSystemModel& model, const std::vector<size_t>& sizes,
+                                    size_t max_measured, Rng& rng) {
+  std::vector<ScalingRow> rows;
+  ScalingRow last_measured;
+  bool have_measured = false;
+  for (size_t n : sizes) {
+    if (n <= max_measured) {
+      last_measured = MeasureSystemAt(model, n, rng);
+      rows.push_back(last_measured);
+      have_measured = true;
+    } else {
+      Require(have_measured, "pipeline: no measured point to extrapolate from");
+      ScalingRow row;
+      row.voters = n;
+      row.extrapolated = true;
+      row.registration_per_voter = last_measured.registration_per_voter;
+      row.voting_per_voter = last_measured.voting_per_voter;
+      double ratio = static_cast<double>(n) / static_cast<double>(last_measured.voters);
+      row.tally_total = last_measured.tally_total * std::pow(ratio, model.tally_exponent());
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace votegral

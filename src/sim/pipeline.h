@@ -1,0 +1,35 @@
+// The Fig. 5 experiment harness: measures each system model's phases at
+// feasible electorate sizes and extrapolates larger sizes along each phase's
+// complexity — exactly as the paper extrapolates Civitas beyond 10^4 voters
+// (Fig. 5 caption). Extrapolated rows are always flagged.
+#ifndef SRC_SIM_PIPELINE_H_
+#define SRC_SIM_PIPELINE_H_
+
+#include <vector>
+
+#include "src/baselines/model.h"
+#include "src/common/rng.h"
+
+namespace votegral {
+
+// Measured (or extrapolated) phase latencies for one electorate size.
+struct ScalingRow {
+  size_t voters = 0;
+  double registration_per_voter = 0.0;  // seconds
+  double voting_per_voter = 0.0;        // seconds
+  double tally_total = 0.0;             // seconds
+  bool extrapolated = false;
+};
+
+// Measures one size directly (runs the full pipeline).
+ScalingRow MeasureSystemAt(VotingSystemModel& model, size_t voters, Rng& rng);
+
+// Sweeps `sizes`; sizes above `max_measured` are extrapolated from the
+// largest measured size: registration/voting per-voter stay constant, tally
+// scales as (N/N0)^tally_exponent.
+std::vector<ScalingRow> SweepSystem(VotingSystemModel& model, const std::vector<size_t>& sizes,
+                                    size_t max_measured, Rng& rng);
+
+}  // namespace votegral
+
+#endif  // SRC_SIM_PIPELINE_H_

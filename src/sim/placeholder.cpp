@@ -1,0 +1,4 @@
+// Placeholder translation unit; replaced as the sim module is implemented.
+namespace votegral {
+const char* Placeholder_sim() { return "sim"; }
+}  // namespace votegral

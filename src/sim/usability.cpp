@@ -1,0 +1,49 @@
+#include "src/sim/usability.h"
+
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/trip/attacks.h"
+
+namespace votegral {
+
+double KioskSurvivalProbability(double detect_probability, size_t voters) {
+  Require(detect_probability >= 0.0 && detect_probability <= 1.0,
+          "usability: probability out of range");
+  return std::pow(1.0 - detect_probability, static_cast<double>(voters));
+}
+
+double KioskSurvivalLog2(double detect_probability, size_t voters) {
+  return static_cast<double>(voters) * std::log2(1.0 - detect_probability);
+}
+
+double SimulateKioskCampaign(size_t trials, size_t voters_per_trial, double educated_fraction,
+                             Rng& rng) {
+  Require(trials > 0, "usability: need at least one trial");
+  // The malicious order every victim observes: envelope demanded before any
+  // commit is printed (see CredentialStealingKiosk).
+  const std::vector<KioskAction> malicious_order = {
+      KioskAction::kSessionStarted, KioskAction::kScannedEnvelope,
+      KioskAction::kPrintedFullReceipt};
+  size_t survived = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    bool detected = false;
+    for (size_t v = 0; v < voters_per_trial && !detected; ++v) {
+      bool educated = rng.Uniform(1000000) <
+                      static_cast<uint64_t>(educated_fraction * 1000000.0);
+      VoterBehavior behavior{.security_educated = educated};
+      detected = behavior.DetectsMisbehavior(malicious_order, rng);
+    }
+    if (!detected) {
+      ++survived;
+    }
+  }
+  return static_cast<double>(survived) / static_cast<double>(trials);
+}
+
+double ExpectedVotersUntilDetection(double detect_probability) {
+  Require(detect_probability > 0.0, "usability: zero detection probability");
+  return 1.0 / detect_probability;
+}
+
+}  // namespace votegral

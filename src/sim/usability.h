@@ -1,0 +1,32 @@
+// The §7.5 usability-derived security model: per-voter malicious-kiosk
+// detection probabilities from the paper's 150-participant study, and the
+// survival probability of a compromised kiosk across many registrations.
+#ifndef SRC_SIM_USABILITY_H_
+#define SRC_SIM_USABILITY_H_
+
+#include <cstddef>
+
+#include "src/common/rng.h"
+
+namespace votegral {
+
+// (1 - p)^n: probability that a malicious kiosk tricks n voters in a row
+// without a single report.
+double KioskSurvivalProbability(double detect_probability, size_t voters);
+
+// log2 of the survival probability (the paper quotes 1/2^152 at n = 1000).
+double KioskSurvivalLog2(double detect_probability, size_t voters);
+
+// Monte-Carlo estimate of the same quantity via the voter-behavior model
+// driving an actual credential-stealing kiosk session: fraction of `trials`
+// in which none of `voters_per_trial` voters reports the kiosk.
+// `educated_fraction` voters received security education.
+double SimulateKioskCampaign(size_t trials, size_t voters_per_trial, double educated_fraction,
+                             Rng& rng);
+
+// Expected number of voters until first detection (geometric mean 1/p).
+double ExpectedVotersUntilDetection(double detect_probability);
+
+}  // namespace votegral
+
+#endif  // SRC_SIM_USABILITY_H_

@@ -1,0 +1,84 @@
+// Adversarial actors for security testing and the §5.1/§7.5 experiments:
+// malicious kiosks that try to steal the voter's real credential, and
+// envelope-stuffing registrars that try to predict the ZKP challenge.
+//
+// A malicious kiosk cannot forge a *sound* proof for a credential it did not
+// honestly encrypt (that would break DLP); its only options are
+//  (a) run the fake-credential order while claiming the credential is real —
+//      observable as a wrong print/scan order by a trained voter (§7.5), or
+//  (b) stuff the booth with duplicate-challenge envelopes and hope the voter
+//      picks a predicted challenge for the real credential (§5.1 theorem) —
+//      caught probabilistically at activation by the duplicate-challenge
+//      check when multiple stuffed envelopes are consumed (App. F.3.5).
+#ifndef SRC_TRIP_ATTACKS_H_
+#define SRC_TRIP_ATTACKS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/trip/kiosk.h"
+#include "src/trip/setup.h"
+
+namespace votegral {
+
+// Strategy (a): the kiosk asks for the envelope *first* even for the "real"
+// credential, then simulates the proof for a credential whose c_pc actually
+// encrypts an attacker-controlled key. The printed transcript is structurally
+// valid, the stolen key lets the attacker cast the voter's counted vote —
+// the only externally visible irregularity is the inverted step order.
+class CredentialStealingKiosk : public Kiosk {
+ public:
+  CredentialStealingKiosk(SchnorrKeyPair key, Bytes mac_key, RistrettoPoint authority_pk);
+
+  // The malicious flow replaces both real-credential steps: the kiosk stalls
+  // at BeginRealCredential (prints nothing) and instead asks for an envelope.
+  Outcome<PrintedCommit> BeginRealCredential(Rng& rng) override;
+
+  // "Real" credential issued from the envelope-first order: simulated proof
+  // over a c_pc that encrypts the attacker's key.
+  Outcome<PaperCredential> FinishRealCredential(const Envelope& envelope, Rng& rng) override;
+
+  // The attacker's harvested voting keys (one per victim session).
+  const std::vector<SchnorrKeyPair>& stolen_keys() const { return stolen_keys_; }
+
+ private:
+  std::vector<SchnorrKeyPair> stolen_keys_;
+};
+
+// Voter observation model for the §7.5 usability-derived security numbers:
+// whether this voter notices a kiosk using the wrong step order for the
+// real credential.
+struct VoterBehavior {
+  bool security_educated = false;
+
+  // Detection probabilities measured by the paper's user study (§7.5).
+  static constexpr double kDetectWithEducation = 0.47;
+  static constexpr double kDetectWithoutEducation = 0.10;
+
+  // Given the booth action log of a claimed real-credential creation,
+  // decides whether the voter notices (and reports) a wrong order. Honest
+  // order never triggers a (false) report in this model.
+  bool DetectsMisbehavior(const std::vector<KioskAction>& actions, Rng& rng) const;
+};
+
+// Returns true when the action log shows a sound real-credential order:
+// commit printed before the first envelope scan.
+bool ActionsShowSoundRealOrder(const std::vector<KioskAction>& actions);
+
+// Strategy (b): envelope stuffing. Builds a booth stock of `total` envelopes
+// in which `duplicates` share one attacker-known challenge. Commitments are
+// posted like any printer's (the registrar controls printers in this threat
+// model).
+EnvelopeSupply BuildStuffedSupply(EnvelopePrinter& printer, PublicLedger& ledger,
+                                  size_t total, size_t duplicates, Scalar known_challenge,
+                                  Rng& rng);
+
+// The §5.1 theorem bound: adversary success probability for one voter with
+// n_envelopes in the booth, k duplicates, and the voter consuming n_c
+// envelopes (1 real + n_c-1 fakes):
+//   (k/n_E) · C(n_E-k, n_c-1) / C(n_E-1, n_c-1).
+double IvAdversaryBound(size_t n_envelopes, size_t k_duplicates, size_t credentials);
+
+}  // namespace votegral
+
+#endif  // SRC_TRIP_ATTACKS_H_

@@ -1,0 +1,229 @@
+#include "src/trip/messages.h"
+
+#include "src/common/serde.h"
+#include "src/crypto/sha256.h"
+
+namespace votegral {
+
+namespace {
+
+// Domain tags keep the kiosk's three signatures mutually non-malleable.
+constexpr std::string_view kCommitDomain = "trip/sig/commit/v1";
+constexpr std::string_view kCheckoutDomain = "trip/sig/checkout/v1";
+constexpr std::string_view kResponseDomain = "trip/sig/response/v1";
+constexpr std::string_view kEnvelopeDomain = "trip/sig/envelope/v1";
+
+std::optional<CompressedRistretto> ReadCompressed(ByteReader& r) {
+  Bytes b = r.Fixed(32);
+  CompressedRistretto out{};
+  std::copy(b.begin(), b.end(), out.begin());
+  return out;
+}
+
+std::optional<Scalar> ReadScalar(ByteReader& r) {
+  return Scalar::FromCanonicalBytes(r.Fixed(32));
+}
+
+std::optional<RistrettoPoint> ReadPoint(ByteReader& r) {
+  return RistrettoPoint::Decode(r.Fixed(32));
+}
+
+std::optional<SchnorrSignature> ReadSig(ByteReader& r) {
+  return SchnorrSignature::Parse(r.Fixed(64));
+}
+
+}  // namespace
+
+Bytes CheckInTicket::Serialize() const {
+  ByteWriter w;
+  w.Str(voter_id);
+  w.Fixed(mac_tag);
+  return w.Take();
+}
+
+std::optional<CheckInTicket> CheckInTicket::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    CheckInTicket t;
+    t.voter_id = r.Str();
+    Bytes tag = r.Fixed(16);
+    std::copy(tag.begin(), tag.end(), t.mac_tag.begin());
+    r.ExpectEnd();
+    return t;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes Envelope::Serialize() const {
+  ByteWriter w;
+  w.Fixed(printer_pk);
+  w.Fixed(challenge.ToBytes());
+  w.Fixed(printer_sig.Serialize());
+  w.U8(static_cast<uint8_t>(symbol));
+  return w.Take();
+}
+
+std::optional<Envelope> Envelope::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    Envelope e;
+    auto pk = ReadCompressed(r);
+    auto challenge = ReadScalar(r);
+    auto sig = ReadSig(r);
+    uint8_t symbol = r.U8();
+    r.ExpectEnd();
+    if (!pk || !challenge || !sig || symbol >= kNumEnvelopeSymbols) {
+      return std::nullopt;
+    }
+    e.printer_pk = *pk;
+    e.challenge = *challenge;
+    e.printer_sig = *sig;
+    e.symbol = symbol;
+    return e;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+std::array<uint8_t, 32> Envelope::ChallengeHash() const {
+  return Sha256::Hash(challenge.ToBytes());
+}
+
+Bytes Envelope::SignedPayload() const {
+  ByteWriter w;
+  w.Str(kEnvelopeDomain);
+  w.Fixed(ChallengeHash());
+  return w.Take();
+}
+
+Bytes CommitSegment::Serialize() const {
+  ByteWriter w;
+  w.Str(voter_id);
+  w.Fixed(public_credential.Serialize());
+  w.Fixed(commit_y1.Encode());
+  w.Fixed(commit_y2.Encode());
+  w.Fixed(kiosk_sig.Serialize());
+  return w.Take();
+}
+
+std::optional<CommitSegment> CommitSegment::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    CommitSegment c;
+    c.voter_id = r.Str();
+    auto ct = ElGamalCiphertext::Parse(r.Fixed(64));
+    auto y1 = ReadPoint(r);
+    auto y2 = ReadPoint(r);
+    auto sig = ReadSig(r);
+    r.ExpectEnd();
+    if (!ct || !y1 || !y2 || !sig) {
+      return std::nullopt;
+    }
+    c.public_credential = *ct;
+    c.commit_y1 = *y1;
+    c.commit_y2 = *y2;
+    c.kiosk_sig = *sig;
+    return c;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes CommitSegment::SignedPayload() const {
+  ByteWriter w;
+  w.Str(kCommitDomain);
+  w.Str(voter_id);
+  w.Fixed(public_credential.Serialize());
+  w.Fixed(commit_y1.Encode());
+  w.Fixed(commit_y2.Encode());
+  return w.Take();
+}
+
+Bytes CheckOutSegment::Serialize() const {
+  ByteWriter w;
+  w.Str(voter_id);
+  w.Fixed(public_credential.Serialize());
+  w.Fixed(kiosk_pk);
+  w.Fixed(kiosk_sig.Serialize());
+  return w.Take();
+}
+
+std::optional<CheckOutSegment> CheckOutSegment::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    CheckOutSegment c;
+    c.voter_id = r.Str();
+    auto ct = ElGamalCiphertext::Parse(r.Fixed(64));
+    auto pk = ReadCompressed(r);
+    auto sig = ReadSig(r);
+    r.ExpectEnd();
+    if (!ct || !pk || !sig) {
+      return std::nullopt;
+    }
+    c.public_credential = *ct;
+    c.kiosk_pk = *pk;
+    c.kiosk_sig = *sig;
+    return c;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes CheckOutSegment::SignedPayload() const {
+  ByteWriter w;
+  w.Str(kCheckoutDomain);
+  w.Str(voter_id);
+  w.Fixed(public_credential.Serialize());
+  return w.Take();
+}
+
+Bytes ResponseSegment::Serialize() const {
+  ByteWriter w;
+  w.Fixed(credential_sk.ToBytes());
+  w.Fixed(zkp_response.ToBytes());
+  w.Fixed(kiosk_pk);
+  w.Fixed(kiosk_sig.Serialize());
+  return w.Take();
+}
+
+std::optional<ResponseSegment> ResponseSegment::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    ResponseSegment seg;
+    auto sk = ReadScalar(r);
+    auto resp = ReadScalar(r);
+    auto pk = ReadCompressed(r);
+    auto sig = ReadSig(r);
+    r.ExpectEnd();
+    if (!sk || !resp || !pk || !sig) {
+      return std::nullopt;
+    }
+    seg.credential_sk = *sk;
+    seg.zkp_response = *resp;
+    seg.kiosk_pk = *pk;
+    seg.kiosk_sig = *sig;
+    return seg;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes ResponseSegment::SignedPayload(const CompressedRistretto& credential_pk,
+                                     const std::array<uint8_t, 32>& challenge_response_hash) {
+  ByteWriter w;
+  w.Str(kResponseDomain);
+  w.Fixed(credential_pk);
+  w.Fixed(challenge_response_hash);
+  return w.Take();
+}
+
+std::array<uint8_t, 32> ChallengeResponseHash(const Scalar& challenge, const Scalar& response) {
+  return Sha256::HashParts({challenge.ToBytes(), response.ToBytes()});
+}
+
+CompressedRistretto PaperCredential::CredentialPublicKey() const {
+  return RistrettoPoint::MulBase(response.credential_sk).Encode();
+}
+
+}  // namespace votegral

@@ -1,0 +1,95 @@
+#include "src/trip/official.h"
+
+#include "src/common/serde.h"
+#include "src/trip/kiosk.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kOfficialDomain = "trip/sig/official-checkout/v1";
+
+}  // namespace
+
+Bytes OfficialCheckOutPayload(const CheckOutSegment& checkout) {
+  ByteWriter w;
+  w.Str(kOfficialDomain);
+  w.Str(checkout.voter_id);
+  w.Fixed(checkout.public_credential.Serialize());
+  w.Fixed(checkout.kiosk_sig.Serialize());
+  return w.Take();
+}
+
+Official::Official(SchnorrKeyPair key, Bytes mac_key)
+    : key_(std::move(key)), mac_key_(std::move(mac_key)) {}
+
+Outcome<CheckInTicket> Official::CheckIn(const std::string& voter_id,
+                                         const PublicLedger& ledger) {
+  if (!ledger.IsEligible(voter_id)) {
+    return Outcome<CheckInTicket>::Fail("official: voter not on the electoral roll");
+  }
+  CheckInTicket ticket;
+  ticket.voter_id = voter_id;
+  ticket.mac_tag = ComputeCheckInMac(mac_key_, voter_id);
+  return Outcome<CheckInTicket>::Ok(std::move(ticket));
+}
+
+Status Official::CheckOut(const CheckOutSegment& checkout,
+                          const std::set<CompressedRistretto>& authorized_kiosks,
+                          PublicLedger& ledger, Rng& rng) {
+  // K_pk ∈ K_pk? (Fig. 10 line 2)
+  if (authorized_kiosks.count(checkout.kiosk_pk) == 0) {
+    return Status::Error("official: credential issued by unauthorized kiosk");
+  }
+  // Verify σ_kot (Fig. 10 line 3).
+  Status sig_ok = SchnorrVerify(checkout.kiosk_pk, checkout.SignedPayload(),
+                                checkout.kiosk_sig);
+  if (!sig_ok.ok()) {
+    return Status::Error("official: kiosk check-out signature invalid: " + sig_ok.reason());
+  }
+
+  RegistrationRecord record;
+  record.voter_id = checkout.voter_id;
+  record.public_credential = checkout.public_credential;
+  record.kiosk_pk = checkout.kiosk_pk;
+  record.kiosk_sig = checkout.kiosk_sig;
+  record.official_pk = key_.public_bytes();
+  record.official_sig = key_.Sign(OfficialCheckOutPayload(checkout), rng);
+
+  Status posted = ledger.PostRegistration(record);
+  if (!posted.ok()) {
+    return posted;
+  }
+  if (notify_) {
+    notify_(checkout.voter_id);
+  }
+  return Status::Ok();
+}
+
+Status VerifyRegistrationRecord(const RegistrationRecord& record,
+                                const std::set<CompressedRistretto>& authorized_kiosks,
+                                const std::set<CompressedRistretto>& authorized_officials) {
+  if (authorized_kiosks.count(record.kiosk_pk) == 0) {
+    return Status::Error("registration record: unknown kiosk key");
+  }
+  if (authorized_officials.count(record.official_pk) == 0) {
+    return Status::Error("registration record: unknown official key");
+  }
+  CheckOutSegment checkout;
+  checkout.voter_id = record.voter_id;
+  checkout.public_credential = record.public_credential;
+  checkout.kiosk_pk = record.kiosk_pk;
+  checkout.kiosk_sig = record.kiosk_sig;
+  Status kiosk_sig = SchnorrVerify(record.kiosk_pk, checkout.SignedPayload(), record.kiosk_sig);
+  if (!kiosk_sig.ok()) {
+    return Status::Error("registration record: kiosk signature invalid");
+  }
+  Status official_sig = SchnorrVerify(record.official_pk, OfficialCheckOutPayload(checkout),
+                                      record.official_sig);
+  if (!official_sig.ok()) {
+    return Status::Error("registration record: official signature invalid");
+  }
+  return Status::Ok();
+}
+
+}  // namespace votegral

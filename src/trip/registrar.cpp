@@ -1,0 +1,104 @@
+#include "src/trip/registrar.h"
+
+namespace votegral {
+
+RegistrationDesk::RegistrationDesk(TripSystem& system, size_t kiosk_index,
+                                   size_t official_index)
+    : system_(system), kiosk_index_(kiosk_index), official_index_(official_index) {}
+
+Outcome<RegistrationOutcome> RegistrationDesk::RegisterVoter(const std::string& voter_id,
+                                                             size_t fake_count, Rng& rng) {
+  using Out = Outcome<RegistrationOutcome>;
+  Official& official = system_.official(official_index_);
+  Kiosk& kiosk = system_.kiosk(kiosk_index_);
+  EnvelopeSupply& booth = system_.booth_envelopes();
+
+  // Check-in.
+  auto ticket = official.CheckIn(voter_id, system_.ledger());
+  if (!ticket.ok()) {
+    return Out::Fail(ticket.status.reason());
+  }
+
+  // Authorization at the kiosk.
+  if (Status s = kiosk.StartSession(*ticket); !s.ok()) {
+    return Out::Fail(s.reason());
+  }
+
+  RegistrationOutcome outcome;
+  outcome.ticket = *ticket;
+
+  // Real credential: commit printed first, then the matching envelope.
+  auto printed = kiosk.BeginRealCredential(rng);
+  if (!printed.ok()) {
+    return Out::Fail(printed.status.reason());
+  }
+  auto envelope = booth.TakeWithSymbol(printed->symbol, rng);
+  if (!envelope.ok()) {
+    return Out::Fail(envelope.status.reason());
+  }
+  auto real = kiosk.FinishRealCredential(*envelope, rng);
+  if (!real.ok()) {
+    return Out::Fail(real.status.reason());
+  }
+  outcome.real = *real;
+  outcome.real.voter_marking = "R";  // the voter's private convention (§3.2)
+
+  // Fake credentials: envelope first each time.
+  for (size_t i = 0; i < fake_count; ++i) {
+    auto fake_envelope = booth.TakeAny(rng);
+    if (!fake_envelope.ok()) {
+      return Out::Fail(fake_envelope.status.reason());
+    }
+    auto fake = kiosk.CreateFakeCredential(*fake_envelope, rng);
+    if (!fake.ok()) {
+      return Out::Fail(fake.status.reason());
+    }
+    fake->voter_marking = "F" + std::to_string(i + 1);
+    outcome.fakes.push_back(std::move(*fake));
+  }
+
+  if (Status s = kiosk.EndSession(); !s.ok()) {
+    return Out::Fail(s.reason());
+  }
+
+  // Check-out with any one credential — they all carry the same t_ot.
+  size_t total = 1 + outcome.fakes.size();
+  size_t show = rng.Uniform(total);
+  const CheckOutSegment& shown =
+      show == 0 ? outcome.real.checkout : outcome.fakes[show - 1].checkout;
+  if (Status s = official.CheckOut(shown, system_.authorized_kiosks(), system_.ledger(), rng);
+      !s.ok()) {
+    return Out::Fail(s.reason());
+  }
+  return Out::Ok(std::move(outcome));
+}
+
+Outcome<RegisteredVoter> RegisterAndActivate(TripSystem& system, const std::string& voter_id,
+                                             size_t fake_count, Vsd& vsd, Rng& rng) {
+  using Out = Outcome<RegisteredVoter>;
+  RegistrationDesk desk(system);
+  auto outcome = desk.RegisterVoter(voter_id, fake_count, rng);
+  if (!outcome.ok()) {
+    return Out::Fail(outcome.status.reason());
+  }
+  RegisteredVoter voter;
+  voter.voter_id = voter_id;
+  voter.paper = std::move(*outcome);
+
+  auto real = vsd.Activate(voter.paper.real, system.ledger());
+  if (!real.ok()) {
+    return Out::Fail("real credential activation failed: " + real.status.reason());
+  }
+  voter.activated.push_back(*real);
+  for (const PaperCredential& fake : voter.paper.fakes) {
+    auto activated = vsd.Activate(fake, system.ledger());
+    if (!activated.ok()) {
+      return Out::Fail("fake credential activation failed: " + activated.status.reason());
+    }
+    voter.activated.push_back(*activated);
+  }
+  vsd.AcknowledgeRegistration(voter_id);
+  return Out::Ok(std::move(voter));
+}
+
+}  // namespace votegral

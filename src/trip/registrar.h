@@ -1,0 +1,53 @@
+// Orchestration of one voter's registration visit (Fig. 1): check-in,
+// privacy-booth credential creation (one real + any number of fakes),
+// check-out, and later activation on a VSD. This is the happy-path glue the
+// examples, tests and benchmarks drive; each step calls the real actors.
+#ifndef SRC_TRIP_REGISTRAR_H_
+#define SRC_TRIP_REGISTRAR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/outcome.h"
+#include "src/common/rng.h"
+#include "src/trip/setup.h"
+
+namespace votegral {
+
+// Everything a voter leaves the registration site with.
+struct RegistrationOutcome {
+  CheckInTicket ticket;
+  PaperCredential real;
+  std::vector<PaperCredential> fakes;
+};
+
+// One registration desk: a kiosk plus an official bound to a TripSystem.
+class RegistrationDesk {
+ public:
+  RegistrationDesk(TripSystem& system, size_t kiosk_index = 0, size_t official_index = 0);
+
+  // Runs the full in-person workflow for `voter_id`, creating `fake_count`
+  // fake credentials. The credential presented at check-out is chosen
+  // uniformly among all credentials (it does not matter which, §4.2).
+  Outcome<RegistrationOutcome> RegisterVoter(const std::string& voter_id, size_t fake_count,
+                                             Rng& rng);
+
+ private:
+  TripSystem& system_;
+  size_t kiosk_index_;
+  size_t official_index_;
+};
+
+// Convenience for tests and examples: registers and activates in one shot,
+// returning the voter's activated credentials (real first, then fakes).
+struct RegisteredVoter {
+  std::string voter_id;
+  RegistrationOutcome paper;
+  std::vector<ActivatedCredential> activated;  // [0] is the real credential
+};
+Outcome<RegisteredVoter> RegisterAndActivate(TripSystem& system, const std::string& voter_id,
+                                             size_t fake_count, Vsd& vsd, Rng& rng);
+
+}  // namespace votegral
+
+#endif  // SRC_TRIP_REGISTRAR_H_

@@ -1,0 +1,126 @@
+#include "src/trip/setup.h"
+
+namespace votegral {
+
+EnvelopePrinter::EnvelopePrinter(SchnorrKeyPair key) : key_(std::move(key)) {}
+
+Envelope EnvelopePrinter::IssueEnvelope(PublicLedger& ledger, Rng& rng) {
+  return IssueEnvelopeWithChallenge(Scalar::Random(rng), ledger, rng);
+}
+
+Envelope EnvelopePrinter::IssueEnvelopeWithChallenge(const Scalar& challenge,
+                                                     PublicLedger& ledger, Rng& rng) {
+  Envelope envelope;
+  envelope.printer_pk = key_.public_bytes();
+  envelope.challenge = challenge;
+  envelope.symbol = static_cast<int>(rng.Uniform(kNumEnvelopeSymbols));
+  envelope.printer_sig = key_.Sign(envelope.SignedPayload(), rng);
+
+  EnvelopeCommitment commitment;
+  commitment.printer_pk = envelope.printer_pk;
+  commitment.challenge_hash = envelope.ChallengeHash();
+  commitment.printer_sig = envelope.printer_sig;
+  ledger.PostEnvelopeCommitment(commitment);
+  return envelope;
+}
+
+std::vector<Envelope> EnvelopePrinter::IssueBatch(size_t count, PublicLedger& ledger,
+                                                  Rng& rng) {
+  std::vector<Envelope> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(IssueEnvelope(ledger, rng));
+  }
+  return out;
+}
+
+Outcome<Envelope> EnvelopeSupply::TakeWithSymbol(int symbol, Rng& rng) {
+  std::vector<size_t> matching;
+  for (size_t i = 0; i < envelopes_.size(); ++i) {
+    if (envelopes_[i].symbol == symbol) {
+      matching.push_back(i);
+    }
+  }
+  if (matching.empty()) {
+    return Outcome<Envelope>::Fail("booth: no envelope with the requested symbol in stock");
+  }
+  size_t pick = matching[rng.Uniform(matching.size())];
+  Envelope envelope = envelopes_[pick];
+  envelopes_.erase(envelopes_.begin() + static_cast<ptrdiff_t>(pick));
+  return Outcome<Envelope>::Ok(std::move(envelope));
+}
+
+Outcome<Envelope> EnvelopeSupply::TakeAny(Rng& rng) {
+  if (envelopes_.empty()) {
+    return Outcome<Envelope>::Fail("booth: envelope stock exhausted");
+  }
+  size_t pick = rng.Uniform(envelopes_.size());
+  Envelope envelope = envelopes_[pick];
+  envelopes_.erase(envelopes_.begin() + static_cast<ptrdiff_t>(pick));
+  return Outcome<Envelope>::Ok(std::move(envelope));
+}
+
+void EnvelopeSupply::Add(std::vector<Envelope> envelopes) {
+  for (auto& e : envelopes) {
+    envelopes_.push_back(std::move(e));
+  }
+}
+
+TripSystem TripSystem::Create(const TripSystemParams& params, Rng& rng) {
+  TripSystem system;
+  system.authority_ = ElectionAuthority::Create(params.authority_members, rng);
+  system.mac_key_ = rng.RandomBytes(32);
+
+  for (const std::string& voter : params.roster) {
+    system.ledger_.AddEligibleVoter(voter);
+  }
+
+  for (size_t i = 0; i < params.kiosks; ++i) {
+    auto kiosk = std::make_unique<Kiosk>(SchnorrKeyPair::Generate(rng), system.mac_key_,
+                                         system.authority_.public_key());
+    system.kiosk_keys_.insert(kiosk->public_key());
+    system.kiosks_.push_back(std::move(kiosk));
+  }
+  for (size_t i = 0; i < params.officials; ++i) {
+    Official official(SchnorrKeyPair::Generate(rng), system.mac_key_);
+    system.official_keys_.insert(official.public_key());
+    system.officials_.push_back(std::move(official));
+  }
+
+  // Envelope issuance: n_E > c·|V| + λ_E·|K| (§E.2).
+  size_t n_envelopes = params.envelopes_per_voter * params.roster.size() +
+                       params.booth_min_envelopes * std::max<size_t>(params.kiosks, 1);
+  std::vector<Envelope> stock;
+  for (size_t i = 0; i < params.envelope_printers; ++i) {
+    EnvelopePrinter printer(SchnorrKeyPair::Generate(rng));
+    system.printer_keys_.insert(printer.public_key());
+    size_t share = n_envelopes / params.envelope_printers +
+                   (i < n_envelopes % params.envelope_printers ? 1 : 0);
+    auto batch = printer.IssueBatch(share, system.ledger_, rng);
+    for (auto& e : batch) {
+      stock.push_back(std::move(e));
+    }
+    system.printers_.push_back(std::move(printer));
+  }
+  system.booth_envelopes_ = EnvelopeSupply(std::move(stock));
+  return system;
+}
+
+Vsd TripSystem::MakeVsd() const {
+  return Vsd(authority_.public_key(), printer_keys_);
+}
+
+void TripSystem::ReplaceKiosk(size_t i, std::unique_ptr<Kiosk> kiosk) {
+  Require(i < kiosks_.size(), "TripSystem::ReplaceKiosk: index out of range");
+  kiosk_keys_.erase(kiosks_[i]->public_key());
+  kiosk_keys_.insert(kiosk->public_key());
+  kiosks_[i] = std::move(kiosk);
+}
+
+size_t TripSystem::AddKiosk(std::unique_ptr<Kiosk> kiosk) {
+  kiosk_keys_.insert(kiosk->public_key());
+  kiosks_.push_back(std::move(kiosk));
+  return kiosks_.size() - 1;
+}
+
+}  // namespace votegral

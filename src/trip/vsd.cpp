@@ -1,0 +1,100 @@
+#include "src/trip/vsd.h"
+
+#include "src/crypto/dleq.h"
+
+namespace votegral {
+
+Vsd::Vsd(RistrettoPoint authority_pk, std::set<CompressedRistretto> trusted_printer_keys)
+    : authority_pk_(authority_pk), trusted_printer_keys_(std::move(trusted_printer_keys)) {}
+
+Outcome<ActivatedCredential> Vsd::Activate(const PaperCredential& credential,
+                                           PublicLedger& ledger) {
+  using Out = Outcome<ActivatedCredential>;
+  const CommitSegment& commit = credential.commit;
+  const ResponseSegment& response = credential.response;
+  const Envelope& envelope = credential.envelope;
+
+  // (Fig. 11 line 2) c_pk <- PubKey(c_sk).
+  RistrettoPoint credential_pk_point = RistrettoPoint::MulBase(response.credential_sk);
+  CompressedRistretto credential_pk = credential_pk_point.Encode();
+
+  // (line 3) Receipt integrity check 1: σ_kc over (V_id ‖ c_pc ‖ Y).
+  if (!SchnorrVerify(response.kiosk_pk, commit.SignedPayload(), commit.kiosk_sig).ok()) {
+    return Out::Fail("activation: kiosk commit signature invalid");
+  }
+
+  // (line 4) Receipt integrity check 2: σ_kr over (c_pk ‖ H(e‖r)).
+  auto h_er = ChallengeResponseHash(envelope.challenge, response.zkp_response);
+  if (!SchnorrVerify(response.kiosk_pk,
+                     ResponseSegment::SignedPayload(credential_pk, h_er),
+                     response.kiosk_sig)
+           .ok()) {
+    return Out::Fail("activation: kiosk response signature invalid");
+  }
+
+  // (line 5) Envelope integrity: σ_p over H(e), from a trusted printer.
+  if (trusted_printer_keys_.count(envelope.printer_pk) == 0) {
+    return Out::Fail("activation: envelope printer not trusted");
+  }
+  if (!SchnorrVerify(envelope.printer_pk, envelope.SignedPayload(), envelope.printer_sig)
+           .ok()) {
+    return Out::Fail("activation: envelope printer signature invalid");
+  }
+
+  // (lines 6-8) Derive X = C2 - c_pk and verify the proof transcript:
+  // Y1 == g^r · C1^e  and  Y2 == A^r · X^e.
+  RistrettoPoint big_x = commit.public_credential.c2 - credential_pk_point;
+  DleqStatement statement = DleqStatement::MakePair(
+      RistrettoPoint::Base(), commit.public_credential.c1, authority_pk_, big_x);
+  DleqTranscript transcript;
+  transcript.commits = {commit.commit_y1, commit.commit_y2};
+  transcript.challenge = envelope.challenge;
+  transcript.response = response.zkp_response;
+  if (!VerifyDleqTranscript(statement, transcript).ok()) {
+    return Out::Fail("activation: zero-knowledge proof transcript invalid");
+  }
+
+  // (lines 9-10) Ledger match: the voter's active registration record must
+  // carry the same c_pc and kiosk key.
+  auto record = ledger.ActiveRegistration(commit.voter_id);
+  if (!record.has_value()) {
+    return Out::Fail("activation: no registration record on ledger for voter");
+  }
+  if (record->public_credential != commit.public_credential) {
+    return Out::Fail("activation: public credential does not match ledger record");
+  }
+  if (record->kiosk_pk != response.kiosk_pk) {
+    return Out::Fail("activation: kiosk key does not match ledger record");
+  }
+
+  // (line 11) Envelope challenge must be committed and previously unused;
+  // publishing it enforces global uniqueness (App. F.3.5).
+  if (Status s = ledger.RevealEnvelopeChallenge(envelope.challenge); !s.ok()) {
+    return Out::Fail("activation: " + s.reason());
+  }
+
+  ActivatedCredential activated;
+  activated.voter_id = commit.voter_id;
+  activated.credential_sk = response.credential_sk;
+  activated.credential_pk = credential_pk;
+  activated.public_credential = commit.public_credential;
+  activated.kiosk_pk = response.kiosk_pk;
+  activated.kiosk_response_sig = response.kiosk_sig;
+  activated.challenge_response_hash = h_er;
+  credentials_.push_back(activated);
+  return Out::Ok(std::move(activated));
+}
+
+size_t Vsd::UnexpectedRegistrationEvents(const std::string& voter_id,
+                                         const PublicLedger& ledger) const {
+  size_t on_ledger = ledger.RegistrationEventCount(voter_id);
+  auto it = acknowledged_events_.find(voter_id);
+  size_t acknowledged = it == acknowledged_events_.end() ? 0 : it->second;
+  return on_ledger > acknowledged ? on_ledger - acknowledged : 0;
+}
+
+void Vsd::AcknowledgeRegistration(const std::string& voter_id) {
+  acknowledged_events_[voter_id] += 1;
+}
+
+}  // namespace votegral

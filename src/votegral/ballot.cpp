@@ -1,0 +1,118 @@
+#include "src/votegral/ballot.h"
+
+#include "src/common/serde.h"
+#include "src/trip/messages.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kCandidateDomain = "votegral/candidate/v1";
+constexpr std::string_view kBallotDomain = "votegral/ballot/v1";
+
+}  // namespace
+
+CandidateList::CandidateList(std::vector<std::string> names) : names_(std::move(names)) {
+  Require(!names_.empty(), "CandidateList: need at least one candidate");
+  points_.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    RistrettoPoint point = RistrettoPoint::HashToGroup(kCandidateDomain, AsBytes(names_[i]));
+    by_encoding_[point.Encode()] = i;
+    points_.push_back(point);
+  }
+  Require(by_encoding_.size() == names_.size(), "CandidateList: duplicate candidate");
+}
+
+std::optional<size_t> CandidateList::IndexOfPoint(const RistrettoPoint& point) const {
+  auto it = by_encoding_.find(point.Encode());
+  if (it == by_encoding_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Bytes Ballot::SignedPayload() const {
+  ByteWriter w;
+  w.Str(kBallotDomain);
+  w.Fixed(encrypted_vote.Serialize());
+  w.Fixed(credential_pk);
+  w.Fixed(kiosk_pk);
+  w.Fixed(kiosk_cert_hash);
+  w.Fixed(kiosk_cert.Serialize());
+  return w.Take();
+}
+
+Bytes Ballot::Serialize() const {
+  ByteWriter w;
+  w.Fixed(encrypted_vote.Serialize());
+  w.Fixed(credential_pk);
+  w.Fixed(kiosk_pk);
+  w.Fixed(kiosk_cert_hash);
+  w.Fixed(kiosk_cert.Serialize());
+  w.Fixed(credential_sig.Serialize());
+  return w.Take();
+}
+
+std::optional<Ballot> Ballot::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    Ballot b;
+    auto vote = ElGamalCiphertext::Parse(r.Fixed(64));
+    Bytes cred_pk = r.Fixed(32);
+    Bytes kiosk_pk = r.Fixed(32);
+    Bytes cert_hash = r.Fixed(32);
+    auto cert = SchnorrSignature::Parse(r.Fixed(64));
+    auto sig = SchnorrSignature::Parse(r.Fixed(64));
+    r.ExpectEnd();
+    if (!vote || !cert || !sig) {
+      return std::nullopt;
+    }
+    b.encrypted_vote = *vote;
+    std::copy(cred_pk.begin(), cred_pk.end(), b.credential_pk.begin());
+    std::copy(kiosk_pk.begin(), kiosk_pk.end(), b.kiosk_pk.begin());
+    std::copy(cert_hash.begin(), cert_hash.end(), b.kiosk_cert_hash.begin());
+    b.kiosk_cert = *cert;
+    b.credential_sig = *sig;
+    return b;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Ballot MakeBallot(const ActivatedCredential& credential, const CandidateList& candidates,
+                  size_t candidate_index, const RistrettoPoint& authority_pk, Rng& rng) {
+  Ballot ballot;
+  ballot.encrypted_vote =
+      ElGamalEncrypt(authority_pk, candidates.point(candidate_index), rng);
+  ballot.credential_pk = credential.credential_pk;
+  ballot.kiosk_pk = credential.kiosk_pk;
+  ballot.kiosk_cert_hash = credential.challenge_response_hash;
+  ballot.kiosk_cert = credential.kiosk_response_sig;
+  SchnorrKeyPair key = SchnorrKeyPair::FromSecret(credential.credential_sk);
+  ballot.credential_sig = key.Sign(ballot.SignedPayload(), rng);
+  return ballot;
+}
+
+Status CheckBallot(const Ballot& ballot,
+                   const std::set<CompressedRistretto>& authorized_kiosks) {
+  if (authorized_kiosks.count(ballot.kiosk_pk) == 0) {
+    return Status::Error("ballot: kiosk not authorized");
+  }
+  // Kiosk certificate: σ_kr over (c_pk ‖ H(e‖r)) — proves the credential was
+  // issued by a registrar kiosk (real or fake, deliberately indistinct).
+  Status cert = SchnorrVerify(
+      ballot.kiosk_pk,
+      ResponseSegment::SignedPayload(ballot.credential_pk, ballot.kiosk_cert_hash),
+      ballot.kiosk_cert);
+  if (!cert.ok()) {
+    return Status::Error("ballot: kiosk certificate invalid");
+  }
+  Status sig = SchnorrVerify(ballot.credential_pk, ballot.SignedPayload(),
+                             ballot.credential_sig);
+  if (!sig.ok()) {
+    return Status::Error("ballot: credential signature invalid");
+  }
+  return Status::Ok();
+}
+
+}  // namespace votegral

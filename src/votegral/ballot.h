@@ -1,0 +1,72 @@
+// Ballot formation and validation (Fig. 3 "Vote" stage, Appendix M).
+//
+// A Votegral ballot carries: an ElGamal encryption of the vote, the casting
+// credential's *public* key c_pk (real or fake — indistinguishable), the
+// kiosk certificate σ_kr binding c_pk to a registrar-issued credential
+// (§4.5 "Credential signing": defeats board flooding and the forged-related-
+// credential attacks of [142]), and a Schnorr signature by c_sk over the
+// whole ballot.
+#ifndef SRC_VOTEGRAL_BALLOT_H_
+#define SRC_VOTEGRAL_BALLOT_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/crypto/elgamal.h"
+#include "src/crypto/schnorr.h"
+#include "src/trip/vsd.h"
+
+namespace votegral {
+
+// The election's choice set. Votes are encoded as hash-to-group points so
+// decryption can be matched back by table lookup.
+class CandidateList {
+ public:
+  explicit CandidateList(std::vector<std::string> names);
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_.at(i); }
+  const RistrettoPoint& point(size_t i) const { return points_.at(i); }
+
+  // Reverse lookup of a decrypted vote point; nullopt for invalid votes.
+  std::optional<size_t> IndexOfPoint(const RistrettoPoint& point) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<RistrettoPoint> points_;
+  std::map<CompressedRistretto, size_t> by_encoding_;
+};
+
+// An encrypted ballot as posted on L_V.
+struct Ballot {
+  ElGamalCiphertext encrypted_vote;
+  CompressedRistretto credential_pk{};
+  CompressedRistretto kiosk_pk{};
+  std::array<uint8_t, 32> kiosk_cert_hash{};  // H(e‖r) bound inside σ_kr
+  SchnorrSignature kiosk_cert;                // σ_kr from the receipt
+  SchnorrSignature credential_sig;            // by c_sk over the ballot body
+
+  Bytes Serialize() const;
+  static std::optional<Ballot> Parse(std::span<const uint8_t> bytes);
+
+  // The byte string credential_sig covers.
+  Bytes SignedPayload() const;
+};
+
+// Forms a ballot for `candidate_index` using an activated credential.
+Ballot MakeBallot(const ActivatedCredential& credential, const CandidateList& candidates,
+                  size_t candidate_index, const RistrettoPoint& authority_pk, Rng& rng);
+
+// Structural/eligibility validation performed by the tally service and by
+// anyone auditing L_V: credential signature, kiosk certificate, and kiosk
+// authorization. Linear-time per ballot — this is the registrar-issued
+// credential restriction that keeps Votegral's filtering out of Civitas'
+// quadratic PET regime (§7.4).
+Status CheckBallot(const Ballot& ballot, const std::set<CompressedRistretto>& authorized_kiosks);
+
+}  // namespace votegral
+
+#endif  // SRC_VOTEGRAL_BALLOT_H_

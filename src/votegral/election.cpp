@@ -1,0 +1,65 @@
+#include "src/votegral/election.h"
+
+namespace votegral {
+
+namespace {
+
+TripSystem MakeTrip(const ElectionConfig& config, Rng& rng) {
+  TripSystemParams params;
+  params.authority_members = config.authority_members;
+  params.roster = config.roster;
+  return TripSystem::Create(params, rng);
+}
+
+}  // namespace
+
+Election::Election(ElectionConfig config, Rng& rng)
+    : config_(std::move(config)),
+      trip_(MakeTrip(config_, rng)),
+      tagging_(TaggingService::Create(config_.tagging_members, rng)),
+      candidates_(config_.candidates) {}
+
+Outcome<RegisteredVoter> Election::Register(const std::string& voter_id, size_t fake_count,
+                                            Vsd& vsd, Rng& rng) {
+  return RegisterAndActivate(trip_, voter_id, fake_count, vsd, rng);
+}
+
+Status Election::Cast(const ActivatedCredential& credential, const std::string& candidate,
+                      Rng& rng) {
+  std::optional<size_t> index;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_.name(i) == candidate) {
+      index = i;
+      break;
+    }
+  }
+  if (!index.has_value()) {
+    return Status::Error("election: unknown candidate: " + candidate);
+  }
+  Ballot ballot = MakeBallot(credential, candidates_, *index, trip_.authority_pk(), rng);
+  trip_.ledger().PostBallot(ballot.Serialize());
+  return Status::Ok();
+}
+
+TallyOutput Election::Tally(Rng& rng) const {
+  TallyService service(trip_.authority(), tagging_, config_.mix_pairs);
+  return service.Run(trip_.ledger(), candidates_, trip_.authorized_kiosks(), rng);
+}
+
+Status Election::Verify(const TallyOutput& output) const {
+  return VerifyElection(trip_.ledger(), verifier_params(), candidates_, output);
+}
+
+VerifierParams Election::verifier_params() const {
+  VerifierParams params;
+  params.authority_pk = trip_.authority_pk();
+  for (size_t i = 0; i < trip_.authority().size(); ++i) {
+    params.authority_shares.push_back(trip_.authority().member(i).public_share);
+  }
+  params.tagging_commitments = tagging_.commitments();
+  params.authorized_kiosks = trip_.authorized_kiosks();
+  params.authorized_officials = trip_.authorized_officials();
+  return params;
+}
+
+}  // namespace votegral

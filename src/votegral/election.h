@@ -1,0 +1,63 @@
+// End-to-end election orchestrator: TRIP registration + Votegral voting and
+// tallying behind one façade. This is the public API the examples and the
+// Fig. 5 benchmarks drive; each method calls the real actors underneath.
+#ifndef SRC_VOTEGRAL_ELECTION_H_
+#define SRC_VOTEGRAL_ELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/outcome.h"
+#include "src/trip/registrar.h"
+#include "src/votegral/tally.h"
+#include "src/votegral/verifier.h"
+
+namespace votegral {
+
+// Election configuration.
+struct ElectionConfig {
+  std::vector<std::string> roster;
+  std::vector<std::string> candidates;
+  size_t authority_members = 4;
+  size_t tagging_members = 4;
+  size_t mix_pairs = 2;  // 4 shufflers, matching the paper's experiments
+};
+
+// A complete Votegral election instance.
+class Election {
+ public:
+  Election(ElectionConfig config, Rng& rng);
+
+  TripSystem& trip() { return trip_; }
+  const CandidateList& candidates() const { return candidates_; }
+  PublicLedger& ledger() { return trip_.ledger(); }
+
+  // Registers `voter_id` in person (1 real + fake_count fakes) and activates
+  // all credentials on the given device.
+  Outcome<RegisteredVoter> Register(const std::string& voter_id, size_t fake_count, Vsd& vsd,
+                                    Rng& rng);
+
+  // Casts a ballot with an activated credential (real or fake — the ballot
+  // is accepted either way; only real ones are eventually counted).
+  Status Cast(const ActivatedCredential& credential, const std::string& candidate, Rng& rng);
+
+  // Runs the tally pipeline, producing the result and its transcript.
+  TallyOutput Tally(Rng& rng) const;
+
+  // Universal verification of a published tally against the ledger.
+  Status Verify(const TallyOutput& output) const;
+
+  // Public verifier parameters (what an auditor downloads at setup).
+  VerifierParams verifier_params() const;
+
+ private:
+  ElectionConfig config_;
+  TripSystem trip_;
+  TaggingService tagging_;
+  CandidateList candidates_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_VOTEGRAL_ELECTION_H_

@@ -1,0 +1,155 @@
+// Optional extensions to the base Votegral system (§4.5, Appendix C).
+//
+//  C.1 Voting-history review: devices keep an auditable record of cast
+//      ballots; the voter can later verify each against the ledger and ask
+//      the authority for verifiable decryptions of their own past votes.
+//      Coercion-safe because a fake credential fabricates an equally
+//      plausible history.
+//
+//  C.2 Reducing the credential-exposure window: the device rotates the
+//      kiosk-issued key pair (c_sk, c_pk) to a device-generated (ĉ_sk, ĉ_pk)
+//      by publishing a transfer certificate — the old key signs the new one.
+//      Ballots cast with ĉ are linked back to c_pk through the public
+//      transfer table before mixing, so the tally pipeline (and the blinded
+//      tag join) is unchanged. The kiosk-held key becomes useless to a
+//      registrar-side thief the moment the voter activates and rotates.
+//
+//  C.3 Resisting extreme coercion: a voter who cannot safely hold any real
+//      credential delegates in the booth — the kiosk encrypts a political
+//      party's public key as the registration's c_pc, and the voter leaves
+//      holding only fake credentials. The party's ballots then match the
+//      voter's roster tag.
+#ifndef SRC_VOTEGRAL_EXTENSIONS_H_
+#define SRC_VOTEGRAL_EXTENSIONS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/trip/kiosk.h"
+#include "src/votegral/tally.h"
+
+namespace votegral {
+
+// ---------------------------------------------------------------------------
+// C.1 — Voting history
+// ---------------------------------------------------------------------------
+
+// One remembered cast.
+struct HistoryEntry {
+  CompressedRistretto credential_pk{};
+  std::string candidate;
+  uint64_t ledger_index = 0;
+  std::array<uint8_t, 32> ballot_hash{};
+};
+
+// The device-side history store.
+class VotingHistory {
+ public:
+  // Records a cast ballot (called by the device right after posting).
+  void Record(const CompressedRistretto& credential_pk, const std::string& candidate,
+              uint64_t ledger_index, const Bytes& ballot_payload);
+
+  // All records for one credential, oldest first.
+  std::vector<HistoryEntry> ForCredential(const CompressedRistretto& credential_pk) const;
+
+  // Checks every record against the ledger: the referenced entry must exist
+  // and hash to the remembered value. Detects device/ledger divergence.
+  Status VerifyAgainstLedger(const PublicLedger& ledger) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<HistoryEntry> entries_;
+};
+
+// Authority-assisted history decryption: the voter proves ownership of the
+// credential (a signature over a fresh context), then receives verifiable
+// decryption shares of their own recorded ballots and reconstructs the votes
+// locally (no authority member learns the vote).
+struct HistoryDecryption {
+  std::vector<DecryptionShare> shares;
+  RistrettoPoint vote_point;
+};
+Outcome<HistoryDecryption> DecryptOwnVote(const ElectionAuthority& authority,
+                                          const PublicLedger& ledger,
+                                          const ActivatedCredential& credential,
+                                          uint64_t ledger_index, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// C.2 — Credential rotation (exposure-window reduction)
+// ---------------------------------------------------------------------------
+
+// A public transfer certificate: the kiosk-issued key signs the new key.
+struct CredentialTransfer {
+  CompressedRistretto old_pk{};
+  CompressedRistretto new_pk{};
+  SchnorrSignature transfer_sig;  // by old_sk over (old_pk ‖ new_pk)
+
+  Bytes SignedPayload() const;
+};
+
+// Rotates an activated credential to a fresh device-generated key and
+// returns both the updated credential and the public certificate.
+struct RotatedCredential {
+  ActivatedCredential credential;  // with the new key material
+  CredentialTransfer transfer;
+};
+RotatedCredential RotateCredential(const ActivatedCredential& credential, Rng& rng);
+
+// The public transfer table (would live on the ledger in deployment).
+class TransferRegistry {
+ public:
+  // Registers a certificate after verifying the old key's signature and
+  // rejecting re-rotation of an already-rotated key.
+  Status Register(const CredentialTransfer& transfer);
+
+  // Maps a ballot's credential key back to the original kiosk-issued key
+  // (identity when no transfer exists). Follows chains of rotations.
+  CompressedRistretto ResolveToOriginal(const CompressedRistretto& pk) const;
+
+  size_t size() const { return by_new_pk_.size(); }
+
+ private:
+  std::map<CompressedRistretto, CredentialTransfer> by_new_pk_;
+  std::set<CompressedRistretto> rotated_old_keys_;
+};
+
+// Ballot validation that accepts rotated credentials: resolves each ballot's
+// key through `registry`, verifies the chain, and checks the kiosk
+// certificate against the *original* key. Returns accepted ballots whose
+// credential_pk has been rewritten to the original key so the unchanged
+// tally pipeline can consume them.
+std::vector<Ballot> ValidateWithTransfers(const PublicLedger& ledger,
+                                          const std::set<CompressedRistretto>& authorized_kiosks,
+                                          const TransferRegistry& registry,
+                                          TallyDiscards* discards);
+
+// ---------------------------------------------------------------------------
+// C.3 — In-booth delegation under extreme coercion
+// ---------------------------------------------------------------------------
+
+// A kiosk capable of the delegation flow. The voter leaves with only fake
+// credentials; the registration's c_pc encrypts the chosen party's public
+// key, so ballots cast by the party's credential match the voter's tag.
+class DelegationKiosk : public Kiosk {
+ public:
+  DelegationKiosk(SchnorrKeyPair key, Bytes mac_key, RistrettoPoint authority_pk);
+
+  // Runs the delegation step: encrypts `party_pk` as this session's public
+  // credential and fabricates the session check-out ticket. Subsequent
+  // CreateFakeCredential calls issue the voter's take-home fakes. The party
+  // must already hold a kiosk-certified credential (its own registration).
+  Status DelegateSession(const RistrettoPoint& party_pk, Rng& rng);
+
+  // The check-out segment for the delegated session.
+  Outcome<CheckOutSegment> delegated_checkout() const;
+
+ private:
+  bool delegated_ = false;
+  CheckOutSegment checkout_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_VOTEGRAL_EXTENSIONS_H_

@@ -1,0 +1,193 @@
+#include "src/votegral/mixnet.h"
+
+#include <algorithm>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha256.h"
+#include "src/crypto/sha512.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kChallengeDomain = "votegral/mixnet/rpc-challenge/v1";
+
+// Applies a re-encryption with the given per-ciphertext randomness.
+MixItem ReEncryptItem(const MixItem& item, const RistrettoPoint& pk,
+                      const std::vector<Scalar>& randomness) {
+  Require(item.cts.size() == randomness.size(), "mixnet: randomness width mismatch");
+  MixItem out;
+  out.cts.reserve(item.cts.size());
+  for (size_t c = 0; c < item.cts.size(); ++c) {
+    out.cts.push_back(item.cts[c].ReRandomize(pk, randomness[c]));
+  }
+  return out;
+}
+
+// Derives one challenge bit per middle index from the pair's commitments.
+std::vector<uint8_t> DeriveChallengeBits(const MixBatch& input, const MixBatch& mid,
+                                         const MixBatch& out, size_t pair_index) {
+  auto h_in = HashMixBatch(input);
+  auto h_mid = HashMixBatch(mid);
+  auto h_out = HashMixBatch(out);
+  uint8_t index_byte = static_cast<uint8_t>(pair_index);
+  auto seed = Sha512::HashParts({AsBytes(kChallengeDomain), h_in, h_mid, h_out,
+                                 {&index_byte, 1}});
+  ChaChaRng bit_source(seed);
+  std::vector<uint8_t> bits(mid.size());
+  for (auto& bit : bits) {
+    bit = static_cast<uint8_t>(bit_source.Uniform(2));
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::array<uint8_t, 32> HashMixBatch(const MixBatch& batch) {
+  Sha256 h;
+  uint8_t width = batch.empty() ? 0 : static_cast<uint8_t>(batch[0].cts.size());
+  h.Update({&width, 1});
+  for (const MixItem& item : batch) {
+    for (const ElGamalCiphertext& ct : item.cts) {
+      h.Update(ct.Serialize());
+    }
+  }
+  return h.Finalize();
+}
+
+MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng) {
+  const size_t n = input.size();
+  source_.resize(n);
+  dest_.resize(n);
+  randomness_.assign(n, {});
+
+  // Fisher-Yates permutation: source_[j] = which input lands at output j.
+  std::vector<uint64_t> perm(n);
+  for (size_t i = 0; i < n; ++i) {
+    perm[i] = i;
+  }
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.Uniform(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+
+  MixBatch output(n);
+  for (size_t j = 0; j < n; ++j) {
+    source_[j] = perm[j];
+    dest_[perm[j]] = j;
+    const MixItem& src = input[perm[j]];
+    std::vector<Scalar> randomness;
+    randomness.reserve(src.cts.size());
+    for (size_t c = 0; c < src.cts.size(); ++c) {
+      randomness.push_back(Scalar::Random(rng));
+    }
+    output[j] = ReEncryptItem(src, pk, randomness);
+    randomness_[j] = std::move(randomness);
+  }
+  return output;
+}
+
+RpcReveal MixServer::RevealLinkForOutput(uint64_t output_index) const {
+  Require(output_index < source_.size(), "mixnet: reveal index out of range");
+  RpcReveal reveal;
+  reveal.side = 0;
+  reveal.source_or_dest = source_[output_index];
+  reveal.randomness = randomness_[output_index];
+  return reveal;
+}
+
+RpcReveal MixServer::RevealLinkForInput(uint64_t input_index) const {
+  Require(input_index < dest_.size(), "mixnet: reveal index out of range");
+  RpcReveal reveal;
+  reveal.side = 1;
+  reveal.source_or_dest = dest_[input_index];
+  reveal.randomness = randomness_[dest_[input_index]];
+  return reveal;
+}
+
+MixBatch RunRpcMixCascade(const MixBatch& input, const RistrettoPoint& pk, size_t pair_count,
+                          Rng& rng, MixProof* proof) {
+  Require(pair_count >= 1, "mixnet: need at least one pair");
+  Require(proof != nullptr, "mixnet: proof output required");
+  proof->pairs.clear();
+  MixBatch current = input;
+  for (size_t p = 0; p < pair_count; ++p) {
+    MixServer layer_a;
+    MixServer layer_b;
+    RpcPairProof pair;
+    pair.mid = layer_a.Shuffle(current, pk, rng);
+    pair.out = layer_b.Shuffle(pair.mid, pk, rng);
+
+    std::vector<uint8_t> bits = DeriveChallengeBits(current, pair.mid, pair.out, p);
+    pair.reveals.resize(pair.mid.size());
+    for (size_t j = 0; j < pair.mid.size(); ++j) {
+      pair.reveals[j] =
+          bits[j] == 0 ? layer_a.RevealLinkForOutput(j) : layer_b.RevealLinkForInput(j);
+    }
+    current = pair.out;
+    proof->pairs.push_back(std::move(pair));
+  }
+  return current;
+}
+
+Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
+                           const MixProof& proof, const RistrettoPoint& pk) {
+  if (proof.pairs.empty()) {
+    return Status::Error("mixnet: empty proof");
+  }
+  const MixBatch* current = &input;
+  for (size_t p = 0; p < proof.pairs.size(); ++p) {
+    const RpcPairProof& pair = proof.pairs[p];
+    if (pair.mid.size() != current->size() || pair.out.size() != current->size()) {
+      return Status::Error("mixnet: batch size change in pair " + std::to_string(p));
+    }
+    std::vector<uint8_t> bits = DeriveChallengeBits(*current, pair.mid, pair.out, p);
+    if (pair.reveals.size() != pair.mid.size()) {
+      return Status::Error("mixnet: reveal count mismatch in pair " + std::to_string(p));
+    }
+    // Injectivity tracking: each revealed source (left) and destination
+    // (right) may be used at most once.
+    std::vector<bool> left_used(current->size(), false);
+    std::vector<bool> right_used(current->size(), false);
+    for (size_t j = 0; j < pair.mid.size(); ++j) {
+      const RpcReveal& reveal = pair.reveals[j];
+      if (reveal.side != bits[j]) {
+        return Status::Error("mixnet: reveal side does not match challenge bit");
+      }
+      if (reveal.source_or_dest >= current->size()) {
+        return Status::Error("mixnet: reveal index out of range");
+      }
+      if (reveal.side == 0) {
+        // mid[j] must be a re-encryption of input[source].
+        if (left_used[reveal.source_or_dest]) {
+          return Status::Error("mixnet: duplicate left link (not a permutation)");
+        }
+        left_used[reveal.source_or_dest] = true;
+        MixItem expected =
+            ReEncryptItem((*current)[reveal.source_or_dest], pk, reveal.randomness);
+        if (!(expected == pair.mid[j])) {
+          return Status::Error("mixnet: left re-encryption check failed at pair " +
+                               std::to_string(p) + " index " + std::to_string(j));
+        }
+      } else {
+        // out[dest] must be a re-encryption of mid[j].
+        if (right_used[reveal.source_or_dest]) {
+          return Status::Error("mixnet: duplicate right link (not a permutation)");
+        }
+        right_used[reveal.source_or_dest] = true;
+        MixItem expected = ReEncryptItem(pair.mid[j], pk, reveal.randomness);
+        if (!(expected == pair.out[reveal.source_or_dest])) {
+          return Status::Error("mixnet: right re-encryption check failed at pair " +
+                               std::to_string(p) + " index " + std::to_string(j));
+        }
+      }
+    }
+    current = &pair.out;
+  }
+  if (!(HashMixBatch(*current) == HashMixBatch(output))) {
+    return Status::Error("mixnet: final batch does not match published output");
+  }
+  return Status::Ok();
+}
+
+}  // namespace votegral

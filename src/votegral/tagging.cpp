@@ -1,0 +1,107 @@
+#include "src/votegral/tagging.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kTagDomain = "votegral/tagging/step/v1";
+
+DleqStatement TagStatement(const ElGamalCiphertext& input, const ElGamalCiphertext& output,
+                           const RistrettoPoint& commitment) {
+  DleqStatement statement;
+  statement.bases = {RistrettoPoint::Base(), input.c1, input.c2};
+  statement.publics = {commitment, output.c1, output.c2};
+  return statement;
+}
+
+}  // namespace
+
+TaggingService TaggingService::Create(size_t members, Rng& rng) {
+  Require(members >= 1, "tagging: need at least one member");
+  TaggingService service;
+  service.secrets_.reserve(members);
+  service.commitments_.reserve(members);
+  for (size_t i = 0; i < members; ++i) {
+    Scalar z = Scalar::Random(rng);
+    service.secrets_.push_back(z);
+    service.commitments_.push_back(RistrettoPoint::MulBase(z));
+  }
+  return service;
+}
+
+TaggingStep TaggingService::Apply(size_t member, const std::vector<ElGamalCiphertext>& input,
+                                  Rng& rng) const {
+  const Scalar& z = secrets_.at(member);
+  TaggingStep step;
+  step.member_index = member;
+  step.output.reserve(input.size());
+  step.proofs.reserve(input.size());
+  for (const ElGamalCiphertext& ct : input) {
+    ElGamalCiphertext out = ct.ExponentiateBy(z);
+    step.proofs.push_back(
+        ProveDleqFs(kTagDomain, TagStatement(ct, out, commitments_[member]), z, rng));
+    step.output.push_back(out);
+  }
+  return step;
+}
+
+Status TaggingService::VerifyStep(const TaggingStep& step,
+                                  const std::vector<ElGamalCiphertext>& input,
+                                  const RistrettoPoint& commitment) {
+  if (step.output.size() != input.size() || step.proofs.size() != input.size()) {
+    return Status::Error("tagging: step size mismatch");
+  }
+  for (size_t i = 0; i < input.size(); ++i) {
+    Status ok = VerifyDleqFs(kTagDomain, TagStatement(input[i], step.output[i], commitment),
+                             step.proofs[i]);
+    if (!ok.ok()) {
+      return Status::Error("tagging: proof " + std::to_string(i) +
+                           " invalid: " + ok.reason());
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<ElGamalCiphertext> TaggingService::ApplyAll(
+    const std::vector<ElGamalCiphertext>& input, std::vector<TaggingStep>* steps,
+    Rng& rng) const {
+  Require(steps != nullptr, "tagging: steps output required");
+  steps->clear();
+  std::vector<ElGamalCiphertext> current = input;
+  for (size_t member = 0; member < secrets_.size(); ++member) {
+    TaggingStep step = Apply(member, current, rng);
+    current = step.output;
+    steps->push_back(std::move(step));
+  }
+  return current;
+}
+
+Status TaggingService::VerifyChain(const std::vector<ElGamalCiphertext>& input,
+                                   const std::vector<TaggingStep>& steps,
+                                   const std::vector<RistrettoPoint>& commitments) {
+  if (steps.size() != commitments.size()) {
+    return Status::Error("tagging: step count does not match committee size");
+  }
+  const std::vector<ElGamalCiphertext>* current = &input;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].member_index != i) {
+      return Status::Error("tagging: steps out of order");
+    }
+    Status ok = VerifyStep(steps[i], *current, commitments[i]);
+    if (!ok.ok()) {
+      return ok;
+    }
+    current = &steps[i].output;
+  }
+  return Status::Ok();
+}
+
+Scalar TaggingService::CombinedExponent() const {
+  Scalar product = Scalar::One();
+  for (const Scalar& z : secrets_) {
+    product = product * z;
+  }
+  return product;
+}
+
+}  // namespace votegral

@@ -1,0 +1,175 @@
+#include "src/votegral/tally.h"
+
+#include <algorithm>
+
+namespace votegral {
+
+std::vector<Ballot> ValidateAndDeduplicate(
+    const PublicLedger& ledger, const std::set<CompressedRistretto>& authorized_kiosks,
+    TallyDiscards* discards) {
+  Require(discards != nullptr, "tally: discards output required");
+  std::vector<Bytes> raw = ledger.AllBallots();
+
+  // Keep the *last* valid ballot per credential key (re-voting overrides,
+  // matching the JCJ-with-tags dedup rule; ledger order is cast order).
+  std::map<CompressedRistretto, Ballot> latest;
+  std::map<CompressedRistretto, size_t> first_seen_order;
+  size_t order = 0;
+  for (const Bytes& payload : raw) {
+    auto ballot = Ballot::Parse(payload);
+    if (!ballot.has_value()) {
+      ++discards->invalid_structure;
+      continue;
+    }
+    if (!CheckBallot(*ballot, authorized_kiosks).ok()) {
+      ++discards->invalid_signature;
+      continue;
+    }
+    auto [it, inserted] = latest.insert_or_assign(ballot->credential_pk, *ballot);
+    if (inserted) {
+      first_seen_order[ballot->credential_pk] = order++;
+    } else {
+      ++discards->superseded;
+    }
+  }
+
+  // Canonical order: first-seen order of each credential (deterministic and
+  // recomputable by any auditor).
+  std::vector<Ballot> accepted(latest.size());
+  for (const auto& [credential, ballot] : latest) {
+    accepted[first_seen_order.at(credential)] = ballot;
+  }
+  return accepted;
+}
+
+TallyService::TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
+                           size_t mix_pairs)
+    : authority_(authority), tagging_(tagging), mix_pairs_(mix_pairs) {}
+
+namespace {
+
+// Extracts the credential ciphertexts (column 1) from a width-2 batch.
+std::vector<ElGamalCiphertext> CredentialColumn(const MixBatch& batch) {
+  std::vector<ElGamalCiphertext> out;
+  out.reserve(batch.size());
+  for (const MixItem& item : batch) {
+    out.push_back(item.cts.at(1));
+  }
+  return out;
+}
+
+std::vector<ElGamalCiphertext> RosterColumn(const MixBatch& batch) {
+  std::vector<ElGamalCiphertext> out;
+  out.reserve(batch.size());
+  for (const MixItem& item : batch) {
+    out.push_back(item.cts.at(0));
+  }
+  return out;
+}
+
+}  // namespace
+
+TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& candidates,
+                              const std::set<CompressedRistretto>& authorized_kiosks,
+                              Rng& rng) const {
+  TallyOutput output;
+  TallyTranscript& t = output.transcript;
+  TallyResult& result = output.result;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    result.counts[candidates.name(i)] = 0;
+  }
+
+  // Steps 1-2: validate and deduplicate.
+  t.accepted_ballots = ValidateAndDeduplicate(ledger, authorized_kiosks, &result.discards);
+
+  // Step 3a: build and mix the ballot batch.
+  t.ballot_mix_input.reserve(t.accepted_ballots.size());
+  for (const Ballot& ballot : t.accepted_ballots) {
+    auto credential_point = RistrettoPoint::Decode(ballot.credential_pk);
+    Require(credential_point.has_value(), "tally: validated ballot has bad credential point");
+    MixItem item;
+    item.cts = {ballot.encrypted_vote, ElGamalTrivialEncrypt(*credential_point)};
+    t.ballot_mix_input.push_back(std::move(item));
+  }
+  t.ballot_mix_output = RunRpcMixCascade(t.ballot_mix_input, authority_.public_key(),
+                                         mix_pairs_, rng, &t.ballot_mix_proof);
+
+  // Step 3b: build and mix the roster batch.
+  for (const RegistrationRecord& record : ledger.ActiveRegistrations()) {
+    MixItem item;
+    item.cts = {record.public_credential};
+    t.roster_mix_input.push_back(std::move(item));
+  }
+  t.roster_mix_output = RunRpcMixCascade(t.roster_mix_input, authority_.public_key(),
+                                         mix_pairs_, rng, &t.roster_mix_proof);
+
+  // Step 4: deterministic tagging over both credential ciphertext lists.
+  std::vector<ElGamalCiphertext> ballot_credentials = CredentialColumn(t.ballot_mix_output);
+  std::vector<ElGamalCiphertext> roster_credentials = RosterColumn(t.roster_mix_output);
+  std::vector<ElGamalCiphertext> ballot_tagged =
+      tagging_.ApplyAll(ballot_credentials, &t.ballot_tag_steps, rng);
+  std::vector<ElGamalCiphertext> roster_tagged =
+      tagging_.ApplyAll(roster_credentials, &t.roster_tag_steps, rng);
+
+  // Step 5: verifiable decryption of blinded tags.
+  auto decrypt_with_shares = [&](const ElGamalCiphertext& ct,
+                                 std::vector<DecryptionShare>* shares) {
+    shares->clear();
+    for (size_t m = 0; m < authority_.size(); ++m) {
+      shares->push_back(authority_.ComputeShare(m, ct, rng));
+    }
+    return authority_.CombineShares(ct, *shares);
+  };
+
+  // Multiset of roster tags: a tag appearing k times means k voters'
+  // registrations point at the same credential (k > 1 only under the
+  // delegation extension, Appendix C.3).
+  std::map<CompressedRistretto, uint64_t> roster_tag_counts;
+  t.roster_tag_shares.resize(roster_tagged.size());
+  for (size_t i = 0; i < roster_tagged.size(); ++i) {
+    RistrettoPoint tag = decrypt_with_shares(roster_tagged[i], &t.roster_tag_shares[i]);
+    auto encoded = tag.Encode();
+    t.roster_tags.push_back(encoded);
+    roster_tag_counts[encoded] += 1;
+  }
+
+  t.ballot_tag_shares.resize(ballot_tagged.size());
+  for (size_t i = 0; i < ballot_tagged.size(); ++i) {
+    RistrettoPoint tag = decrypt_with_shares(ballot_tagged[i], &t.ballot_tag_shares[i]);
+    auto encoded = tag.Encode();
+    t.ballot_tags.push_back(encoded);
+    auto it = roster_tag_counts.find(encoded);
+    if (it == roster_tag_counts.end()) {
+      ++result.discards.unmatched_tag;  // fake credential (or never registered)
+      continue;
+    }
+    if (it->second == 0) {
+      ++result.discards.duplicate_tag;  // tag already fully consumed
+      continue;
+    }
+    t.counted_indices.push_back(i);
+    t.counted_weights.push_back(it->second);
+    it->second = 0;  // consume all matching registrations at once
+  }
+
+  // Step 6-7: verifiable vote decryption for the counted ballots.
+  for (size_t c = 0; c < t.counted_indices.size(); ++c) {
+    uint64_t index = t.counted_indices[c];
+    uint64_t weight = t.counted_weights[c];
+    const ElGamalCiphertext& vote_ct = t.ballot_mix_output[index].cts.at(0);
+    std::vector<DecryptionShare> shares;
+    RistrettoPoint vote = decrypt_with_shares(vote_ct, &shares);
+    t.vote_shares.push_back(std::move(shares));
+    t.vote_points.push_back(vote.Encode());
+    auto candidate = candidates.IndexOfPoint(vote);
+    if (!candidate.has_value()) {
+      ++result.discards.invalid_vote;
+      continue;
+    }
+    result.counts[candidates.name(*candidate)] += weight;
+    result.counted += weight;
+  }
+  return output;
+}
+
+}  // namespace votegral

@@ -1,0 +1,113 @@
+// The Votegral tally pipeline (Fig. 3, Appendix M):
+//   1. validate ballots from L_V (signature, kiosk certificate, linear time),
+//   2. deduplicate per credential key (the last cast ballot counts),
+//   3. mix ballots (vote + wrapped credential) and roster tags {c_pc}
+//      through the RPC cascade,
+//   4. deterministic tagging: every tallier exponentiates both credential
+//      ciphertext lists with per-ciphertext proofs,
+//   5. verifiably decrypt the blinded tags on both sides,
+//   6. hash-join: count ballots whose blinded credential matches a roster
+//      tag, at most one ballot per tag (fakes never match),
+//   7. verifiably decrypt the surviving votes and publish results.
+//
+// Everything needed for universal verification is collected in
+// TallyTranscript; see src/votegral/verifier.h.
+#ifndef SRC_VOTEGRAL_TALLY_H_
+#define SRC_VOTEGRAL_TALLY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/outcome.h"
+#include "src/crypto/dkg.h"
+#include "src/ledger/subledgers.h"
+#include "src/votegral/ballot.h"
+#include "src/votegral/mixnet.h"
+#include "src/votegral/tagging.h"
+
+namespace votegral {
+
+// Aggregate discard statistics (published with the result).
+struct TallyDiscards {
+  size_t invalid_structure = 0;  // unparseable ledger payloads
+  size_t invalid_signature = 0;  // bad credential sig / kiosk cert
+  size_t superseded = 0;         // earlier ballots from re-voting credentials
+  size_t unmatched_tag = 0;      // fake-credential ballots (by design)
+  size_t duplicate_tag = 0;      // second ballot matching an already-used tag
+  size_t invalid_vote = 0;       // decrypts outside the candidate set
+};
+
+// The published election result.
+struct TallyResult {
+  std::map<std::string, size_t> counts;  // candidate -> votes
+  size_t counted = 0;
+  TallyDiscards discards;
+};
+
+// Every artifact an auditor needs to re-check the tally from the ledger.
+struct TallyTranscript {
+  // Step 1-2 outputs: the validated, deduplicated ballots, in mix-input
+  // order (recomputable from L_V by any auditor).
+  std::vector<Ballot> accepted_ballots;
+
+  // Step 3: mixing.
+  MixBatch ballot_mix_input;   // width 2: [Enc(vote), Enc(c_pk)]
+  MixBatch ballot_mix_output;
+  MixProof ballot_mix_proof;
+  MixBatch roster_mix_input;   // width 1: [c_pc]
+  MixBatch roster_mix_output;
+  MixProof roster_mix_proof;
+
+  // Step 4: tagging chains over the credential ciphertexts.
+  std::vector<TaggingStep> ballot_tag_steps;
+  std::vector<TaggingStep> roster_tag_steps;
+
+  // Step 5: verifiable tag decryption.
+  std::vector<std::vector<DecryptionShare>> ballot_tag_shares;  // [ct][member]
+  std::vector<std::vector<DecryptionShare>> roster_tag_shares;
+  std::vector<CompressedRistretto> ballot_tags;
+  std::vector<CompressedRistretto> roster_tags;
+
+  // Step 6-7: which mixed ballots counted, with what weight (weight > 1
+  // arises only when several roster tags decrypt to the same credential —
+  // the delegation extension of Appendix C.3), and their verifiable vote
+  // decryptions.
+  std::vector<uint64_t> counted_indices;  // into ballot_mix_output
+  std::vector<uint64_t> counted_weights;  // parallel: matching roster tags
+  std::vector<std::vector<DecryptionShare>> vote_shares;  // parallel to counted_indices
+  std::vector<CompressedRistretto> vote_points;
+};
+
+struct TallyOutput {
+  TallyResult result;
+  TallyTranscript transcript;
+};
+
+// The tally service: runs the pipeline with the authority's and tagging
+// committee's secrets.
+class TallyService {
+ public:
+  TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
+               size_t mix_pairs = 2);
+
+  // Runs the full pipeline over the ledger's ballots and active roster.
+  TallyOutput Run(const PublicLedger& ledger, const CandidateList& candidates,
+                  const std::set<CompressedRistretto>& authorized_kiosks, Rng& rng) const;
+
+ private:
+  const ElectionAuthority& authority_;
+  const TaggingService& tagging_;
+  size_t mix_pairs_;
+};
+
+// Shared between tally and verifier: validates + deduplicates the ballot
+// log. Returns accepted ballots in canonical order and fills discard stats.
+std::vector<Ballot> ValidateAndDeduplicate(const PublicLedger& ledger,
+                                           const std::set<CompressedRistretto>& authorized_kiosks,
+                                           TallyDiscards* discards);
+
+}  // namespace votegral
+
+#endif  // SRC_VOTEGRAL_TALLY_H_

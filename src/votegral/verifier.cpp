@@ -1,0 +1,243 @@
+#include "src/votegral/verifier.h"
+
+#include "src/trip/official.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr std::string_view kShareDomain = "votegral/authority/decryption-share/v1";
+
+}  // namespace
+
+Status VerifyShareAgainstCommitment(const RistrettoPoint& member_share_commitment,
+                                    const ElGamalCiphertext& ct,
+                                    const DecryptionShare& share) {
+  DleqStatement statement = DleqStatement::MakePair(
+      RistrettoPoint::Base(), member_share_commitment, ct.c1, share.share);
+  return VerifyDleqFs(kShareDomain, statement, share.proof);
+}
+
+RistrettoPoint CombineSharesPublic(const ElGamalCiphertext& ct,
+                                   const std::vector<DecryptionShare>& shares,
+                                   size_t expected_members) {
+  Require(shares.size() == expected_members, "verifier: wrong number of shares");
+  RistrettoPoint sum;
+  for (const DecryptionShare& share : shares) {
+    sum = sum + share.share;
+  }
+  return ct.c2 - sum;
+}
+
+namespace {
+
+// Verifies a list of per-ciphertext share vectors and returns the decrypted
+// points; fails on any bad proof.
+Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
+                           const std::vector<std::vector<DecryptionShare>>& shares,
+                           const VerifierParams& params,
+                           std::vector<CompressedRistretto>* out,
+                           const std::string& what) {
+  if (shares.size() != cts.size()) {
+    return Status::Error("verifier: " + what + ": share list size mismatch");
+  }
+  out->clear();
+  out->reserve(cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    if (shares[i].size() != params.authority_shares.size()) {
+      return Status::Error("verifier: " + what + ": wrong share count at " +
+                           std::to_string(i));
+    }
+    std::vector<bool> seen(params.authority_shares.size(), false);
+    for (const DecryptionShare& share : shares[i]) {
+      if (share.member_index >= params.authority_shares.size() || seen[share.member_index]) {
+        return Status::Error("verifier: " + what + ": bad share member index");
+      }
+      seen[share.member_index] = true;
+      Status ok = VerifyShareAgainstCommitment(params.authority_shares[share.member_index],
+                                               cts[i], share);
+      if (!ok.ok()) {
+        return Status::Error("verifier: " + what + ": share proof invalid at " +
+                             std::to_string(i) + ": " + ok.reason());
+      }
+    }
+    out->push_back(
+        CombineSharesPublic(cts[i], shares[i], params.authority_shares.size()).Encode());
+  }
+  return Status::Ok();
+}
+
+std::vector<ElGamalCiphertext> Column(const MixBatch& batch, size_t column) {
+  std::vector<ElGamalCiphertext> out;
+  out.reserve(batch.size());
+  for (const MixItem& item : batch) {
+    out.push_back(item.cts.at(column));
+  }
+  return out;
+}
+
+}  // namespace
+
+Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
+                      const CandidateList& candidates, const TallyOutput& output) {
+  const TallyTranscript& t = output.transcript;
+
+  // Step 0: the ledger itself must be intact.
+  if (Status s = ledger.VerifyChains(); !s.ok()) {
+    return s;
+  }
+
+  // Step 1-2: recompute the accepted ballot set from L_V.
+  TallyDiscards recomputed_discards;
+  std::vector<Ballot> accepted =
+      ValidateAndDeduplicate(ledger, params.authorized_kiosks, &recomputed_discards);
+  if (accepted.size() != t.accepted_ballots.size()) {
+    return Status::Error("verifier: accepted ballot set size mismatch");
+  }
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    if (accepted[i].Serialize() != t.accepted_ballots[i].Serialize()) {
+      return Status::Error("verifier: accepted ballot " + std::to_string(i) + " differs");
+    }
+  }
+
+  // Every registration record's signature chain must verify.
+  for (const RegistrationRecord& record : ledger.ActiveRegistrations()) {
+    Status ok = VerifyRegistrationRecord(record, params.authorized_kiosks,
+                                         params.authorized_officials);
+    if (!ok.ok()) {
+      return ok;
+    }
+  }
+
+  // Step 3: mix inputs must match the accepted ballots / active roster.
+  if (t.ballot_mix_input.size() != accepted.size()) {
+    return Status::Error("verifier: ballot mix input size mismatch");
+  }
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    auto credential_point = RistrettoPoint::Decode(accepted[i].credential_pk);
+    if (!credential_point.has_value()) {
+      return Status::Error("verifier: accepted ballot credential undecodable");
+    }
+    MixItem expected;
+    expected.cts = {accepted[i].encrypted_vote, ElGamalTrivialEncrypt(*credential_point)};
+    if (!(expected == t.ballot_mix_input[i])) {
+      return Status::Error("verifier: ballot mix input " + std::to_string(i) + " differs");
+    }
+  }
+  auto roster = ledger.ActiveRegistrations();
+  if (t.roster_mix_input.size() != roster.size()) {
+    return Status::Error("verifier: roster mix input size mismatch");
+  }
+  for (size_t i = 0; i < roster.size(); ++i) {
+    if (!(t.roster_mix_input[i].cts.at(0) == roster[i].public_credential)) {
+      return Status::Error("verifier: roster mix input " + std::to_string(i) + " differs");
+    }
+  }
+
+  // Mix proofs.
+  if (Status s = VerifyRpcMixCascade(t.ballot_mix_input, t.ballot_mix_output,
+                                     t.ballot_mix_proof, params.authority_pk);
+      !s.ok()) {
+    return Status::Error("verifier: ballot mix: " + s.reason());
+  }
+  if (Status s = VerifyRpcMixCascade(t.roster_mix_input, t.roster_mix_output,
+                                     t.roster_mix_proof, params.authority_pk);
+      !s.ok()) {
+    return Status::Error("verifier: roster mix: " + s.reason());
+  }
+
+  // Step 4: tagging chains.
+  std::vector<ElGamalCiphertext> ballot_credentials = Column(t.ballot_mix_output, 1);
+  std::vector<ElGamalCiphertext> roster_credentials = Column(t.roster_mix_output, 0);
+  if (Status s = TaggingService::VerifyChain(ballot_credentials, t.ballot_tag_steps,
+                                             params.tagging_commitments);
+      !s.ok()) {
+    return Status::Error("verifier: ballot tagging: " + s.reason());
+  }
+  if (Status s = TaggingService::VerifyChain(roster_credentials, t.roster_tag_steps,
+                                             params.tagging_commitments);
+      !s.ok()) {
+    return Status::Error("verifier: roster tagging: " + s.reason());
+  }
+
+  // Step 5: tag decryptions.
+  const std::vector<ElGamalCiphertext>& ballot_tagged =
+      t.ballot_tag_steps.empty() ? ballot_credentials : t.ballot_tag_steps.back().output;
+  const std::vector<ElGamalCiphertext>& roster_tagged =
+      t.roster_tag_steps.empty() ? roster_credentials : t.roster_tag_steps.back().output;
+  std::vector<CompressedRistretto> ballot_tags;
+  std::vector<CompressedRistretto> roster_tags;
+  if (Status s = VerifyAndDecryptAll(ballot_tagged, t.ballot_tag_shares, params, &ballot_tags,
+                                     "ballot tags");
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = VerifyAndDecryptAll(roster_tagged, t.roster_tag_shares, params, &roster_tags,
+                                     "roster tags");
+      !s.ok()) {
+    return s;
+  }
+  if (ballot_tags != t.ballot_tags || roster_tags != t.roster_tags) {
+    return Status::Error("verifier: published tags do not match decryptions");
+  }
+
+  // Step 6: replay the weighted join (weights > 1 arise only under the
+  // Appendix C.3 delegation extension).
+  std::map<CompressedRistretto, uint64_t> roster_counts;
+  for (const CompressedRistretto& tag : roster_tags) {
+    roster_counts[tag] += 1;
+  }
+  std::vector<uint64_t> counted;
+  std::vector<uint64_t> weights;
+  for (size_t i = 0; i < ballot_tags.size(); ++i) {
+    auto it = roster_counts.find(ballot_tags[i]);
+    if (it == roster_counts.end() || it->second == 0) {
+      continue;
+    }
+    counted.push_back(i);
+    weights.push_back(it->second);
+    it->second = 0;
+  }
+  if (counted != t.counted_indices || weights != t.counted_weights) {
+    return Status::Error("verifier: counted ballot set differs from published");
+  }
+
+  // Step 7: vote decryptions and final counts.
+  std::vector<ElGamalCiphertext> counted_votes;
+  for (uint64_t index : t.counted_indices) {
+    counted_votes.push_back(t.ballot_mix_output.at(index).cts.at(0));
+  }
+  std::vector<CompressedRistretto> vote_points;
+  if (Status s =
+          VerifyAndDecryptAll(counted_votes, t.vote_shares, params, &vote_points, "votes");
+      !s.ok()) {
+    return s;
+  }
+  if (vote_points != t.vote_points) {
+    return Status::Error("verifier: published vote points do not match decryptions");
+  }
+  std::map<std::string, size_t> counts;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    counts[candidates.name(i)] = 0;
+  }
+  size_t total_counted = 0;
+  for (size_t i = 0; i < vote_points.size(); ++i) {
+    auto point = RistrettoPoint::Decode(vote_points[i]);
+    if (!point.has_value()) {
+      return Status::Error("verifier: vote point undecodable");
+    }
+    auto candidate = candidates.IndexOfPoint(*point);
+    if (!candidate.has_value()) {
+      continue;  // invalid vote, matches the tally's discard rule
+    }
+    uint64_t weight = t.counted_weights.at(i);
+    counts[candidates.name(*candidate)] += weight;
+    total_counted += weight;
+  }
+  if (counts != output.result.counts || total_counted != output.result.counted) {
+    return Status::Error("verifier: final counts do not match published result");
+  }
+  return Status::Ok();
+}
+
+}  // namespace votegral

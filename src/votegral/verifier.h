@@ -1,0 +1,43 @@
+// Universal verification (§3.3, §5.1): anyone holding the public ledger and
+// the published tally transcript can re-check the entire pipeline — no
+// secrets required. The verifier recomputes the validated ballot set,
+// re-verifies every mix, tagging and decryption proof, replays the tag join,
+// and recounts.
+#ifndef SRC_VOTEGRAL_VERIFIER_H_
+#define SRC_VOTEGRAL_VERIFIER_H_
+
+#include <set>
+
+#include "src/crypto/dkg.h"
+#include "src/ledger/subledgers.h"
+#include "src/votegral/tally.h"
+
+namespace votegral {
+
+// Public election parameters the verifier needs (all published at setup).
+struct VerifierParams {
+  RistrettoPoint authority_pk;
+  std::vector<RistrettoPoint> authority_shares;   // members' public shares
+  std::vector<RistrettoPoint> tagging_commitments;  // Z_t commitments
+  std::set<CompressedRistretto> authorized_kiosks;
+  std::set<CompressedRistretto> authorized_officials;
+};
+
+// Re-checks the published tally against the ledger. Returns the first
+// discrepancy found, or OK when the election verifies end-to-end.
+Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
+                      const CandidateList& candidates, const TallyOutput& output);
+
+// Verifies a decryption share against a member's public share without an
+// ElectionAuthority instance (auditors have only public data).
+Status VerifyShareAgainstCommitment(const RistrettoPoint& member_share_commitment,
+                                    const ElGamalCiphertext& ct, const DecryptionShare& share);
+
+// Combines decryption shares publicly (after verifying each).
+RistrettoPoint CombineSharesPublic(const ElGamalCiphertext& ct,
+                                   const std::vector<DecryptionShare>& shares,
+                                   size_t expected_members);
+
+}  // namespace votegral
+
+#endif  // SRC_VOTEGRAL_VERIFIER_H_

@@ -1,0 +1,102 @@
+// Tests for the three baseline system models: each runs its full pipeline at
+// small scale and produces the correct outcome; Civitas exhibits the
+// quadratic PET count the paper's Fig. 5b extrapolation rests on.
+#include <gtest/gtest.h>
+
+#include "src/baselines/civitas.h"
+#include "src/baselines/swisspost.h"
+#include "src/baselines/voteagain.h"
+#include "src/baselines/votegral_model.h"
+#include "src/common/clock.h"
+#include "src/crypto/drbg.h"
+
+namespace votegral {
+namespace {
+
+TEST(Baselines, VotegralModelEndToEnd) {
+  ChaChaRng rng(210);
+  VotegralModel model;
+  model.Setup(4, rng);
+  model.RegisterAll(rng);
+  model.VoteAll(rng);
+  model.TallyAll(rng);
+  EXPECT_TRUE(model.OutcomeLooksCorrect());
+  EXPECT_EQ(model.name(), "TRIP-Core");
+  EXPECT_DOUBLE_EQ(model.tally_exponent(), 1.0);
+}
+
+TEST(Baselines, SwissPostEndToEnd) {
+  ChaChaRng rng(211);
+  SwissPostModel model;
+  model.Setup(5, rng);
+  model.RegisterAll(rng);
+  model.VoteAll(rng);
+  model.TallyAll(rng);
+  EXPECT_TRUE(model.OutcomeLooksCorrect());
+}
+
+TEST(Baselines, VoteAgainEndToEnd) {
+  ChaChaRng rng(212);
+  VoteAgainModel model;
+  model.Setup(6, rng);
+  model.RegisterAll(rng);
+  model.VoteAll(rng);
+  model.TallyAll(rng);
+  EXPECT_TRUE(model.OutcomeLooksCorrect());
+}
+
+TEST(Baselines, CivitasEndToEnd) {
+  ChaChaRng rng(213);
+  CivitasModel model;
+  model.Setup(3, rng);
+  model.RegisterAll(rng);
+  model.VoteAll(rng);
+  model.TallyAll(rng);
+  EXPECT_TRUE(model.OutcomeLooksCorrect());
+}
+
+TEST(Baselines, CivitasPetCountGrowsQuadratically) {
+  // B ballots and R=B roster entries: duplicate elimination is B(B-1)/2
+  // PETs; roster matching adds ~B PETs per unmatched prefix. Doubling the
+  // electorate must far more than double the PET count.
+  ChaChaRng rng(214);
+  auto pets_for = [&](size_t n) {
+    CivitasModel model;
+    model.Setup(n, rng);
+    model.RegisterAll(rng);
+    model.VoteAll(rng);
+    model.TallyAll(rng);
+    EXPECT_TRUE(model.OutcomeLooksCorrect());
+    return model.pet_count();
+  };
+  size_t pets_3 = pets_for(3);
+  size_t pets_6 = pets_for(6);
+  EXPECT_GT(pets_6, 3 * pets_3);
+  EXPECT_DOUBLE_EQ(CivitasModel{}.tally_exponent(), 2.0);
+}
+
+TEST(Baselines, RegistrationCostOrdering) {
+  // The per-voter registration cost ordering of Fig. 5a:
+  // VoteAgain < TRIP-Core < SwissPost < Civitas.
+  ChaChaRng rng(215);
+  auto time_registration = [&](VotingSystemModel& model, size_t n) {
+    model.Setup(n, rng);
+    WallTimer timer;
+    model.RegisterAll(rng);
+    return timer.Seconds() / static_cast<double>(n);
+  };
+  VoteAgainModel va;
+  VotegralModel trip;
+  SwissPostModel sp;
+  CivitasModel civitas;
+  double t_va = time_registration(va, 8);
+  double t_trip = time_registration(trip, 8);
+  double t_sp = time_registration(sp, 8);
+  double t_civitas = time_registration(civitas, 3);
+  EXPECT_LT(t_va, t_trip);
+  EXPECT_LT(t_trip, t_sp);
+  EXPECT_LT(t_sp, t_civitas);
+}
+
+}  // namespace
+}  // namespace votegral

@@ -1,0 +1,240 @@
+// Tests for batch verification (random linear combination) and for
+// Shamir/Feldman threshold decryption.
+#include <gtest/gtest.h>
+
+#include "src/crypto/batch.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/shamir.h"
+
+namespace votegral {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Batch verification
+// ---------------------------------------------------------------------------
+
+std::vector<SchnorrBatchEntry> MakeSchnorrBatch(size_t n, Rng& rng) {
+  std::vector<SchnorrBatchEntry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    auto kp = SchnorrKeyPair::Generate(rng);
+    SchnorrBatchEntry entry;
+    entry.public_key = kp.public_bytes();
+    entry.message = rng.RandomBytes(40);
+    entry.signature = kp.Sign(entry.message, rng);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+TEST(BatchSchnorr, AcceptsAllValid) {
+  ChaChaRng rng(800);
+  auto entries = MakeSchnorrBatch(20, rng);
+  EXPECT_TRUE(BatchVerifySchnorr(entries, rng).ok());
+  // Empty batch trivially verifies.
+  EXPECT_TRUE(BatchVerifySchnorr({}, rng).ok());
+}
+
+TEST(BatchSchnorr, RejectsOneBadSignatureAmongMany) {
+  ChaChaRng rng(801);
+  auto entries = MakeSchnorrBatch(20, rng);
+  entries[13].signature.s = entries[13].signature.s + Scalar::One();
+  EXPECT_FALSE(BatchVerifySchnorr(entries, rng).ok());
+}
+
+TEST(BatchSchnorr, RejectsSwappedMessages) {
+  ChaChaRng rng(802);
+  auto entries = MakeSchnorrBatch(4, rng);
+  std::swap(entries[0].message, entries[1].message);
+  EXPECT_FALSE(BatchVerifySchnorr(entries, rng).ok());
+}
+
+TEST(BatchSchnorr, CancellationAttackDefeated) {
+  // Two complementary forgeries that cancel under *fixed* weights must not
+  // cancel under the verifier's random weights: perturb one signature by
+  // +delta and another by -delta.
+  ChaChaRng rng(803);
+  auto entries = MakeSchnorrBatch(4, rng);
+  Scalar delta = Scalar::Random(rng);
+  entries[0].signature.s = entries[0].signature.s + delta;
+  entries[1].signature.s = entries[1].signature.s - delta;
+  EXPECT_FALSE(BatchVerifySchnorr(entries, rng).ok());
+}
+
+TEST(BatchDleq, AcceptsAllValidAndRejectsTampering) {
+  ChaChaRng rng(804);
+  std::vector<DleqBatchEntry> entries;
+  for (size_t i = 0; i < 12; ++i) {
+    Scalar x = Scalar::Random(rng);
+    RistrettoPoint g2 = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+    DleqBatchEntry entry;
+    entry.domain = "batch-test";
+    entry.statement = DleqStatement::MakePair(RistrettoPoint::Base(),
+                                              RistrettoPoint::MulBase(x), g2, x * g2);
+    entry.transcript = ProveDleqFs(entry.domain, entry.statement, x, rng);
+    entries.push_back(std::move(entry));
+  }
+  EXPECT_TRUE(BatchVerifyDleq(entries, rng).ok());
+
+  auto bad = entries;
+  bad[7].transcript.response = bad[7].transcript.response + Scalar::One();
+  EXPECT_FALSE(BatchVerifyDleq(bad, rng).ok());
+
+  // A wrong statement under a *correct* challenge binding is caught too.
+  bad = entries;
+  bad[3].statement.publics[1] =
+      bad[3].statement.publics[1] + RistrettoPoint::Base();
+  EXPECT_FALSE(BatchVerifyDleq(bad, rng).ok());
+}
+
+TEST(BatchDleq, ChallengeBindingStillPerItem) {
+  // Simulated (unsound-order) transcripts pass the plain equation check but
+  // must fail the batch because the FS challenge does not recompute.
+  ChaChaRng rng(805);
+  DleqStatement false_st;
+  false_st.bases = {RistrettoPoint::Base(),
+                    RistrettoPoint::FromUniformBytes(rng.RandomBytes(64))};
+  false_st.publics = {RistrettoPoint::FromUniformBytes(rng.RandomBytes(64)),
+                      RistrettoPoint::FromUniformBytes(rng.RandomBytes(64))};
+  DleqBatchEntry entry;
+  entry.domain = "batch-test";
+  entry.statement = false_st;
+  entry.transcript = SimulateDleq(false_st, Scalar::Random(rng), rng);
+  std::vector<DleqBatchEntry> entries = {entry};
+  EXPECT_FALSE(BatchVerifyDleq(entries, rng).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Shamir / Feldman / threshold decryption
+// ---------------------------------------------------------------------------
+
+TEST(Shamir, SplitAndReconstruct) {
+  ChaChaRng rng(810);
+  Scalar secret = Scalar::Random(rng);
+  FeldmanCommitments commitments;
+  auto shares = ShamirSplit(secret, /*threshold=*/3, /*n=*/5, rng, &commitments);
+  ASSERT_EQ(shares.size(), 5u);
+  ASSERT_EQ(commitments.size(), 3u);
+  // Any 3 shares reconstruct.
+  std::vector<ShamirShare> subset = {shares[0], shares[2], shares[4]};
+  EXPECT_EQ(ShamirReconstruct(subset), secret);
+  std::vector<ShamirShare> other = {shares[1], shares[3], shares[0]};
+  EXPECT_EQ(ShamirReconstruct(other), secret);
+  // All 5 also work.
+  EXPECT_EQ(ShamirReconstruct(shares), secret);
+}
+
+TEST(Shamir, TooFewSharesYieldGarbage) {
+  ChaChaRng rng(811);
+  Scalar secret = Scalar::Random(rng);
+  auto shares = ShamirSplit(secret, 3, 5, rng, nullptr);
+  std::vector<ShamirShare> two = {shares[0], shares[1]};
+  // Interpolating a degree-2 polynomial from 2 points gives a wrong value
+  // (with overwhelming probability).
+  EXPECT_NE(ShamirReconstruct(two), secret);
+}
+
+TEST(Shamir, FeldmanVerificationCatchesBadShares) {
+  ChaChaRng rng(812);
+  Scalar secret = Scalar::Random(rng);
+  FeldmanCommitments commitments;
+  auto shares = ShamirSplit(secret, 2, 4, rng, &commitments);
+  for (const ShamirShare& share : shares) {
+    EXPECT_TRUE(VerifyShamirShare(share, commitments).ok());
+  }
+  ShamirShare bad = shares[1];
+  bad.value = bad.value + Scalar::One();
+  EXPECT_FALSE(VerifyShamirShare(bad, commitments).ok());
+  ShamirShare wrong_index = shares[1];
+  wrong_index.index = 3;
+  EXPECT_FALSE(VerifyShamirShare(wrong_index, commitments).ok());
+}
+
+TEST(Shamir, LagrangeCoefficientsSumCorrectly) {
+  // For the constant polynomial f(x) = c, any interpolation returns c, i.e.
+  // sum of Lagrange coefficients is 1.
+  std::vector<size_t> indices = {1, 3, 7};
+  Scalar sum = Scalar::Zero();
+  for (size_t i : indices) {
+    sum = sum + LagrangeAtZero(indices, i);
+  }
+  EXPECT_EQ(sum, Scalar::One());
+  EXPECT_THROW((void)LagrangeAtZero(indices, 5), ProtocolError);
+}
+
+TEST(ThresholdAuthority, DecryptsWithAnyQuorum) {
+  ChaChaRng rng(813);
+  auto authority = ThresholdAuthority::Create(/*threshold=*/3, /*n=*/5, rng);
+  RistrettoPoint message = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  auto ct = ElGamalEncrypt(authority.public_key(), message, rng);
+
+  // Quorum {1, 3, 5}.
+  std::vector<ThresholdDecryptionShare> shares;
+  for (size_t i : {1u, 3u, 5u}) {
+    auto share = authority.ComputeShare(i, ct, rng);
+    EXPECT_TRUE(authority.VerifyShare(ct, share).ok());
+    shares.push_back(std::move(share));
+  }
+  auto decrypted = authority.Combine(ct, shares);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_TRUE(*decrypted == message);
+
+  // A different quorum {2, 4, 5} agrees.
+  std::vector<ThresholdDecryptionShare> other;
+  for (size_t i : {2u, 4u, 5u}) {
+    other.push_back(authority.ComputeShare(i, ct, rng));
+  }
+  auto again = authority.Combine(ct, other);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(*again == message);
+}
+
+TEST(ThresholdAuthority, RejectsSubThresholdAndBadShares) {
+  ChaChaRng rng(814);
+  auto authority = ThresholdAuthority::Create(3, 5, rng);
+  auto ct = ElGamalEncrypt(authority.public_key(), RistrettoPoint::Base(), rng);
+  std::vector<ThresholdDecryptionShare> two = {authority.ComputeShare(1, ct, rng),
+                                               authority.ComputeShare(2, ct, rng)};
+  EXPECT_FALSE(authority.Combine(ct, two).ok());
+
+  // A tampered partial decryption is caught by its proof.
+  std::vector<ThresholdDecryptionShare> three = {authority.ComputeShare(1, ct, rng),
+                                                 authority.ComputeShare(2, ct, rng),
+                                                 authority.ComputeShare(3, ct, rng)};
+  three[1].partial = three[1].partial + RistrettoPoint::Base();
+  EXPECT_FALSE(authority.Combine(ct, three).ok());
+
+  // Duplicate trustees are rejected.
+  std::vector<ThresholdDecryptionShare> dup = {authority.ComputeShare(1, ct, rng),
+                                               authority.ComputeShare(1, ct, rng),
+                                               authority.ComputeShare(2, ct, rng)};
+  EXPECT_FALSE(authority.Combine(ct, dup).ok());
+}
+
+// Parameterized over (threshold, n).
+class ThresholdParams : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(ThresholdParams, FullQuorumDecrypts) {
+  auto [t, n] = GetParam();
+  ChaChaRng rng(815 + t * 10 + n);
+  auto authority = ThresholdAuthority::Create(t, n, rng);
+  RistrettoPoint message = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  auto ct = ElGamalEncrypt(authority.public_key(), message, rng);
+  std::vector<ThresholdDecryptionShare> shares;
+  for (size_t i = 1; i <= t; ++i) {
+    shares.push_back(authority.ComputeShare(i, ct, rng));
+  }
+  auto decrypted = authority.Combine(ct, shares);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_TRUE(*decrypted == message);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quorums, ThresholdParams,
+                         ::testing::Values(std::pair<size_t, size_t>{1, 1},
+                                           std::pair<size_t, size_t>{1, 3},
+                                           std::pair<size_t, size_t>{2, 3},
+                                           std::pair<size_t, size_t>{3, 4},
+                                           std::pair<size_t, size_t>{4, 7},
+                                           std::pair<size_t, size_t>{7, 7}));
+
+}  // namespace
+}  // namespace votegral

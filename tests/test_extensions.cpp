@@ -1,0 +1,304 @@
+// Tests for the Appendix C extensions: voting-history review (C.1),
+// credential rotation (C.2), and in-booth delegation (C.3).
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/votegral/election.h"
+#include "src/votegral/extensions.h"
+
+namespace votegral {
+namespace {
+
+ElectionConfig SmallConfig(std::vector<std::string> roster) {
+  ElectionConfig config;
+  config.roster = std::move(roster);
+  config.candidates = {"A", "B"};
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// C.1 — Voting history
+// ---------------------------------------------------------------------------
+
+TEST(VotingHistory, RecordsVerifyAgainstLedger) {
+  ChaChaRng rng(300);
+  Election election(SmallConfig({"alice"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 1, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+
+  VotingHistory history;
+  // Cast and record two ballots (a re-vote).
+  for (const char* choice : {"A", "B"}) {
+    Ballot ballot = MakeBallot(alice->activated[0], election.candidates(),
+                               choice == std::string("A") ? 0 : 1,
+                               election.trip().authority_pk(), rng);
+    Bytes payload = ballot.Serialize();
+    uint64_t index = election.ledger().PostBallot(payload);
+    history.Record(alice->activated[0].credential_pk, choice, index, payload);
+  }
+  EXPECT_EQ(history.size(), 2u);
+  EXPECT_EQ(history.ForCredential(alice->activated[0].credential_pk).size(), 2u);
+  EXPECT_TRUE(history.VerifyAgainstLedger(election.ledger()).ok());
+}
+
+TEST(VotingHistory, DetectsLedgerDivergence) {
+  ChaChaRng rng(301);
+  Election election(SmallConfig({"alice"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 0, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+  Ballot ballot = MakeBallot(alice->activated[0], election.candidates(), 0,
+                             election.trip().authority_pk(), rng);
+  Bytes payload = ballot.Serialize();
+  uint64_t index = election.ledger().PostBallot(payload);
+  VotingHistory history;
+  history.Record(alice->activated[0].credential_pk, "A", index, payload);
+  // A compromised ledger replica swaps the ballot.
+  election.ledger().mutable_registration_log();  // (registration untouched)
+  Ballot other = MakeBallot(alice->activated[0], election.candidates(), 1,
+                            election.trip().authority_pk(), rng);
+  const_cast<Ledger&>(election.ledger().ballot_log())
+      .TamperWithPayloadForTest(index, other.Serialize());
+  EXPECT_FALSE(history.VerifyAgainstLedger(election.ledger()).ok());
+}
+
+TEST(VotingHistory, OwnVoteDecryptionRoundTrip) {
+  ChaChaRng rng(302);
+  Election election(SmallConfig({"alice"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 1, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+  Ballot ballot = MakeBallot(alice->activated[0], election.candidates(), 1,
+                             election.trip().authority_pk(), rng);
+  uint64_t index = election.ledger().PostBallot(ballot.Serialize());
+
+  auto decrypted = DecryptOwnVote(election.trip().authority(), election.ledger(),
+                                  alice->activated[0], index, rng);
+  ASSERT_TRUE(decrypted.ok()) << decrypted.status.reason();
+  auto candidate = election.candidates().IndexOfPoint(decrypted->vote_point);
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(*candidate, 1u);
+  // Every share carried a valid proof (verified inside); count matches.
+  EXPECT_EQ(decrypted->shares.size(), election.trip().authority().size());
+}
+
+TEST(VotingHistory, CannotDecryptOthersVotes) {
+  ChaChaRng rng(303);
+  Election election(SmallConfig({"alice", "bob"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 0, vsd, rng);
+  auto bob = election.Register("bob", 0, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+  Ballot ballot = MakeBallot(bob->activated[0], election.candidates(), 0,
+                             election.trip().authority_pk(), rng);
+  uint64_t index = election.ledger().PostBallot(ballot.Serialize());
+  // Alice requests decryption of Bob's ballot: refused (credential mismatch).
+  auto denied = DecryptOwnVote(election.trip().authority(), election.ledger(),
+                               alice->activated[0], index, rng);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_NE(denied.status.reason().find("different credential"), std::string::npos);
+}
+
+TEST(VotingHistory, FakeCredentialHistoryIsPlausible) {
+  // Coercion resistance of C.1: a fake credential's history works exactly
+  // like a real one's — recording, ledger verification, own-vote decryption.
+  ChaChaRng rng(304);
+  Election election(SmallConfig({"alice"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 1, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+  const ActivatedCredential& fake = alice->activated[1];
+  Ballot ballot =
+      MakeBallot(fake, election.candidates(), 0, election.trip().authority_pk(), rng);
+  Bytes payload = ballot.Serialize();
+  uint64_t index = election.ledger().PostBallot(payload);
+  VotingHistory history;
+  history.Record(fake.credential_pk, "A", index, payload);
+  EXPECT_TRUE(history.VerifyAgainstLedger(election.ledger()).ok());
+  auto decrypted =
+      DecryptOwnVote(election.trip().authority(), election.ledger(), fake, index, rng);
+  EXPECT_TRUE(decrypted.ok());  // indistinguishable from a real credential's flow
+}
+
+// ---------------------------------------------------------------------------
+// C.2 — Credential rotation
+// ---------------------------------------------------------------------------
+
+TEST(CredentialRotation, TransferRegistryAcceptsValidChain) {
+  ChaChaRng rng(310);
+  Election election(SmallConfig({"alice"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 0, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+
+  RotatedCredential rotated = RotateCredential(alice->activated[0], rng);
+  TransferRegistry registry;
+  EXPECT_TRUE(registry.Register(rotated.transfer).ok());
+  EXPECT_EQ(registry.ResolveToOriginal(rotated.credential.credential_pk),
+            alice->activated[0].credential_pk);
+  // Unrotated keys resolve to themselves.
+  EXPECT_EQ(registry.ResolveToOriginal(alice->activated[0].credential_pk),
+            alice->activated[0].credential_pk);
+}
+
+TEST(CredentialRotation, RegistryRejectsForgeryAndReplay) {
+  ChaChaRng rng(311);
+  Election election(SmallConfig({"alice"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 0, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+  RotatedCredential rotated = RotateCredential(alice->activated[0], rng);
+  TransferRegistry registry;
+  // Forged signature.
+  CredentialTransfer forged = rotated.transfer;
+  forged.transfer_sig.s = forged.transfer_sig.s + Scalar::One();
+  EXPECT_FALSE(registry.Register(forged).ok());
+  // Valid registration, then replay of the same old key.
+  EXPECT_TRUE(registry.Register(rotated.transfer).ok());
+  RotatedCredential again = RotateCredential(alice->activated[0], rng);
+  EXPECT_FALSE(registry.Register(again.transfer).ok());
+}
+
+TEST(CredentialRotation, RotatedBallotCountsInFullPipeline) {
+  ChaChaRng rng(312);
+  Election election(SmallConfig({"alice", "bob"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 1, vsd, rng);
+  auto bob = election.Register("bob", 0, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(bob.ok());
+
+  // Alice rotates; Bob does not. Both cast.
+  RotatedCredential rotated = RotateCredential(alice->activated[0], rng);
+  TransferRegistry registry;
+  ASSERT_TRUE(registry.Register(rotated.transfer).ok());
+  ASSERT_TRUE(election.Cast(rotated.credential, "A", rng).ok());
+  ASSERT_TRUE(election.Cast(bob->activated[0], "B", rng).ok());
+
+  // Transfer-aware validation resolves Alice's ballot to her original key...
+  TallyDiscards discards;
+  std::vector<Ballot> accepted = ValidateWithTransfers(
+      election.ledger(), election.trip().authorized_kiosks(), registry, &discards);
+  ASSERT_EQ(accepted.size(), 2u);
+  EXPECT_EQ(discards.invalid_signature, 0u);
+  bool found_original = false;
+  for (const Ballot& ballot : accepted) {
+    if (ballot.credential_pk == alice->activated[0].credential_pk) {
+      found_original = true;
+    }
+  }
+  EXPECT_TRUE(found_original);
+
+  // ...whereas the baseline validator rejects it (old key's cert does not
+  // cover the new key).
+  TallyDiscards baseline_discards;
+  std::vector<Ballot> baseline = ValidateAndDeduplicate(
+      election.ledger(), election.trip().authorized_kiosks(), &baseline_discards);
+  EXPECT_EQ(baseline.size(), 1u);
+  EXPECT_EQ(baseline_discards.invalid_signature, 1u);
+}
+
+TEST(CredentialRotation, OldKeyBallotSupersededByChain) {
+  // After rotation, a thief holding the *kiosk-issued* key (the C.2 threat)
+  // casts with it; the voter's rotated ballot maps to the same original key,
+  // so at most one of them survives dedup — and the later cast wins,
+  // restoring the re-voting defense.
+  ChaChaRng rng(313);
+  Election election(SmallConfig({"alice"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto alice = election.Register("alice", 0, vsd, rng);
+  ASSERT_TRUE(alice.ok());
+  RotatedCredential rotated = RotateCredential(alice->activated[0], rng);
+  TransferRegistry registry;
+  ASSERT_TRUE(registry.Register(rotated.transfer).ok());
+
+  ASSERT_TRUE(election.Cast(alice->activated[0], "B", rng).ok());  // thief, old key
+  ASSERT_TRUE(election.Cast(rotated.credential, "A", rng).ok());   // voter, later
+
+  TallyDiscards discards;
+  std::vector<Ballot> accepted = ValidateWithTransfers(
+      election.ledger(), election.trip().authorized_kiosks(), registry, &discards);
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_EQ(discards.superseded, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// C.3 — Delegation
+// ---------------------------------------------------------------------------
+
+TEST(Delegation, PartyVotesCountForDelegatingVoter) {
+  ChaChaRng rng(320);
+  Election election(SmallConfig({"alice", "party-rep"}), rng);
+  Vsd vsd = election.trip().MakeVsd();
+
+  // The party representative holds a normal registration (its credential is
+  // kiosk-certified, so its ballots pass validation).
+  auto party = election.Register("party-rep", 0, vsd, rng);
+  ASSERT_TRUE(party.ok());
+  RistrettoPoint party_pk =
+      RistrettoPoint::MulBase(party->activated[0].credential_sk);
+
+  // Alice registers at an additional delegation-capable kiosk (the party's
+  // own credential stays certified by the original kiosk).
+  TripSystem& trip = election.trip();
+  auto kiosk = std::make_unique<DelegationKiosk>(SchnorrKeyPair::Generate(rng),
+                                                 trip.shared_mac_key(), trip.authority_pk());
+  DelegationKiosk* kiosk_ptr = kiosk.get();
+  trip.AddKiosk(std::move(kiosk));
+
+  auto ticket = trip.official().CheckIn("alice", trip.ledger());
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(kiosk_ptr->StartSession(*ticket).ok());
+  ASSERT_TRUE(kiosk_ptr->DelegateSession(party_pk, rng).ok());
+  // Alice leaves with only fake credentials.
+  auto envelope = trip.booth_envelopes().TakeAny(rng);
+  ASSERT_TRUE(envelope.ok());
+  auto fake = kiosk_ptr->CreateFakeCredential(*envelope, rng);
+  ASSERT_TRUE(fake.ok());
+  ASSERT_TRUE(kiosk_ptr->EndSession().ok());
+  auto checkout = kiosk_ptr->delegated_checkout();
+  ASSERT_TRUE(checkout.ok());
+  ASSERT_TRUE(trip.official()
+                  .CheckOut(*checkout, trip.authorized_kiosks(), trip.ledger(), rng)
+                  .ok());
+
+  // A post-registration search finds only fakes: the fake activates cleanly
+  // (with a plausible transcript) and carries no hint of delegation.
+  Vsd alice_device = trip.MakeVsd();
+  auto activated_fake = alice_device.Activate(*fake, trip.ledger());
+  EXPECT_TRUE(activated_fake.ok());
+
+  // Votes: the party casts Alice's delegated vote with its own credential;
+  // Alice (under duress) casts with the fake.
+  ASSERT_TRUE(election.Cast(party->activated[0], "A", rng).ok());
+  ASSERT_TRUE(election.Cast(*activated_fake, "B", rng).ok());
+
+  TallyOutput output = election.Tally(rng);
+  // The party's ballot matches two roster tags — its own registration and
+  // Alice's delegated entry — so it counts with weight 2 ("the party's vote
+  // is counted for each voter who delegated", App. C.3). Alice's coerced
+  // fake is silently discarded.
+  EXPECT_EQ(output.result.counts.at("A"), 2u);
+  EXPECT_EQ(output.result.counts.at("B"), 0u);
+  EXPECT_GE(output.result.discards.unmatched_tag, 1u);
+  EXPECT_TRUE(election.Verify(output).ok());
+}
+
+TEST(Delegation, RequiresActiveSessionAndSingleUse) {
+  ChaChaRng rng(321);
+  Election election(SmallConfig({"alice"}), rng);
+  TripSystem& trip = election.trip();
+  DelegationKiosk kiosk(SchnorrKeyPair::Generate(rng), trip.shared_mac_key(),
+                        trip.authority_pk());
+  RistrettoPoint party_pk = RistrettoPoint::MulBase(Scalar::Random(rng));
+  EXPECT_FALSE(kiosk.DelegateSession(party_pk, rng).ok());
+  auto ticket = trip.official().CheckIn("alice", trip.ledger());
+  ASSERT_TRUE(kiosk.StartSession(*ticket).ok());
+  EXPECT_TRUE(kiosk.DelegateSession(party_pk, rng).ok());
+  EXPECT_FALSE(kiosk.DelegateSession(party_pk, rng).ok());  // single use
+}
+
+}  // namespace
+}  // namespace votegral

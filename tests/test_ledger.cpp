@@ -1,0 +1,224 @@
+// Tests for the tamper-evident ledger and the typed sub-ledgers.
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/crypto/drbg.h"
+#include "src/ledger/ledger.h"
+#include "src/ledger/subledgers.h"
+
+namespace votegral {
+namespace {
+
+Bytes Payload(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(Ledger, AppendAndRead) {
+  Ledger ledger;
+  EXPECT_EQ(ledger.size(), 0u);
+  uint64_t a = ledger.Append("topic-a", Payload("hello"));
+  uint64_t b = ledger.Append("topic-b", Payload("world"));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(ledger.At(0).topic, "topic-a");
+  EXPECT_EQ(ledger.At(1).payload, Payload("world"));
+  EXPECT_THROW((void)ledger.At(2), ProtocolError);
+}
+
+TEST(Ledger, ChainVerifies) {
+  Ledger ledger;
+  for (int i = 0; i < 20; ++i) {
+    ledger.Append("t", Payload("entry " + std::to_string(i)));
+  }
+  EXPECT_TRUE(ledger.VerifyChain().ok());
+}
+
+TEST(Ledger, TamperingIsDetected) {
+  Ledger ledger;
+  for (int i = 0; i < 10; ++i) {
+    ledger.Append("t", Payload("entry " + std::to_string(i)));
+  }
+  ledger.TamperWithPayloadForTest(4, Payload("forged"));
+  Status status = ledger.VerifyChain();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.reason().find("4"), std::string::npos);
+}
+
+TEST(Ledger, HeadChangesOnAppend) {
+  Ledger ledger;
+  auto h0 = ledger.Head();
+  ledger.Append("t", Payload("x"));
+  auto h1 = ledger.Head();
+  ledger.Append("t", Payload("y"));
+  auto h2 = ledger.Head();
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Ledger, InclusionProofsVerify) {
+  Ledger ledger;
+  for (int i = 0; i < 13; ++i) {  // deliberately not a power of two
+    ledger.Append("t", Payload("entry " + std::to_string(i)));
+  }
+  auto root = ledger.MerkleRoot();
+  for (uint64_t i = 0; i < 13; ++i) {
+    auto proof = ledger.ProveInclusion(i);
+    EXPECT_TRUE(Ledger::VerifyInclusion(root, ledger.At(i).entry_hash, proof).ok())
+        << "entry " << i;
+  }
+}
+
+TEST(Ledger, InclusionProofRejectsWrongLeafOrRoot) {
+  Ledger ledger;
+  for (int i = 0; i < 8; ++i) {
+    ledger.Append("t", Payload("entry " + std::to_string(i)));
+  }
+  auto root = ledger.MerkleRoot();
+  auto proof = ledger.ProveInclusion(3);
+  // Wrong leaf.
+  EXPECT_FALSE(Ledger::VerifyInclusion(root, ledger.At(4).entry_hash, proof).ok());
+  // Wrong root.
+  LedgerHash bad_root = root;
+  bad_root[0] ^= 1;
+  EXPECT_FALSE(Ledger::VerifyInclusion(bad_root, ledger.At(3).entry_hash, proof).ok());
+  // Mutated path.
+  auto bad_proof = proof;
+  bad_proof.path[0][0] ^= 1;
+  EXPECT_FALSE(Ledger::VerifyInclusion(root, ledger.At(3).entry_hash, bad_proof).ok());
+}
+
+TEST(Ledger, SingleEntryTree) {
+  Ledger ledger;
+  ledger.Append("t", Payload("only"));
+  auto proof = ledger.ProveInclusion(0);
+  EXPECT_TRUE(proof.path.empty());
+  EXPECT_TRUE(Ledger::VerifyInclusion(ledger.MerkleRoot(), ledger.At(0).entry_hash, proof).ok());
+}
+
+TEST(Ledger, TopicIndex) {
+  Ledger ledger;
+  ledger.Append("a", Payload("1"));
+  ledger.Append("b", Payload("2"));
+  ledger.Append("a", Payload("3"));
+  auto indices = ledger.IndicesWithTopic("a");
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_EQ(indices[0], 0u);
+  EXPECT_EQ(indices[1], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// PublicLedger (sub-ledger semantics)
+// ---------------------------------------------------------------------------
+
+RegistrationRecord MakeRecord(const std::string& voter, Rng& rng) {
+  auto kiosk = SchnorrKeyPair::Generate(rng);
+  auto official = SchnorrKeyPair::Generate(rng);
+  RegistrationRecord record;
+  record.voter_id = voter;
+  record.public_credential = ElGamalEncrypt(RistrettoPoint::Base(), RistrettoPoint::Base(), rng);
+  record.kiosk_pk = kiosk.public_bytes();
+  record.kiosk_sig = kiosk.Sign(AsBytes("x"), rng);
+  record.official_pk = official.public_bytes();
+  record.official_sig = official.Sign(AsBytes("y"), rng);
+  return record;
+}
+
+TEST(PublicLedger, EligibilityGate) {
+  ChaChaRng rng(90);
+  PublicLedger ledger;
+  ledger.AddEligibleVoter("alice");
+  EXPECT_TRUE(ledger.IsEligible("alice"));
+  EXPECT_FALSE(ledger.IsEligible("mallory"));
+  EXPECT_TRUE(ledger.PostRegistration(MakeRecord("alice", rng)).ok());
+  EXPECT_FALSE(ledger.PostRegistration(MakeRecord("mallory", rng)).ok());
+}
+
+TEST(PublicLedger, ReRegistrationSupersedes) {
+  ChaChaRng rng(91);
+  PublicLedger ledger;
+  ledger.AddEligibleVoter("alice");
+  auto first = MakeRecord("alice", rng);
+  auto second = MakeRecord("alice", rng);
+  ASSERT_TRUE(ledger.PostRegistration(first).ok());
+  ASSERT_TRUE(ledger.PostRegistration(second).ok());
+  auto active = ledger.ActiveRegistration("alice");
+  ASSERT_TRUE(active.has_value());
+  // The active record is the latest one.
+  EXPECT_EQ(active->public_credential, second.public_credential);
+  EXPECT_EQ(ledger.RegistrationEventCount("alice"), 2u);
+  // Exactly one active record per voter.
+  EXPECT_EQ(ledger.ActiveRegistrations().size(), 1u);
+}
+
+TEST(PublicLedger, RegistrationRecordSerializationRoundTrip) {
+  ChaChaRng rng(92);
+  auto record = MakeRecord("bob", rng);
+  auto parsed = RegistrationRecord::Parse(record.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->voter_id, "bob");
+  EXPECT_EQ(parsed->public_credential, record.public_credential);
+  EXPECT_EQ(parsed->kiosk_pk, record.kiosk_pk);
+}
+
+TEST(PublicLedger, EnvelopeChallengeLifecycle) {
+  ChaChaRng rng(93);
+  PublicLedger ledger;
+  Scalar challenge = Scalar::Random(rng);
+
+  // Reveal before commitment: rejected (forged envelope).
+  EXPECT_FALSE(ledger.RevealEnvelopeChallenge(challenge).ok());
+
+  EnvelopeCommitment commitment;
+  commitment.challenge_hash = Sha256::Hash(challenge.ToBytes());
+  ledger.PostEnvelopeCommitment(commitment);
+  EXPECT_TRUE(ledger.HasEnvelopeCommitment(commitment.challenge_hash));
+
+  // First reveal succeeds; duplicate reveal is the stuffing defense.
+  EXPECT_TRUE(ledger.RevealEnvelopeChallenge(challenge).ok());
+  Status dup = ledger.RevealEnvelopeChallenge(challenge);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_NE(dup.reason().find("duplicate"), std::string::npos);
+  EXPECT_EQ(ledger.revealed_challenge_count(), 1u);
+}
+
+TEST(PublicLedger, BallotLogRoundTrip) {
+  PublicLedger ledger;
+  ledger.PostBallot(Payload("ballot-1"));
+  ledger.PostBallot(Payload("ballot-2"));
+  auto ballots = ledger.AllBallots();
+  ASSERT_EQ(ballots.size(), 2u);
+  EXPECT_EQ(ballots[0], Payload("ballot-1"));
+  EXPECT_EQ(ballots[1], Payload("ballot-2"));
+}
+
+TEST(PublicLedger, ChainsVerifyAcrossSubLedgers) {
+  ChaChaRng rng(94);
+  PublicLedger ledger;
+  ledger.AddEligibleVoter("alice");
+  ASSERT_TRUE(ledger.PostRegistration(MakeRecord("alice", rng)).ok());
+  ledger.PostBallot(Payload("b"));
+  EXPECT_TRUE(ledger.VerifyChains().ok());
+  ledger.mutable_registration_log().TamperWithPayloadForTest(0, Payload("forged"));
+  EXPECT_FALSE(ledger.VerifyChains().ok());
+}
+
+// Parameterized: inclusion proofs across tree sizes.
+class LedgerTreeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LedgerTreeSizes, AllInclusionProofsVerify) {
+  int n = GetParam();
+  Ledger ledger;
+  for (int i = 0; i < n; ++i) {
+    ledger.Append("t", Payload(std::to_string(i)));
+  }
+  auto root = ledger.MerkleRoot();
+  for (uint64_t i = 0; i < static_cast<uint64_t>(n); ++i) {
+    auto proof = ledger.ProveInclusion(i);
+    ASSERT_TRUE(Ledger::VerifyInclusion(root, ledger.At(i).entry_hash, proof).ok())
+        << "size " << n << " entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, LedgerTreeSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100));
+
+}  // namespace
+}  // namespace votegral

@@ -1,0 +1,134 @@
+// Tests for the 2048-bit Schnorr group: parameter validity (Miller-Rabin),
+// Montgomery arithmetic laws, ElGamal, DLEQ, and PET.
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/modp.h"
+
+namespace votegral {
+namespace {
+
+const ModPGroup& G() { return ModPGroup::Standard(); }
+
+QScalar QOne() {
+  QScalar one;
+  one.limb[0] = 1;
+  return one;
+}
+
+TEST(ModP, ParametersAreValid) {
+  ChaChaRng rng(200);
+  EXPECT_TRUE(G().CheckParameters(rng).ok());
+}
+
+TEST(ModP, GroupLaws) {
+  ChaChaRng rng(201);
+  ModPElement a = G().ExpG(G().QRandom(rng));
+  ModPElement b = G().ExpG(G().QRandom(rng));
+  ModPElement c = G().ExpG(G().QRandom(rng));
+  EXPECT_EQ(G().Mul(a, b), G().Mul(b, a));
+  EXPECT_EQ(G().Mul(G().Mul(a, b), c), G().Mul(a, G().Mul(b, c)));
+  EXPECT_EQ(G().Mul(a, G().One()), a);
+  EXPECT_EQ(G().Mul(a, G().Inverse(a)), G().One());
+}
+
+TEST(ModP, ExponentiationLaws) {
+  ChaChaRng rng(202);
+  QScalar x = G().QRandom(rng);
+  QScalar y = G().QRandom(rng);
+  // g^x * g^y == g^(x+y)
+  EXPECT_EQ(G().Mul(G().ExpG(x), G().ExpG(y)), G().ExpG(G().QAdd(x, y)));
+  // (g^x)^y == g^(x*y)
+  EXPECT_EQ(G().Exp(G().ExpG(x), y), G().ExpG(G().QMul(x, y)));
+  // g^0 == 1, g^1 == g
+  EXPECT_EQ(G().ExpG(QScalar{}), G().One());
+  EXPECT_EQ(G().ExpG(QOne()), G().generator());
+}
+
+TEST(ModP, QScalarArithmetic) {
+  ChaChaRng rng(203);
+  QScalar a = G().QRandom(rng);
+  QScalar b = G().QRandom(rng);
+  EXPECT_EQ(G().QAdd(a, b), G().QAdd(b, a));
+  EXPECT_EQ(G().QSub(G().QAdd(a, b), b), a);
+  EXPECT_EQ(G().QAdd(a, G().QNeg(a)), QScalar{});
+  EXPECT_EQ(G().QMul(a, QOne()), a);
+  // Distributivity.
+  EXPECT_EQ(G().QMul(a, G().QAdd(b, QOne())), G().QAdd(G().QMul(a, b), a));
+}
+
+TEST(ModP, ElGamalRoundTrip) {
+  ChaChaRng rng(204);
+  QScalar sk = G().QRandom(rng);
+  ModPElement pk = G().ExpG(sk);
+  ModPElement message = G().ExpG(G().QRandom(rng));
+  ModPCiphertext ct = ModPEncrypt(G(), pk, message, G().QRandom(rng));
+  EXPECT_EQ(ModPDecrypt(G(), sk, ct), message);
+  // Re-randomization preserves the plaintext.
+  ModPCiphertext ct2 = ModPReRandomize(G(), pk, ct, G().QRandom(rng));
+  EXPECT_FALSE(ct2 == ct);
+  EXPECT_EQ(ModPDecrypt(G(), sk, ct2), message);
+}
+
+TEST(ModP, DleqProofRoundTrip) {
+  ChaChaRng rng(205);
+  QScalar x = G().QRandom(rng);
+  ModPElement g2 = G().ExpG(G().QRandom(rng));
+  ModPElement p1 = G().ExpG(x);
+  ModPElement p2 = G().Exp(g2, x);
+  auto proof = ModPProveDleq(G(), "test", G().generator(), p1, g2, p2, x, rng);
+  EXPECT_TRUE(ModPVerifyDleq(G(), "test", G().generator(), p1, g2, p2, proof).ok());
+  // Wrong statement fails.
+  EXPECT_FALSE(ModPVerifyDleq(G(), "test", G().generator(), p2, g2, p1, proof).ok());
+  // Wrong domain fails.
+  EXPECT_FALSE(ModPVerifyDleq(G(), "other", G().generator(), p1, g2, p2, proof).ok());
+  // Tampered response fails.
+  auto bad = proof;
+  bad.response = G().QAdd(bad.response, QOne());
+  EXPECT_FALSE(ModPVerifyDleq(G(), "test", G().generator(), p1, g2, p2, bad).ok());
+}
+
+TEST(ModP, PetDetectsEquality) {
+  ChaChaRng rng(206);
+  QScalar sk = G().QRandom(rng);
+  ModPElement pk = G().ExpG(sk);
+  ModPElement m1 = G().ExpG(G().QRandom(rng));
+  ModPElement m2 = G().ExpG(G().QRandom(rng));
+
+  ModPCiphertext a = ModPEncrypt(G(), pk, m1, G().QRandom(rng));
+  ModPCiphertext b = ModPEncrypt(G(), pk, m1, G().QRandom(rng));  // same plaintext
+  ModPCiphertext c = ModPEncrypt(G(), pk, m2, G().QRandom(rng));  // different
+
+  auto run_pet = [&](const ModPCiphertext& x, const ModPCiphertext& y) {
+    ModPCiphertext q = ModPQuotient(G(), x, y);
+    QScalar z = G().QRandom(rng);
+    ModPElement commitment = G().ExpG(z);
+    PetShare share = PetBlind(G(), q, z, commitment, rng);
+    EXPECT_TRUE(PetVerifyShare(G(), q, share, commitment).ok());
+    ModPElement plain =
+        G().Mul(share.blinded.c2, G().Inverse(G().Exp(share.blinded.c1, sk)));
+    return G().IsOne(plain);
+  };
+  EXPECT_TRUE(run_pet(a, b));
+  EXPECT_FALSE(run_pet(a, c));
+}
+
+TEST(ModP, SerializationSizes) {
+  ChaChaRng rng(207);
+  ModPElement e = G().ExpG(G().QRandom(rng));
+  EXPECT_EQ(e.Serialize().size(), 256u);
+  EXPECT_EQ(G().QRandom(rng).Serialize().size(), 32u);
+}
+
+TEST(ModP, QFromWideIsUniformish) {
+  ChaChaRng rng(208);
+  // Distinct inputs give distinct scalars; values stay below q.
+  QScalar a = G().QFromWide(rng.RandomBytes(64));
+  QScalar b = G().QFromWide(rng.RandomBytes(64));
+  EXPECT_FALSE(a == b);
+  // a + 0 == a and the reduction keeps a < q (QSub would wrap otherwise).
+  EXPECT_EQ(G().QSub(G().QAdd(a, QScalar{}), a), QScalar{});
+}
+
+}  // namespace
+}  // namespace votegral

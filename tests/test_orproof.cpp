@@ -1,0 +1,122 @@
+// Tests for the disjunctive Chaum–Pedersen ballot-validity proof.
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/orproof.h"
+
+namespace votegral {
+namespace {
+
+struct OrProofFixture {
+  ChaChaRng rng{1200};
+  Scalar sk = Scalar::Random(rng);
+  RistrettoPoint pk = RistrettoPoint::MulBase(sk);
+  std::vector<RistrettoPoint> candidates;
+
+  OrProofFixture() {
+    for (int i = 0; i < 4; ++i) {
+      candidates.push_back(RistrettoPoint::HashToGroup(
+          "orproof-test", AsBytes("candidate-" + std::to_string(i))));
+    }
+  }
+};
+
+TEST(OrProof, ValidEncryptionVerifiesForEveryBranch) {
+  OrProofFixture f;
+  for (size_t choice = 0; choice < f.candidates.size(); ++choice) {
+    Scalar r;
+    auto ct = ElGamalEncrypt(f.pk, f.candidates[choice], f.rng, &r);
+    auto proof = ProveEncryptsOneOf(ct, f.pk, f.candidates, choice, r, "test", f.rng);
+    EXPECT_TRUE(VerifyEncryptsOneOf(ct, f.pk, f.candidates, proof, "test").ok())
+        << "choice " << choice;
+  }
+}
+
+TEST(OrProof, ProofDoesNotRevealTheBranch) {
+  // Structural zero-knowledge sanity: all branches look alike — every branch
+  // has the same shape and all pass the same equations; no field singles out
+  // the true index.
+  OrProofFixture f;
+  Scalar r;
+  auto ct = ElGamalEncrypt(f.pk, f.candidates[2], f.rng, &r);
+  auto proof = ProveEncryptsOneOf(ct, f.pk, f.candidates, 2, r, "test", f.rng);
+  ASSERT_EQ(proof.branches.size(), 4u);
+  for (const OrProofBranch& branch : proof.branches) {
+    EXPECT_FALSE(branch.response.IsZero());
+    EXPECT_FALSE(branch.challenge.IsZero());
+  }
+}
+
+TEST(OrProof, OutOfSetEncryptionCannotProve) {
+  // Encrypt something outside the candidate set; an honest prover has no
+  // true branch, and grafting a proof for a different ciphertext fails.
+  OrProofFixture f;
+  RistrettoPoint rogue = RistrettoPoint::HashToGroup("orproof-test", AsBytes("write-in"));
+  Scalar r;
+  auto rogue_ct = ElGamalEncrypt(f.pk, rogue, f.rng, &r);
+  // Claim branch 0: the verification equations for branch 0 cannot hold.
+  auto forged = ProveEncryptsOneOf(rogue_ct, f.pk, f.candidates, 0, r, "test", f.rng);
+  EXPECT_FALSE(VerifyEncryptsOneOf(rogue_ct, f.pk, f.candidates, forged, "test").ok());
+}
+
+TEST(OrProof, TransplantedProofRejected) {
+  OrProofFixture f;
+  Scalar r1;
+  auto ct1 = ElGamalEncrypt(f.pk, f.candidates[0], f.rng, &r1);
+  auto proof = ProveEncryptsOneOf(ct1, f.pk, f.candidates, 0, r1, "test", f.rng);
+  // Same plaintext, fresh randomness: the proof is bound to ct1 only.
+  auto ct2 = ElGamalEncrypt(f.pk, f.candidates[0], f.rng);
+  EXPECT_FALSE(VerifyEncryptsOneOf(ct2, f.pk, f.candidates, proof, "test").ok());
+  // Domain separation holds.
+  EXPECT_FALSE(VerifyEncryptsOneOf(ct1, f.pk, f.candidates, proof, "other").ok());
+}
+
+TEST(OrProof, TamperedBranchesRejected) {
+  OrProofFixture f;
+  Scalar r;
+  auto ct = ElGamalEncrypt(f.pk, f.candidates[1], f.rng, &r);
+  auto good = ProveEncryptsOneOf(ct, f.pk, f.candidates, 1, r, "test", f.rng);
+
+  auto bad = good;
+  bad.branches[1].response = bad.branches[1].response + Scalar::One();
+  EXPECT_FALSE(VerifyEncryptsOneOf(ct, f.pk, f.candidates, bad, "test").ok());
+
+  bad = good;
+  bad.branches[3].challenge = bad.branches[3].challenge + Scalar::One();
+  EXPECT_FALSE(VerifyEncryptsOneOf(ct, f.pk, f.candidates, bad, "test").ok());
+
+  bad = good;
+  bad.branches.pop_back();
+  EXPECT_FALSE(VerifyEncryptsOneOf(ct, f.pk, f.candidates, bad, "test").ok());
+
+  // Candidate-list substitution is caught by the master challenge binding.
+  auto other_candidates = f.candidates;
+  other_candidates[0] = RistrettoPoint::HashToGroup("orproof-test", AsBytes("swapped"));
+  EXPECT_FALSE(VerifyEncryptsOneOf(ct, f.pk, other_candidates, good, "test").ok());
+}
+
+// Parameterized over candidate-set sizes (single-candidate referendums up to
+// larger slates).
+class OrProofSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OrProofSizes, RoundTrips) {
+  size_t n = GetParam();
+  ChaChaRng rng(1201 + n);
+  Scalar sk = Scalar::Random(rng);
+  RistrettoPoint pk = RistrettoPoint::MulBase(sk);
+  std::vector<RistrettoPoint> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    candidates.push_back(
+        RistrettoPoint::HashToGroup("orproof-test", AsBytes("c" + std::to_string(i))));
+  }
+  size_t choice = n / 2;
+  Scalar r;
+  auto ct = ElGamalEncrypt(pk, candidates[choice], rng, &r);
+  auto proof = ProveEncryptsOneOf(ct, pk, candidates, choice, r, "sweep", rng);
+  EXPECT_TRUE(VerifyEncryptsOneOf(ct, pk, candidates, proof, "sweep").ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, OrProofSizes, ::testing::Values(1, 2, 3, 5, 10, 16));
+
+}  // namespace
+}  // namespace votegral

@@ -1,0 +1,148 @@
+// Tests for arithmetic modulo the ristretto255 group order ℓ.
+#include <gtest/gtest.h>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/scalar.h"
+
+namespace votegral {
+namespace {
+
+// ℓ as canonical little-endian bytes.
+const char kLHex[] = "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010";
+
+TEST(Scalar, ZeroAndOne) {
+  EXPECT_TRUE(Scalar::Zero().IsZero());
+  EXPECT_FALSE(Scalar::One().IsZero());
+  EXPECT_EQ(Scalar::One() * Scalar::One(), Scalar::One());
+  EXPECT_EQ(Scalar::One() - Scalar::One(), Scalar::Zero());
+}
+
+TEST(Scalar, CanonicalBytesRejectsL) {
+  Bytes l = HexDecode(kLHex);
+  EXPECT_FALSE(Scalar::FromCanonicalBytes(l).has_value());
+  // ℓ - 1 is canonical.
+  Bytes l_minus_1 = l;
+  l_minus_1[0] -= 1;
+  auto s = Scalar::FromCanonicalBytes(l_minus_1);
+  ASSERT_TRUE(s.has_value());
+  // ℓ - 1 == -1 (mod ℓ).
+  EXPECT_EQ(*s + Scalar::One(), Scalar::Zero());
+  EXPECT_EQ(*s, -Scalar::One());
+}
+
+TEST(Scalar, LReducesToZero) {
+  Bytes l = HexDecode(kLHex);
+  EXPECT_TRUE(Scalar::FromBytesModL(l).IsZero());
+}
+
+TEST(Scalar, WideReductionMatchesNarrow) {
+  ChaChaRng rng(21);
+  for (int iter = 0; iter < 20; ++iter) {
+    Bytes narrow = rng.RandomBytes(32);
+    Bytes wide(narrow);
+    wide.resize(64, 0);
+    EXPECT_EQ(Scalar::FromBytesWide(wide), Scalar::FromBytesModL(narrow));
+  }
+}
+
+TEST(Scalar, TwoTo252ByDoubling) {
+  // 2^252 mod ℓ = ℓ - c where c = ℓ - 2^252 (the low 125-bit constant).
+  Scalar two252 = Scalar::One();
+  for (int i = 0; i < 252; ++i) {
+    two252 = two252 + two252;
+  }
+  // c has canonical bytes equal to ℓ's low 16 bytes.
+  Bytes c_bytes = HexDecode("edd3f55c1a631258d69cf7a2def9de14");
+  c_bytes.resize(32, 0);
+  Scalar c = Scalar::FromBytesModL(c_bytes);
+  EXPECT_EQ(two252 + c, Scalar::Zero());
+}
+
+TEST(Scalar, RingProperties) {
+  ChaChaRng rng(22);
+  for (int iter = 0; iter < 30; ++iter) {
+    Scalar a = Scalar::Random(rng);
+    Scalar b = Scalar::Random(rng);
+    Scalar c = Scalar::Random(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Scalar::Zero(), a);
+    EXPECT_EQ(a * Scalar::One(), a);
+    EXPECT_EQ(a - b + b, a);
+    EXPECT_EQ(a + (-a), Scalar::Zero());
+  }
+}
+
+TEST(Scalar, InversionProperties) {
+  ChaChaRng rng(23);
+  for (int iter = 0; iter < 10; ++iter) {
+    Scalar a = Scalar::Random(rng);
+    if (a.IsZero()) {
+      continue;
+    }
+    EXPECT_EQ(a * a.Invert(), Scalar::One());
+    Scalar b = Scalar::Random(rng);
+    EXPECT_EQ(a * b * b.Invert(), a);
+  }
+  EXPECT_THROW((void)Scalar::Zero().Invert(), ProtocolError);
+  EXPECT_EQ(Scalar::One().Invert(), Scalar::One());
+}
+
+TEST(Scalar, U64Arithmetic) {
+  EXPECT_EQ(Scalar::FromU64(3) * Scalar::FromU64(7), Scalar::FromU64(21));
+  EXPECT_EQ(Scalar::FromU64(1000000) + Scalar::FromU64(234567), Scalar::FromU64(1234567));
+  EXPECT_EQ(Scalar::FromU64(10) - Scalar::FromU64(4), Scalar::FromU64(6));
+  // Wraparound: 2 - 5 = -3 = ℓ - 3.
+  Scalar neg3 = Scalar::FromU64(2) - Scalar::FromU64(5);
+  EXPECT_EQ(neg3 + Scalar::FromU64(3), Scalar::Zero());
+}
+
+TEST(Scalar, SerializationRoundTrip) {
+  ChaChaRng rng(24);
+  for (int iter = 0; iter < 20; ++iter) {
+    Scalar a = Scalar::Random(rng);
+    auto bytes = a.ToBytes();
+    auto back = Scalar::FromCanonicalBytes(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+}
+
+TEST(Scalar, RandomIsWellDistributed) {
+  // Weak sanity check: 100 random scalars are pairwise distinct.
+  ChaChaRng rng(25);
+  std::vector<Scalar> scalars;
+  for (int i = 0; i < 100; ++i) {
+    scalars.push_back(Scalar::Random(rng));
+  }
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    for (size_t j = i + 1; j < scalars.size(); ++j) {
+      EXPECT_NE(scalars[i], scalars[j]);
+    }
+  }
+}
+
+// Parameterized sweep: multiplication against schoolbook addition for small
+// operands (k * m computed as repeated addition).
+class ScalarSmallMulTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScalarSmallMulTest, MatchesRepeatedAddition) {
+  uint64_t k = GetParam();
+  Scalar m = Scalar::FromU64(0x123456789abcdefULL);
+  Scalar expected = Scalar::Zero();
+  for (uint64_t i = 0; i < k; ++i) {
+    expected = expected + m;
+  }
+  EXPECT_EQ(Scalar::FromU64(k) * m, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallMultipliers, ScalarSmallMulTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 16, 17, 31, 64, 100));
+
+}  // namespace
+}  // namespace votegral

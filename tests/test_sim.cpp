@@ -1,0 +1,162 @@
+// Tests for the experiment harnesses: the Fig. 4 registration simulator's
+// structural invariants and calibration, the Fig. 5 sweep/extrapolation
+// machinery, and the §7.5 usability model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/baselines/voteagain.h"
+#include "src/crypto/drbg.h"
+#include "src/sim/pipeline.h"
+#include "src/sim/registration_sim.h"
+#include "src/sim/usability.h"
+
+namespace votegral {
+namespace {
+
+SessionMeasurement RunSession(const DeviceProfile& device, uint64_t seed) {
+  ChaChaRng rng(seed);
+  TripSystemParams params;
+  params.roster = {"alice"};
+  TripSystem system = TripSystem::Create(params, rng);
+  RegistrationSessionSimulator simulator(device);
+  return simulator.RunOnce(system, "alice", 1, rng);
+}
+
+TEST(RegistrationSim, AllPhasesHaveActivity) {
+  SessionMeasurement m = RunSession(DeviceProfile::H1MacbookPro(), 500);
+  for (size_t p = 0; p < kRegPhaseCount; ++p) {
+    EXPECT_GT(m.phases[p].TotalWall(), 0.0) << RegPhaseName(static_cast<RegPhase>(p));
+  }
+}
+
+TEST(RegistrationSim, ScanCountMatchesProtocol) {
+  // 7 scans: ticket, real envelope, fake envelope, check-out, 3 activation
+  // QRs — the accounting behind the paper's "~7 s scanning" observation.
+  SessionMeasurement m = RunSession(DeviceProfile::H1MacbookPro(), 501);
+  double scan_wall = m.WallForComponent(Component::kQrScan);
+  // Each modeled scan is ~0.85-1.1 s.
+  EXPECT_GT(scan_wall, 7 * 0.80);
+  EXPECT_LT(scan_wall, 7 * 1.15);
+}
+
+TEST(RegistrationSim, CalibrationMatchesPaperTotals) {
+  // The headline §7.2 numbers: L1 ~19.7 s, H1 ~15.8 s (±1 s tolerance; the
+  // crypto component varies with host load).
+  SessionMeasurement l1 = RunSession(DeviceProfile::L1PosKiosk(), 502);
+  SessionMeasurement h1 = RunSession(DeviceProfile::H1MacbookPro(), 503);
+  EXPECT_NEAR(l1.TotalWall(), 19.7, 1.0);
+  EXPECT_NEAR(h1.TotalWall(), 15.8, 1.0);
+  EXPECT_GT(l1.TotalWall(), h1.TotalWall());
+}
+
+TEST(RegistrationSim, QrIoDominatesWallTime) {
+  // Fig. 4's central observation: mechanical I/O, not crypto, dominates.
+  SessionMeasurement m = RunSession(DeviceProfile::L1PosKiosk(), 504);
+  double qr = m.WallForComponent(Component::kQrScan) + m.WallForComponent(Component::kQrPrint);
+  EXPECT_GT(qr / m.TotalWall(), 0.695);  // the paper's >= 69.5% bound
+}
+
+TEST(RegistrationSim, ConstrainedDevicesUseMoreCpu) {
+  SessionMeasurement l1 = RunSession(DeviceProfile::L1PosKiosk(), 505);
+  SessionMeasurement h1 = RunSession(DeviceProfile::H1MacbookPro(), 506);
+  EXPECT_GT(l1.TotalCpu(), 2.5 * h1.TotalCpu());
+  // User + system split is populated.
+  double user = 0.0;
+  double sys = 0.0;
+  for (const auto& phase : l1.phases) {
+    for (size_t c = 0; c < kComponentCount; ++c) {
+      user += phase.cpu_user[c];
+      sys += phase.cpu_system[c];
+    }
+  }
+  EXPECT_GT(user, 0.0);
+  EXPECT_GT(sys, 0.0);
+  EXPECT_GT(user, sys);  // user-dominated workload
+}
+
+TEST(RegistrationSim, NamesAreStable) {
+  EXPECT_STREQ(RegPhaseName(RegPhase::kCheckIn), "CheckIn");
+  EXPECT_STREQ(RegPhaseName(RegPhase::kActivation), "Activation");
+  EXPECT_STREQ(ComponentName(Component::kQrPrint), "QR Print");
+  EXPECT_STREQ(ComponentName(Component::kCryptoLogic), "Crypto & Logic");
+}
+
+TEST(Pipeline, MeasureProducesSaneNumbers) {
+  ChaChaRng rng(510);
+  VoteAgainModel model;
+  ScalingRow row = MeasureSystemAt(model, 10, rng);
+  EXPECT_EQ(row.voters, 10u);
+  EXPECT_FALSE(row.extrapolated);
+  EXPECT_GT(row.registration_per_voter, 0.0);
+  EXPECT_GT(row.voting_per_voter, 0.0);
+  EXPECT_GT(row.tally_total, 0.0);
+}
+
+TEST(Pipeline, ExtrapolationFollowsComplexity) {
+  ChaChaRng rng(511);
+  VoteAgainModel model;
+  auto rows = SweepSystem(model, {10, 100, 1000}, /*max_measured=*/10, rng);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_FALSE(rows[0].extrapolated);
+  EXPECT_TRUE(rows[1].extrapolated);
+  EXPECT_TRUE(rows[2].extrapolated);
+  // Per-voter phases stay constant under extrapolation.
+  EXPECT_DOUBLE_EQ(rows[1].registration_per_voter, rows[0].registration_per_voter);
+  // Tally scales as N^exponent.
+  double expected = rows[0].tally_total * std::pow(100.0, model.tally_exponent());
+  EXPECT_NEAR(rows[2].tally_total, expected, expected * 1e-9);
+}
+
+TEST(Usability, SurvivalMatchesPaperNumbers) {
+  // 0.9^50 = 0.515% (the paper's "under 1%").
+  EXPECT_NEAR(KioskSurvivalProbability(0.10, 50), 0.00515, 0.0001);
+  EXPECT_LT(KioskSurvivalProbability(0.10, 50), 0.01);
+  // 0.9^1000 ~ 2^-152 (the paper's 1/2^152).
+  double log2 = KioskSurvivalLog2(0.10, 1000);
+  EXPECT_NEAR(log2, -152.0, 1.0);
+  EXPECT_DOUBLE_EQ(KioskSurvivalProbability(0.0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(KioskSurvivalProbability(1.0, 1), 0.0);
+}
+
+TEST(Usability, MonteCarloAgreesWithClosedForm) {
+  ChaChaRng rng(512);
+  double simulated = SimulateKioskCampaign(20000, 10, /*educated_fraction=*/0.0, rng);
+  EXPECT_NEAR(simulated, KioskSurvivalProbability(0.10, 10), 0.015);
+  double educated = SimulateKioskCampaign(20000, 10, /*educated_fraction=*/1.0, rng);
+  EXPECT_NEAR(educated, KioskSurvivalProbability(0.47, 10), 0.01);
+  EXPECT_LT(educated, simulated);
+}
+
+TEST(Usability, ExpectedDetectionHorizon) {
+  EXPECT_DOUBLE_EQ(ExpectedVotersUntilDetection(0.10), 10.0);
+  EXPECT_NEAR(ExpectedVotersUntilDetection(0.47), 2.13, 0.01);
+  EXPECT_THROW((void)ExpectedVotersUntilDetection(0.0), ProtocolError);
+}
+
+// Parameterized sweep: total wall time is monotone in the number of fake
+// credentials (each fake adds a scan + print job).
+class FakeCountSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FakeCountSweep, MoreFakesTakeLonger) {
+  size_t fakes = GetParam();
+  ChaChaRng rng(513 + fakes);
+  TripSystemParams params;
+  params.roster = {"alice"};
+  params.envelopes_per_voter = fakes + 2;
+  TripSystem system = TripSystem::Create(params, rng);
+  RegistrationSessionSimulator simulator(DeviceProfile::H1MacbookPro());
+  SessionMeasurement m = simulator.RunOnce(system, "alice", fakes, rng);
+  // FakeToken phase cost is ~linear in the fake count.
+  double fake_phase = m.phases[static_cast<size_t>(RegPhase::kFakeToken)].TotalWall();
+  if (fakes == 0) {
+    EXPECT_LT(fake_phase, 0.5);
+  } else {
+    EXPECT_GT(fake_phase, 3.5 * static_cast<double>(fakes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FakeCounts, FakeCountSweep, ::testing::Values(0, 1, 2, 4));
+
+}  // namespace
+}  // namespace votegral

@@ -1,0 +1,223 @@
+// Adversarial tests: credential-stealing kiosks (order inversion), envelope
+// stuffing (the §5.1 integrity-adversary bound), and the voter-detection
+// model from the §7.5 usability study.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/crypto/drbg.h"
+#include "src/trip/attacks.h"
+#include "src/trip/registrar.h"
+
+namespace votegral {
+namespace {
+
+TripSystem MakeSystem(Rng& rng) {
+  TripSystemParams params;
+  params.roster = {"alice", "bob"};
+  return TripSystem::Create(params, rng);
+}
+
+TEST(MaliciousKiosk, StolenCredentialPassesActivation) {
+  // The attack is cryptographically invisible after the booth: the decoy
+  // credential carries a structurally valid (simulated) transcript and
+  // passes every activation check. This is exactly why the printed step
+  // order is the voter's only signal (§4.3).
+  ChaChaRng rng(120);
+  TripSystem system = MakeSystem(rng);
+  auto evil = std::make_unique<CredentialStealingKiosk>(
+      SchnorrKeyPair::Generate(rng), system.shared_mac_key(), system.authority_pk());
+  CredentialStealingKiosk* evil_ptr = evil.get();
+  system.ReplaceKiosk(0, std::move(evil));
+
+  auto ticket = system.official().CheckIn("alice", system.ledger());
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(system.kiosk().StartSession(*ticket).ok());
+
+  // Malicious flow: kiosk demands an envelope before printing anything.
+  EXPECT_FALSE(system.kiosk().BeginRealCredential(rng).ok());
+  auto envelope = system.booth_envelopes().TakeAny(rng);
+  ASSERT_TRUE(envelope.ok());
+  auto credential = system.kiosk().FinishRealCredential(*envelope, rng);
+  ASSERT_TRUE(credential.ok());
+  ASSERT_TRUE(system.kiosk().EndSession().ok());
+  ASSERT_TRUE(system.official()
+                  .CheckOut(credential->checkout, system.authorized_kiosks(),
+                            system.ledger(), rng)
+                  .ok());
+
+  // The decoy passes all VSD checks...
+  Vsd vsd = system.MakeVsd();
+  auto activated = vsd.Activate(*credential, system.ledger());
+  EXPECT_TRUE(activated.ok()) << activated.status.reason();
+  // ...but the registered public credential actually encrypts the stolen key.
+  ASSERT_EQ(evil_ptr->stolen_keys().size(), 1u);
+  RistrettoPoint encrypted =
+      system.authority().Decrypt(credential->checkout.public_credential);
+  EXPECT_TRUE(encrypted == evil_ptr->stolen_keys()[0].public_point());
+  EXPECT_FALSE(encrypted == RistrettoPoint::MulBase(credential->response.credential_sk));
+}
+
+TEST(MaliciousKiosk, ActionOrderRevealsTheAttack) {
+  ChaChaRng rng(121);
+  TripSystem system = MakeSystem(rng);
+
+  // Honest flow first.
+  RegistrationDesk desk(system);
+  ASSERT_TRUE(desk.RegisterVoter("bob", 0, rng).ok());
+  EXPECT_TRUE(ActionsShowSoundRealOrder(system.kiosk().session_actions()));
+
+  // Malicious flow.
+  auto evil = std::make_unique<CredentialStealingKiosk>(
+      SchnorrKeyPair::Generate(rng), system.shared_mac_key(), system.authority_pk());
+  system.ReplaceKiosk(0, std::move(evil));
+  auto ticket = system.official().CheckIn("alice", system.ledger());
+  ASSERT_TRUE(system.kiosk().StartSession(*ticket).ok());
+  auto envelope = system.booth_envelopes().TakeAny(rng);
+  ASSERT_TRUE(system.kiosk().FinishRealCredential(*envelope, rng).ok());
+  EXPECT_FALSE(ActionsShowSoundRealOrder(system.kiosk().session_actions()));
+}
+
+TEST(VoterBehavior, DetectionRatesMatchStudy) {
+  // Monte-Carlo check that the model reproduces the study's 47% / 10%
+  // detection rates (±3 points at n=20000).
+  ChaChaRng rng(122);
+  std::vector<KioskAction> malicious_order = {KioskAction::kSessionStarted,
+                                              KioskAction::kScannedEnvelope,
+                                              KioskAction::kPrintedFullReceipt};
+  int detected_educated = 0;
+  int detected_uneducated = 0;
+  const int n = 20000;
+  VoterBehavior educated{.security_educated = true};
+  VoterBehavior uneducated{.security_educated = false};
+  for (int i = 0; i < n; ++i) {
+    detected_educated += educated.DetectsMisbehavior(malicious_order, rng) ? 1 : 0;
+    detected_uneducated += uneducated.DetectsMisbehavior(malicious_order, rng) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(detected_educated) / n, 0.47, 0.03);
+  EXPECT_NEAR(static_cast<double>(detected_uneducated) / n, 0.10, 0.03);
+}
+
+TEST(VoterBehavior, HonestOrderNeverReported) {
+  ChaChaRng rng(123);
+  std::vector<KioskAction> honest_order = {KioskAction::kSessionStarted,
+                                           KioskAction::kPrintedSymbolAndCommit,
+                                           KioskAction::kScannedEnvelope,
+                                           KioskAction::kPrintedCheckoutAndResponse};
+  VoterBehavior educated{.security_educated = true};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(educated.DetectsMisbehavior(honest_order, rng));
+  }
+}
+
+TEST(EnvelopeStuffing, DuplicateChallengeCaughtAtSecondActivation) {
+  ChaChaRng rng(124);
+  TripSystem system = MakeSystem(rng);
+  // Malicious registrar stuffs the booth: all envelopes share one challenge.
+  Scalar known = Scalar::Random(rng);
+  EnvelopeSupply stuffed = BuildStuffedSupply(system.envelope_printer(), system.ledger(),
+                                              /*total=*/8, /*duplicates=*/8, known, rng);
+  // Alice creates a real + one fake credential, both consuming stuffed
+  // envelopes (the kiosk itself is honest here).
+  auto ticket = system.official().CheckIn("alice", system.ledger());
+  ASSERT_TRUE(system.kiosk().StartSession(*ticket).ok());
+  auto printed = system.kiosk().BeginRealCredential(rng);
+  ASSERT_TRUE(printed.ok());
+  auto env1 = stuffed.TakeWithSymbol(printed->symbol, rng);
+  ASSERT_TRUE(env1.ok()) << "stuffed booth should cover all symbols";
+  auto real = system.kiosk().FinishRealCredential(*env1, rng);
+  ASSERT_TRUE(real.ok());
+  // In-session reuse is already rejected by the kiosk; the attack's value is
+  // cross-session, so simulate the fake being made in a second session.
+  ASSERT_TRUE(system.kiosk().EndSession().ok());
+  ASSERT_TRUE(system.official()
+                  .CheckOut(real->checkout, system.authorized_kiosks(), system.ledger(), rng)
+                  .ok());
+
+  Vsd vsd = system.MakeVsd();
+  ASSERT_TRUE(vsd.Activate(*real, system.ledger()).ok());
+
+  // A second credential using another stuffed envelope (same challenge)
+  // fails activation: the ledger flags the duplicate.
+  auto ticket2 = system.official().CheckIn("bob", system.ledger());
+  ASSERT_TRUE(system.kiosk().StartSession(*ticket2).ok());
+  auto printed2 = system.kiosk().BeginRealCredential(rng);
+  ASSERT_TRUE(printed2.ok());
+  auto env2 = stuffed.TakeWithSymbol(printed2->symbol, rng);
+  ASSERT_TRUE(env2.ok());
+  auto real2 = system.kiosk().FinishRealCredential(*env2, rng);
+  ASSERT_TRUE(real2.ok());
+  ASSERT_TRUE(system.kiosk().EndSession().ok());
+  ASSERT_TRUE(system.official()
+                  .CheckOut(real2->checkout, system.authorized_kiosks(), system.ledger(), rng)
+                  .ok());
+  auto second = vsd.Activate(*real2, system.ledger());
+  EXPECT_FALSE(second.ok());
+  EXPECT_NE(second.status.reason().find("duplicate"), std::string::npos);
+}
+
+TEST(IvBound, MatchesClosedFormProperties) {
+  // k = n_E (all stuffed): success certain when the voter makes only the
+  // real credential... but any fake forces a duplicate pick, so the formula
+  // yields 0 for n_c > 1.
+  EXPECT_DOUBLE_EQ(IvAdversaryBound(10, 10, 1), 1.0);
+  EXPECT_DOUBLE_EQ(IvAdversaryBound(10, 10, 2), 0.0);
+  // No duplicates: no success.
+  EXPECT_DOUBLE_EQ(IvAdversaryBound(10, 0, 2), 0.0);
+  // Single duplicate, one credential: 1/n_E.
+  EXPECT_DOUBLE_EQ(IvAdversaryBound(10, 1, 1), 0.1);
+  // Monotone in k for fixed n_c = 1.
+  EXPECT_LT(IvAdversaryBound(100, 5, 1), IvAdversaryBound(100, 20, 1));
+}
+
+TEST(IvBound, MatchesMonteCarloSimulation) {
+  // Simulate the §5.1 game: booth with n_E envelopes of which k share the
+  // adversary's challenge; voter draws 1 real + (n_c-1) fake envelopes
+  // uniformly without replacement. Adversary wins iff the real credential's
+  // envelope is stuffed AND no fake envelope is stuffed (a second stuffed
+  // reveal trips the duplicate check).
+  ChaChaRng rng(125);
+  const size_t n_e = 24;
+  const size_t k = 6;
+  const size_t n_c = 3;
+  const int trials = 40000;
+  int wins = 0;
+  for (int t = 0; t < trials; ++t) {
+    // Draw n_c distinct envelope indices; indices < k are stuffed.
+    std::vector<size_t> pool(n_e);
+    for (size_t i = 0; i < n_e; ++i) {
+      pool[i] = i;
+    }
+    bool real_stuffed = false;
+    bool fake_stuffed = false;
+    for (size_t pick = 0; pick < n_c; ++pick) {
+      size_t j = pick + rng.Uniform(pool.size() - pick);
+      std::swap(pool[pick], pool[j]);
+      bool stuffed = pool[pick] < k;
+      if (pick == 0) {
+        real_stuffed = stuffed;  // first draw = real credential's envelope
+      } else {
+        fake_stuffed |= stuffed;
+      }
+    }
+    if (real_stuffed && !fake_stuffed) {
+      ++wins;
+    }
+  }
+  double simulated = static_cast<double>(wins) / trials;
+  double bound = IvAdversaryBound(n_e, k, n_c);
+  EXPECT_NEAR(simulated, bound, 0.01);
+}
+
+TEST(IvBound, IterativeAttackProbabilityIsNegligible) {
+  // Strong iterative IV (App. F.3.6): across N voters the probability of
+  // consistent success is p^N.
+  double p = IvAdversaryBound(64, 8, 2);
+  ASSERT_GT(p, 0.0);
+  ASSERT_LT(p, 0.15);
+  double p50 = std::pow(p, 50);
+  EXPECT_LT(p50, 1e-40);
+}
+
+}  // namespace
+}  // namespace votegral

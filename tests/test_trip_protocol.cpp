@@ -1,0 +1,337 @@
+// Integration tests for the full TRIP registration protocol: setup, check-in,
+// real/fake credential creation, check-out, activation — and every activation
+// check's failure path (tamper injection).
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/trip/registrar.h"
+#include "src/trip/setup.h"
+
+namespace votegral {
+namespace {
+
+TripSystem MakeSystem(Rng& rng, std::vector<std::string> roster = {"alice", "bob", "carol"}) {
+  TripSystemParams params;
+  params.roster = std::move(roster);
+  params.authority_members = 4;
+  return TripSystem::Create(params, rng);
+}
+
+TEST(TripSetup, CreatesWorkingSystem) {
+  ChaChaRng rng(100);
+  TripSystem system = MakeSystem(rng);
+  EXPECT_TRUE(system.authority().VerifySetup().ok());
+  EXPECT_EQ(system.ledger().eligible_count(), 3u);
+  // n_E > c|V| + λ_E|K| = 3*3 + 16.
+  EXPECT_GE(system.booth_envelopes().remaining(), 3u * 3u + 16u);
+  EXPECT_EQ(system.ledger().envelope_commitment_count(),
+            system.booth_envelopes().remaining());
+}
+
+TEST(TripRegistration, HappyPathRealAndFakes) {
+  ChaChaRng rng(101);
+  TripSystem system = MakeSystem(rng);
+  RegistrationDesk desk(system);
+  auto outcome = desk.RegisterVoter("alice", /*fake_count=*/2, rng);
+  ASSERT_TRUE(outcome.ok()) << outcome.status.reason();
+
+  // Registration record on the ledger, with the same c_pc as all receipts.
+  auto record = system.ledger().ActiveRegistration("alice");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->public_credential, outcome->real.checkout.public_credential);
+  for (const auto& fake : outcome->fakes) {
+    // Fakes share the identical check-out ticket and public credential.
+    EXPECT_EQ(fake.checkout.public_credential, outcome->real.checkout.public_credential);
+    EXPECT_EQ(fake.checkout.kiosk_sig.Serialize(),
+              outcome->real.checkout.kiosk_sig.Serialize());
+  }
+  // But carry distinct credential keys.
+  EXPECT_NE(outcome->fakes[0].CredentialPublicKey(), outcome->real.CredentialPublicKey());
+  EXPECT_NE(outcome->fakes[0].CredentialPublicKey(), outcome->fakes[1].CredentialPublicKey());
+}
+
+TEST(TripRegistration, IneligibleVoterRejectedAtCheckIn) {
+  ChaChaRng rng(102);
+  TripSystem system = MakeSystem(rng);
+  RegistrationDesk desk(system);
+  auto outcome = desk.RegisterVoter("mallory", 1, rng);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.status.reason().find("roll"), std::string::npos);
+}
+
+TEST(TripRegistration, ForgedTicketRejectedByKiosk) {
+  ChaChaRng rng(103);
+  TripSystem system = MakeSystem(rng);
+  CheckInTicket forged;
+  forged.voter_id = "alice";
+  forged.mac_tag.fill(0x42);
+  EXPECT_FALSE(system.kiosk().StartSession(forged).ok());
+}
+
+TEST(TripRegistration, KioskEnforcesSessionDiscipline) {
+  ChaChaRng rng(104);
+  TripSystem system = MakeSystem(rng);
+  Kiosk& kiosk = system.kiosk();
+  // No session: all operations fail.
+  EXPECT_FALSE(kiosk.BeginRealCredential(rng).ok());
+  auto official_ticket = system.official().CheckIn("alice", system.ledger());
+  ASSERT_TRUE(official_ticket.ok());
+  ASSERT_TRUE(kiosk.StartSession(*official_ticket).ok());
+  // Double session start fails.
+  EXPECT_FALSE(kiosk.StartSession(*official_ticket).ok());
+  // Fake before real fails (fakes need the session c_pc / t_ot).
+  auto envelope = system.booth_envelopes().TakeAny(rng);
+  ASSERT_TRUE(envelope.ok());
+  EXPECT_FALSE(kiosk.CreateFakeCredential(*envelope, rng).ok());
+  // Real twice fails.
+  ASSERT_TRUE(kiosk.BeginRealCredential(rng).ok());
+  EXPECT_FALSE(kiosk.BeginRealCredential(rng).ok());
+}
+
+TEST(TripRegistration, KioskRejectsWrongSymbolEnvelope) {
+  ChaChaRng rng(105);
+  TripSystem system = MakeSystem(rng);
+  Kiosk& kiosk = system.kiosk();
+  auto ticket = system.official().CheckIn("alice", system.ledger());
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(kiosk.StartSession(*ticket).ok());
+  auto printed = kiosk.BeginRealCredential(rng);
+  ASSERT_TRUE(printed.ok());
+  // Pick an envelope with a deliberately different symbol.
+  int wrong_symbol = (printed->symbol + 1) % kNumEnvelopeSymbols;
+  auto envelope = system.booth_envelopes().TakeWithSymbol(wrong_symbol, rng);
+  ASSERT_TRUE(envelope.ok());
+  auto result = kiosk.FinishRealCredential(*envelope, rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status.reason().find("symbol"), std::string::npos);
+  // The correct symbol still completes.
+  auto good = system.booth_envelopes().TakeWithSymbol(printed->symbol, rng);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(kiosk.FinishRealCredential(*good, rng).ok());
+}
+
+TEST(TripRegistration, KioskRejectsEnvelopeReuseWithinSession) {
+  ChaChaRng rng(106);
+  TripSystem system = MakeSystem(rng);
+  Kiosk& kiosk = system.kiosk();
+  auto ticket = system.official().CheckIn("alice", system.ledger());
+  ASSERT_TRUE(kiosk.StartSession(*ticket).ok());
+  auto printed = kiosk.BeginRealCredential(rng);
+  ASSERT_TRUE(printed.ok());
+  auto envelope = system.booth_envelopes().TakeWithSymbol(printed->symbol, rng);
+  ASSERT_TRUE(envelope.ok());
+  ASSERT_TRUE(kiosk.FinishRealCredential(*envelope, rng).ok());
+  // Same envelope again for a fake: rejected.
+  auto reused = kiosk.CreateFakeCredential(*envelope, rng);
+  EXPECT_FALSE(reused.ok());
+  EXPECT_NE(reused.status.reason().find("already used"), std::string::npos);
+}
+
+TEST(TripRegistration, ActionLogShowsDistinctOrders) {
+  ChaChaRng rng(107);
+  TripSystem system = MakeSystem(rng);
+  RegistrationDesk desk(system);
+  auto outcome = desk.RegisterVoter("alice", 1, rng);
+  ASSERT_TRUE(outcome.ok());
+  const auto& actions = system.kiosk().session_actions();
+  // Expected order: start, print commit, scan envelope, print rest (real);
+  // then scan envelope, print full receipt (fake); end.
+  std::vector<KioskAction> expected = {
+      KioskAction::kSessionStarted,        KioskAction::kPrintedSymbolAndCommit,
+      KioskAction::kScannedEnvelope,       KioskAction::kPrintedCheckoutAndResponse,
+      KioskAction::kScannedEnvelope,       KioskAction::kPrintedFullReceipt,
+      KioskAction::kSessionEnded,
+  };
+  EXPECT_EQ(actions, expected);
+}
+
+TEST(TripActivation, RealAndFakeCredentialsActivate) {
+  ChaChaRng rng(108);
+  TripSystem system = MakeSystem(rng);
+  Vsd vsd = system.MakeVsd();
+  auto voter = RegisterAndActivate(system, "alice", 2, vsd, rng);
+  ASSERT_TRUE(voter.ok()) << voter.status.reason();
+  EXPECT_EQ(voter->activated.size(), 3u);
+  EXPECT_EQ(vsd.credentials().size(), 3u);
+  // Challenges were revealed on L_E (3 credentials = 3 envelopes).
+  EXPECT_EQ(system.ledger().revealed_challenge_count(), 3u);
+}
+
+TEST(TripActivation, ChecksCatchEveryTamperClass) {
+  ChaChaRng rng(109);
+  TripSystem system = MakeSystem(rng);
+  RegistrationDesk desk(system);
+  auto outcome = desk.RegisterVoter("alice", 0, rng);
+  ASSERT_TRUE(outcome.ok());
+  const PaperCredential& good = outcome->real;
+
+  auto expect_fail = [&](PaperCredential credential, const std::string& fragment) {
+    Vsd vsd = system.MakeVsd();
+    auto result = vsd.Activate(credential, system.ledger());
+    EXPECT_FALSE(result.ok()) << "expected failure containing: " << fragment;
+    EXPECT_NE(result.status.reason().find(fragment), std::string::npos)
+        << "got: " << result.status.reason();
+  };
+
+  // (1) Tampered commit signature.
+  {
+    PaperCredential bad = good;
+    bad.commit.kiosk_sig.s = bad.commit.kiosk_sig.s + Scalar::One();
+    expect_fail(bad, "commit signature");
+  }
+  // (2) Tampered response signature / wrong credential key.
+  {
+    PaperCredential bad = good;
+    bad.response.credential_sk = bad.response.credential_sk + Scalar::One();
+    expect_fail(bad, "response signature");
+  }
+  // (3) Untrusted envelope printer.
+  {
+    PaperCredential bad = good;
+    SchnorrKeyPair rogue = SchnorrKeyPair::Generate(rng);
+    bad.envelope.printer_pk = rogue.public_bytes();
+    bad.envelope.printer_sig = rogue.Sign(bad.envelope.SignedPayload(), rng);
+    expect_fail(bad, "printer not trusted");
+  }
+  // (4) Corrupted envelope signature.
+  {
+    PaperCredential bad = good;
+    bad.envelope.printer_sig.s = bad.envelope.printer_sig.s + Scalar::One();
+    expect_fail(bad, "printer signature");
+  }
+  // (5) Broken ZKP transcript (wrong challenge on the envelope).
+  {
+    PaperCredential bad = good;
+    // Re-sign H(e') so the signature checks pass but the transcript breaks.
+    Scalar wrong = bad.envelope.challenge + Scalar::One();
+    bad.envelope.challenge = wrong;
+    // Find the printer to re-sign: use the system's printer.
+    bad.envelope.printer_pk = system.envelope_printer().public_key();
+    bad.envelope =
+        [&] {
+          Envelope e = bad.envelope;
+          // Build a properly signed envelope with the wrong challenge.
+          e = system.envelope_printer().IssueEnvelopeWithChallenge(wrong, system.ledger(), rng);
+          e.symbol = bad.envelope.symbol;
+          return e;
+        }();
+    // σ_kr binds H(e‖r), so with a swapped envelope the response signature
+    // check fails first — still a detection.
+    Vsd vsd = system.MakeVsd();
+    EXPECT_FALSE(vsd.Activate(bad, system.ledger()).ok());
+  }
+  // (6) Ledger mismatch: another voter's record (different c_pc).
+  {
+    RegistrationDesk desk2(system);
+    auto other = desk2.RegisterVoter("bob", 0, rng);
+    ASSERT_TRUE(other.ok());
+    PaperCredential bad = good;
+    bad.commit.voter_id = "bob";  // commit sig breaks; even if it didn't,
+                                  // c_pc wouldn't match bob's record
+    expect_fail(bad, "signature");
+  }
+  // The untampered credential still activates.
+  {
+    Vsd vsd = system.MakeVsd();
+    EXPECT_TRUE(vsd.Activate(good, system.ledger()).ok());
+  }
+}
+
+TEST(TripActivation, DuplicateEnvelopeChallengeDetected) {
+  ChaChaRng rng(110);
+  TripSystem system = MakeSystem(rng);
+  Vsd vsd = system.MakeVsd();
+  auto voter = RegisterAndActivate(system, "alice", 0, vsd, rng);
+  ASSERT_TRUE(voter.ok());
+  // Activating the same credential twice reveals the same challenge twice.
+  auto again = vsd.Activate(voter->paper.real, system.ledger());
+  EXPECT_FALSE(again.ok());
+  EXPECT_NE(again.status.reason().find("duplicate"), std::string::npos);
+}
+
+TEST(TripActivation, RecordSupersedeInvalidatesOldCredential) {
+  ChaChaRng rng(111);
+  TripSystem system = MakeSystem(rng);
+  Vsd vsd = system.MakeVsd();
+  RegistrationDesk desk(system);
+  auto first = desk.RegisterVoter("alice", 0, rng);
+  ASSERT_TRUE(first.ok());
+  // Voter re-registers (e.g. lost device); new record supersedes.
+  auto second = desk.RegisterVoter("alice", 0, rng);
+  ASSERT_TRUE(second.ok());
+  // The first credential now fails the ledger match.
+  auto stale = vsd.Activate(first->real, system.ledger());
+  EXPECT_FALSE(stale.ok());
+  EXPECT_NE(stale.status.reason().find("ledger"), std::string::npos);
+  // The new one activates.
+  EXPECT_TRUE(vsd.Activate(second->real, system.ledger()).ok());
+}
+
+TEST(TripActivation, RegistrationEventMonitoring) {
+  ChaChaRng rng(112);
+  TripSystem system = MakeSystem(rng);
+  Vsd vsd = system.MakeVsd();
+  auto voter = RegisterAndActivate(system, "alice", 0, vsd, rng);
+  ASSERT_TRUE(voter.ok());
+  EXPECT_EQ(vsd.UnexpectedRegistrationEvents("alice", system.ledger()), 0u);
+  // An impersonator registers as alice (insider at the desk).
+  RegistrationDesk desk(system);
+  ASSERT_TRUE(desk.RegisterVoter("alice", 0, rng).ok());
+  EXPECT_EQ(vsd.UnexpectedRegistrationEvents("alice", system.ledger()), 1u);
+}
+
+TEST(TripMessages, SerializationRoundTrips) {
+  ChaChaRng rng(113);
+  TripSystem system = MakeSystem(rng);
+  RegistrationDesk desk(system);
+  auto outcome = desk.RegisterVoter("alice", 1, rng);
+  ASSERT_TRUE(outcome.ok());
+
+  const PaperCredential& c = outcome->real;
+  auto ticket = CheckInTicket::Parse(outcome->ticket.Serialize());
+  ASSERT_TRUE(ticket.has_value());
+  EXPECT_EQ(ticket->voter_id, "alice");
+
+  auto commit = CommitSegment::Parse(c.commit.Serialize());
+  ASSERT_TRUE(commit.has_value());
+  EXPECT_EQ(commit->public_credential, c.commit.public_credential);
+
+  auto checkout = CheckOutSegment::Parse(c.checkout.Serialize());
+  ASSERT_TRUE(checkout.has_value());
+  EXPECT_EQ(checkout->kiosk_pk, c.checkout.kiosk_pk);
+
+  auto response = ResponseSegment::Parse(c.response.Serialize());
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->credential_sk, c.response.credential_sk);
+
+  auto envelope = Envelope::Parse(c.envelope.Serialize());
+  ASSERT_TRUE(envelope.has_value());
+  EXPECT_EQ(envelope->challenge, c.envelope.challenge);
+
+  // Truncated parses fail cleanly.
+  Bytes wire = c.commit.Serialize();
+  wire.pop_back();
+  EXPECT_FALSE(CommitSegment::Parse(wire).has_value());
+}
+
+TEST(TripRegistration, ManyVotersShareOneSystem) {
+  ChaChaRng rng(114);
+  std::vector<std::string> roster;
+  for (int i = 0; i < 10; ++i) {
+    roster.push_back("voter-" + std::to_string(i));
+  }
+  TripSystemParams params;
+  params.roster = roster;
+  TripSystem system = TripSystem::Create(params, rng);
+  Vsd vsd = system.MakeVsd();
+  for (const auto& id : roster) {
+    auto voter = RegisterAndActivate(system, id, 1, vsd, rng);
+    ASSERT_TRUE(voter.ok()) << id << ": " << voter.status.reason();
+  }
+  EXPECT_EQ(system.ledger().ActiveRegistrations().size(), 10u);
+  EXPECT_EQ(vsd.credentials().size(), 20u);
+  EXPECT_TRUE(system.ledger().VerifyChains().ok());
+}
+
+}  // namespace
+}  // namespace votegral
