@@ -4,11 +4,13 @@
 // and the protocol hot paths (credential issuance, activation, PET).
 #include <benchmark/benchmark.h>
 
+#include "src/crypto/batch.h"
 #include "src/crypto/dkg.h"
 #include "src/crypto/dleq.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/modp.h"
+#include "src/crypto/msm.h"
 #include "src/crypto/schnorr.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/sha512.h"
@@ -156,6 +158,207 @@ void BM_ModPPetSingleTrustee(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ModPPetSingleTrustee);
+
+// ---- Multi-scalar multiplication: MSM engine vs per-term evaluation ----
+
+struct MsmFixture {
+  std::vector<Scalar> scalars;
+  std::vector<RistrettoPoint> points;
+
+  explicit MsmFixture(size_t n, uint64_t seed) {
+    ChaChaRng rng(seed);
+    scalars.reserve(n);
+    points.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      scalars.push_back(Scalar::Random(rng));
+      points.push_back(RistrettoPoint::FromUniformBytes(rng.RandomBytes(64)));
+    }
+  }
+};
+
+void BM_MsmNaive(benchmark::State& state) {
+  MsmFixture fx(static_cast<size_t>(state.range(0)), 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiScalarMulNaive(fx.scalars, fx.points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MsmNaive)->Arg(16)->Arg(256)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_Msm(benchmark::State& state) {
+  MsmFixture fx(static_cast<size_t>(state.range(0)), 20);  // same inputs as naive
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MultiScalarMul(fx.scalars, fx.points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Msm)->Arg(16)->Arg(256)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_MsmDoubleScalarMulBase(benchmark::State& state) {
+  ChaChaRng rng(21);
+  Scalar a = Scalar::Random(rng);
+  Scalar b = Scalar::Random(rng);
+  RistrettoPoint p = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RistrettoPoint::DoubleScalarMulBase(a, p, b));
+  }
+}
+BENCHMARK(BM_MsmDoubleScalarMulBase);
+
+// ---- Batched Schnorr verification: seed accumulation vs MSM ----
+
+std::vector<SchnorrBatchEntry> MakeSchnorrBatch(size_t n, uint64_t seed) {
+  ChaChaRng rng(seed);
+  std::vector<SchnorrBatchEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto kp = SchnorrKeyPair::Generate(rng);
+    SchnorrBatchEntry entry;
+    entry.public_key = kp.public_bytes();
+    entry.message = rng.RandomBytes(32);
+    entry.signature = kp.Sign(entry.message, rng);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+// The seed's BatchVerifySchnorr hot path, preserved verbatim for the
+// perf-trajectory comparison: the combined equation is evaluated with one
+// variable-base `operator*` chain per entry (each rebuilding its own window
+// table) instead of one flat MSM.
+Status BatchVerifySchnorrSeedPath(std::span<const SchnorrBatchEntry> entries, Rng& rng) {
+  Scalar combined_s = Scalar::Zero();
+  RistrettoPoint accumulator;  // identity
+  for (const SchnorrBatchEntry& entry : entries) {
+    auto pk = RistrettoPoint::Decode(entry.public_key);
+    auto r = RistrettoPoint::Decode(entry.signature.r_bytes);
+    if (!pk.has_value() || !r.has_value()) {
+      return Status::Error("batch-schnorr: undecodable point");
+    }
+    Bytes wide(64, 0);
+    rng.Fill(std::span<uint8_t>(wide.data(), 16));
+    Scalar weight = Scalar::FromBytesWide(wide);
+    Scalar challenge = Scalar::FromBytesWide(Sha512::HashParts(
+        {AsBytes("votegral/schnorr/challenge/v1"), entry.signature.r_bytes,
+         entry.public_key, entry.message}));
+    combined_s = combined_s + weight * entry.signature.s;
+    accumulator = accumulator + (weight * challenge) * *pk + weight * *r;
+  }
+  if (!(RistrettoPoint::MulBase(combined_s) == accumulator)) {
+    return Status::Error("batch-schnorr: combined verification equation failed");
+  }
+  return Status::Ok();
+}
+
+void BM_BatchVerifySchnorrSeedPath(benchmark::State& state) {
+  auto entries = MakeSchnorrBatch(static_cast<size_t>(state.range(0)), 22);
+  ChaChaRng rng(23);
+  for (auto _ : state) {
+    Status s = BatchVerifySchnorrSeedPath(entries, rng);
+    Require(s.ok(), "bench: seed-path batch verification must pass");
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchVerifySchnorrSeedPath)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchVerifySchnorrMsm(benchmark::State& state) {
+  auto entries = MakeSchnorrBatch(static_cast<size_t>(state.range(0)), 22);
+  ChaChaRng rng(23);
+  for (auto _ : state) {
+    Status s = BatchVerifySchnorr(entries, rng);
+    Require(s.ok(), "bench: MSM batch verification must pass");
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchVerifySchnorrMsm)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// Accumulation-stage comparison at fixed batch size: identical pre-decoded
+// points, weights and challenges; only the evaluation strategy differs.
+// This isolates exactly the "per-entry accumulation path vs MSM" question —
+// the end-to-end BM_BatchVerifySchnorr* pair above additionally pays the
+// (identical on both sides) per-entry decode + hash cost.
+struct SchnorrAccumFixture {
+  std::vector<RistrettoPoint> pks;
+  std::vector<RistrettoPoint> rs;
+  std::vector<Scalar> weights;
+  std::vector<Scalar> challenges;
+  Scalar combined_s = Scalar::Zero();
+
+  explicit SchnorrAccumFixture(size_t n) {
+    ChaChaRng rng(25);
+    auto entries = MakeSchnorrBatch(n, 22);
+    for (const SchnorrBatchEntry& entry : entries) {
+      pks.push_back(*RistrettoPoint::Decode(entry.public_key));
+      rs.push_back(*RistrettoPoint::Decode(entry.signature.r_bytes));
+      Bytes wide(64, 0);
+      rng.Fill(std::span<uint8_t>(wide.data(), 16));
+      weights.push_back(Scalar::FromBytesWide(wide));
+      challenges.push_back(Scalar::FromBytesWide(Sha512::HashParts(
+          {AsBytes("votegral/schnorr/challenge/v1"), entry.signature.r_bytes,
+           entry.public_key, entry.message})));
+      combined_s = combined_s + weights.back() * entry.signature.s;
+    }
+  }
+};
+
+void BM_SchnorrAccumSeedPath(benchmark::State& state) {
+  SchnorrAccumFixture fx(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RistrettoPoint accumulator;
+    for (size_t i = 0; i < fx.pks.size(); ++i) {
+      accumulator = accumulator + (fx.weights[i] * fx.challenges[i]) * fx.pks[i] +
+                    fx.weights[i] * fx.rs[i];
+    }
+    bool ok = RistrettoPoint::MulBase(fx.combined_s) == accumulator;
+    Require(ok, "bench: seed accumulation equation must hold");
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchnorrAccumSeedPath)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_SchnorrAccumMsm(benchmark::State& state) {
+  SchnorrAccumFixture fx(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<Scalar> scalars;
+    std::vector<RistrettoPoint> points;
+    scalars.reserve(2 * fx.pks.size());
+    points.reserve(2 * fx.pks.size());
+    for (size_t i = 0; i < fx.pks.size(); ++i) {
+      scalars.push_back(-(fx.weights[i] * fx.challenges[i]));
+      points.push_back(fx.pks[i]);
+      scalars.push_back(-fx.weights[i]);
+      points.push_back(fx.rs[i]);
+    }
+    bool ok = MultiScalarMulWithBase(fx.combined_s, scalars, points).IsIdentity();
+    Require(ok, "bench: MSM accumulation equation must hold");
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchnorrAccumMsm)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarWideReduction(benchmark::State& state) {
+  // Exercises Barrett Reduce512 via the wide-bytes path (one reduction per
+  // call, no group operations).
+  ChaChaRng rng(24);
+  Bytes wide = rng.RandomBytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Scalar::FromBytesWide(wide));
+  }
+}
+BENCHMARK(BM_ScalarWideReduction);
 
 void BM_TripFullRegistration(benchmark::State& state) {
   // The TRIP-Core per-voter registration crypto path (kiosk + official +

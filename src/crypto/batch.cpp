@@ -1,18 +1,14 @@
 #include "src/crypto/batch.h"
 
+#include <array>
+#include <vector>
+
+#include "src/crypto/msm.h"
 #include "src/crypto/sha512.h"
 
 namespace votegral {
 
 namespace {
-
-// 128-bit random weight (sufficient for 2^-128 soundness, half the scalar
-// multiplication cost of full-width weights).
-Scalar RandomWeight(Rng& rng) {
-  Bytes wide(64, 0);
-  rng.Fill(std::span<uint8_t>(wide.data(), 16));
-  return Scalar::FromBytesWide(wide);
-}
 
 Scalar SchnorrChallenge(const CompressedRistretto& r_bytes,
                         const CompressedRistretto& pk_bytes,
@@ -28,21 +24,30 @@ Scalar SchnorrChallenge(const CompressedRistretto& r_bytes,
 Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) {
   // Each signature satisfies: s_i*B - c_i*P_i - R_i == 0.
   // Combined: (sum_i w_i*s_i)*B - sum_i (w_i*c_i)*P_i - sum_i w_i*R_i == 0.
+  // All weighted terms are collected into one flat multi-scalar
+  // multiplication; the shared-doubling/bucket engine amortizes the group
+  // work to a few additions per signature.
   Scalar combined_s = Scalar::Zero();
-  RistrettoPoint accumulator;  // identity
+  std::vector<Scalar> scalars;
+  std::vector<RistrettoPoint> points;
+  scalars.reserve(2 * entries.size());
+  points.reserve(2 * entries.size());
   for (const SchnorrBatchEntry& entry : entries) {
     auto pk = RistrettoPoint::Decode(entry.public_key);
     auto r = RistrettoPoint::Decode(entry.signature.r_bytes);
     if (!pk.has_value() || !r.has_value()) {
       return Status::Error("batch-schnorr: undecodable point");
     }
-    Scalar weight = RandomWeight(rng);
+    Scalar weight = RandomRlcWeight(rng);
     Scalar challenge = SchnorrChallenge(entry.signature.r_bytes, entry.public_key,
                                         entry.message);
     combined_s = combined_s + weight * entry.signature.s;
-    accumulator = accumulator + (weight * challenge) * *pk + weight * *r;
+    scalars.push_back(-(weight * challenge));
+    points.push_back(*pk);
+    scalars.push_back(-weight);
+    points.push_back(*r);
   }
-  if (!(RistrettoPoint::MulBase(combined_s) == accumulator)) {
+  if (!MultiScalarMulWithBase(combined_s, scalars, points).IsIdentity()) {
     return Status::Error("batch-schnorr: combined verification equation failed");
   }
   return Status::Ok();
@@ -51,10 +56,10 @@ Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) 
 Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
   // Each proof satisfies, for every pair j:
   //   r_i*G_ij + e_i*P_ij - Y_ij == 0.
-  // All pairs of all proofs are combined with independent weights. Scalars
-  // multiplying the same base B never arise here (bases are arbitrary), so
-  // we accumulate a single point sum that must be the identity.
-  RistrettoPoint accumulator;  // identity
+  // All pairs of all proofs are combined with independent weights into a
+  // single multi-scalar multiplication that must evaluate to the identity.
+  std::vector<Scalar> scalars;
+  std::vector<RistrettoPoint> points;
   for (const DleqBatchEntry& entry : entries) {
     const DleqStatement& st = entry.statement;
     const DleqTranscript& t = entry.transcript;
@@ -67,12 +72,16 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
       return Status::Error("batch-dleq: challenge mismatch");
     }
     for (size_t j = 0; j < st.bases.size(); ++j) {
-      Scalar weight = RandomWeight(rng);
-      accumulator = accumulator + (weight * t.response) * st.bases[j] +
-                    (weight * t.challenge) * st.publics[j] - weight * t.commits[j];
+      Scalar weight = RandomRlcWeight(rng);
+      scalars.push_back(weight * t.response);
+      points.push_back(st.bases[j]);
+      scalars.push_back(weight * t.challenge);
+      points.push_back(st.publics[j]);
+      scalars.push_back(-weight);
+      points.push_back(t.commits[j]);
     }
   }
-  if (!accumulator.IsIdentity()) {
+  if (!MultiScalarMul(scalars, points).IsIdentity()) {
     return Status::Error("batch-dleq: combined verification equation failed");
   }
   return Status::Ok();

@@ -4,7 +4,7 @@ namespace votegral {
 
 namespace {
 
-constexpr std::string_view kShareDomain = "votegral/authority/decryption-share/v1";
+constexpr std::string_view kShareDomain = kDecryptionShareDomain;
 
 }  // namespace
 

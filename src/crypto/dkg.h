@@ -12,6 +12,7 @@
 #define SRC_CRYPTO_DKG_H_
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -21,6 +22,12 @@
 #include "src/crypto/schnorr.h"
 
 namespace votegral {
+
+// Fiat–Shamir domain for decryption-share DLEQ proofs. Shared by the
+// authority (proving), the universal verifier and the tally's batched
+// self-check (verifying); a single definition keeps the three in sync.
+inline constexpr std::string_view kDecryptionShareDomain =
+    "votegral/authority/decryption-share/v1";
 
 // One election-authority member's share.
 struct AuthorityMember {

@@ -179,7 +179,44 @@ Fe25519 FeMul(const Fe25519& a, const Fe25519& b) {
   return r;
 }
 
-Fe25519 FeSquare(const Fe25519& a) { return FeMul(a, a); }
+Fe25519 FeSquare(const Fe25519& a) {
+  // Dedicated squaring: the 25 cross products of FeMul collapse to 15 by
+  // symmetry (f_i*f_j appears twice for i != j). Squarings dominate every
+  // doubling chain and every fixed-exponent power, so this is one of the
+  // highest-leverage field operations in the codebase.
+  const uint64_t f0 = a.limb[0], f1 = a.limb[1], f2 = a.limb[2], f3 = a.limb[3], f4 = a.limb[4];
+  const uint64_t d0 = 2 * f0;
+  const uint64_t d1 = 2 * f1;
+  const uint64_t f3_19 = 19 * f3;
+  const uint64_t f4_19 = 19 * f4;
+
+  u128 t0 = (u128)f0 * f0 + (u128)d1 * f4_19 + (u128)(2 * f2) * f3_19;
+  u128 t1 = (u128)d0 * f1 + (u128)(2 * f2) * f4_19 + (u128)f3 * f3_19;
+  u128 t2 = (u128)d0 * f2 + (u128)f1 * f1 + (u128)(2 * f3) * f4_19;
+  u128 t3 = (u128)d0 * f3 + (u128)d1 * f2 + (u128)f4 * f4_19;
+  u128 t4 = (u128)d0 * f4 + (u128)d1 * f3 + (u128)f2 * f2;
+
+  Fe25519 r;
+  u128 c;
+  c = t0 >> 51;
+  r.limb[0] = (uint64_t)t0 & kMask51;
+  t1 += c;
+  c = t1 >> 51;
+  r.limb[1] = (uint64_t)t1 & kMask51;
+  t2 += c;
+  c = t2 >> 51;
+  r.limb[2] = (uint64_t)t2 & kMask51;
+  t3 += c;
+  c = t3 >> 51;
+  r.limb[3] = (uint64_t)t3 & kMask51;
+  t4 += c;
+  c = t4 >> 51;
+  r.limb[4] = (uint64_t)t4 & kMask51;
+  r.limb[0] += (uint64_t)c * 19;
+  r.limb[1] += r.limb[0] >> 51;
+  r.limb[0] &= kMask51;
+  return r;
+}
 
 Fe25519 FeMulSmall(const Fe25519& a, uint32_t small) {
   Fe25519 r;
@@ -210,9 +247,51 @@ Fe25519 FePow(const Fe25519& f, std::span<const uint8_t> exponent32) {
   return started ? result : FeOne();
 }
 
-Fe25519 FeInvert(const Fe25519& f) { return FePow(f, kExpPMinus2); }
+namespace {
 
-Fe25519 FePow2523(const Fe25519& f) { return FePow(f, kExpP58); }
+// f^(2^k) by k successive squarings.
+Fe25519 Pow2k(Fe25519 f, int k) {
+  while (k-- > 0) {
+    f = FeSquare(f);
+  }
+  return f;
+}
+
+// z^(2^250 - 1), the shared prefix of the p-2 and (p-5)/8 addition chains
+// (the classic ref10 chain: 254 squarings and 11 multiplications total,
+// against ~250 multiplications for square-and-multiply on these nearly
+// all-ones exponents). Also emits z^11 for the inversion tail.
+Fe25519 PowChain250(const Fe25519& z, Fe25519* z11_out) {
+  Fe25519 z2 = FeSquare(z);                      // 2
+  Fe25519 z9 = FeMul(z, Pow2k(z2, 2));           // 9
+  Fe25519 z11 = FeMul(z2, z9);                   // 11
+  Fe25519 z31 = FeMul(z9, FeSquare(z11));        // 2^5 - 1
+  Fe25519 t10 = FeMul(z31, Pow2k(z31, 5));       // 2^10 - 1
+  Fe25519 t20 = FeMul(t10, Pow2k(t10, 10));      // 2^20 - 1
+  Fe25519 t40 = FeMul(t20, Pow2k(t20, 20));      // 2^40 - 1
+  Fe25519 t50 = FeMul(t10, Pow2k(t40, 10));      // 2^50 - 1
+  Fe25519 t100 = FeMul(t50, Pow2k(t50, 50));     // 2^100 - 1
+  Fe25519 t200 = FeMul(t100, Pow2k(t100, 100));  // 2^200 - 1
+  Fe25519 t = FeMul(t50, Pow2k(t200, 50));       // 2^250 - 1
+  if (z11_out != nullptr) {
+    *z11_out = z11;
+  }
+  return t;
+}
+
+}  // namespace
+
+Fe25519 FeInvert(const Fe25519& f) {
+  // f^(p-2) = f^((2^250-1)*2^5 + 11).
+  Fe25519 z11;
+  Fe25519 t = PowChain250(f, &z11);
+  return FeMul(Pow2k(t, 5), z11);
+}
+
+Fe25519 FePow2523(const Fe25519& f) {
+  // f^((p-5)/8) = f^((2^250-1)*2^2 + 1).
+  return FeMul(Pow2k(PowChain250(f, nullptr), 2), f);
+}
 
 bool FeIsNegative(const Fe25519& f) { return (FeToBytes(f)[0] & 1) != 0; }
 

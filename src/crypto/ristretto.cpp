@@ -273,10 +273,8 @@ RistrettoPoint RistrettoPoint::MulBase(const Scalar& s) {
 
 RistrettoPoint RistrettoPoint::MulBaseSlow(const Scalar& s) { return s * Base(); }
 
-RistrettoPoint RistrettoPoint::DoubleScalarMulBase(const Scalar& a, const RistrettoPoint& p,
-                                                   const Scalar& b) {
-  return (a * p) + MulBase(b);
-}
+// DoubleScalarMulBase is defined in src/crypto/msm.cpp on top of the
+// multi-scalar multiplication engine (shared-doubling wNAF ladder).
 
 bool RistrettoPoint::operator==(const RistrettoPoint& other) const {
   // Ristretto equality: P == Q iff X1*Y2 == Y1*X2 or X1*X2 == Y1*Y2

@@ -64,7 +64,10 @@ class RistrettoPoint {
   // Fixed-base multiplication without the precomputed table (ablation only).
   static RistrettoPoint MulBaseSlow(const Scalar& s);
 
-  // a*P + b*Base, the Schnorr verification workhorse.
+  // a*P + b*Base, the Schnorr verification workhorse. Implemented on the MSM
+  // engine (src/crypto/msm.h): one shared-doubling wNAF ladder with a
+  // precomputed width-8 NAF table for the fixed base. Variable-time; only
+  // ever applied to public verification data.
   static RistrettoPoint DoubleScalarMulBase(const Scalar& a, const RistrettoPoint& p,
                                             const Scalar& b);
 

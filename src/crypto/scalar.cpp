@@ -27,6 +27,57 @@ int Compare4(const std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b)
   return 0;
 }
 
+// ℓ widened to 5 limbs for the Barrett remainder arithmetic.
+constexpr std::array<uint64_t, 5> kL5 = {kL[0], kL[1], kL[2], kL[3], 0};
+
+int Compare5(const std::array<uint64_t, 5>& a, const std::array<uint64_t, 5>& b) {
+  for (int i = 4; i >= 0; --i) {
+    if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(i)]) {
+      return a[static_cast<size_t>(i)] < b[static_cast<size_t>(i)] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+// a -= b over 5 limbs (wrapping; callers ensure or exploit the wrap).
+void SubWrap5(std::array<uint64_t, 5>& a, const std::array<uint64_t, 5>& b) {
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    u128 d = (u128)a[i] - b[i] - borrow;
+    a[i] = (uint64_t)d;
+    borrow = (uint64_t)(d >> 64) & 1;
+  }
+}
+
+// Barrett reduction constant μ = floor(2^512 / ℓ), a 261-bit value. Derived
+// at startup by binary long division (same ethos as ristretto.cpp: constants
+// are computed from first principles, not transcribed).
+struct BarrettMu {
+  std::array<uint64_t, 5> mu{};
+
+  BarrettMu() {
+    std::array<uint64_t, 5> rem{};
+    for (int bit = 512; bit >= 0; --bit) {
+      // rem = (rem << 1) | numerator_bit; the numerator 2^512 has exactly
+      // bit 512 set. rem stays < 2ℓ < 2^254, so the shift never overflows.
+      for (int i = 4; i > 0; --i) {
+        rem[static_cast<size_t>(i)] =
+            (rem[static_cast<size_t>(i)] << 1) | (rem[static_cast<size_t>(i) - 1] >> 63);
+      }
+      rem[0] = (rem[0] << 1) | (bit == 512 ? 1 : 0);
+      if (Compare5(rem, kL5) >= 0) {
+        SubWrap5(rem, kL5);
+        mu[static_cast<size_t>(bit) / 64] |= uint64_t{1} << (bit % 64);
+      }
+    }
+  }
+};
+
+const std::array<uint64_t, 5>& Mu() {
+  static const BarrettMu kMu;
+  return kMu.mu;
+}
+
 // a -= b, returns borrow (a, b are 4-limb).
 uint64_t SubBorrow4(std::array<uint64_t, 4>& a, const std::array<uint64_t, 4>& b) {
   uint64_t borrow = 0;
@@ -56,37 +107,57 @@ Scalar Scalar::One() { return Scalar(std::array<uint64_t, 4>{1, 0, 0, 0}); }
 Scalar Scalar::FromU64(uint64_t v) { return Scalar(std::array<uint64_t, 4>{v, 0, 0, 0}); }
 
 Scalar Scalar::Reduce512(const std::array<uint64_t, 8>& wide) {
-  // Binary long division: shift bits of `wide` (MSB first) into a 5-limb
-  // remainder, conditionally subtracting ℓ.
-  std::array<uint64_t, 4> rem = {0, 0, 0, 0};
-  uint64_t rem_top = 0;  // 5th limb: remainder can briefly reach 2^256..2ℓ.
-  int top = 511;
-  while (top >= 0) {
-    size_t limb = static_cast<size_t>(top / 64);
-    if (wide[limb] == 0 && rem_top == 0 && rem == std::array<uint64_t, 4>{0, 0, 0, 0} &&
-        top % 64 == 63) {
-      top -= 64;  // skip whole zero limbs while the remainder is zero
-      continue;
-    }
-    uint64_t bit = (wide[limb] >> (top % 64)) & 1;
-    // rem = (rem << 1) | bit
-    rem_top = (rem_top << 1) | (rem[3] >> 63);
-    for (int i = 3; i > 0; --i) {
-      rem[static_cast<size_t>(i)] =
-          (rem[static_cast<size_t>(i)] << 1) | (rem[static_cast<size_t>(i) - 1] >> 63);
-    }
-    rem[0] = (rem[0] << 1) | bit;
-    // if rem >= ℓ: rem -= ℓ  (rem < 2ℓ here because rem was < ℓ before the
-    // shift, so the shifted value is < 2ℓ + 1 < 2^253.1; rem_top can only be
-    // nonzero transiently when rem[3]'s top bit was set, which cannot happen
-    // for rem < ℓ since ℓ < 2^253).
-    if (rem_top != 0 || Compare4(rem, kL) >= 0) {
-      uint64_t borrow = SubBorrow4(rem, kL);
-      rem_top -= borrow;
-    }
-    --top;
+  // Barrett reduction (HAC algorithm 14.42 with b = 2^64, k = 4): estimate
+  // q ≈ floor(x/ℓ) from the precomputed μ = floor(2^512/ℓ), subtract q·ℓ,
+  // and fix up with at most two conditional subtractions. Replaces the
+  // seed's 512-iteration shift-and-subtract loop — scalar products sit on
+  // the MSM critical path (every batch weight is multiplied by a challenge
+  // or response), so reduction cost is no longer micro-irrelevant.
+  const std::array<uint64_t, 5>& mu = Mu();
+
+  // q1 = floor(x / 2^192): limbs 3..7 of x.
+  std::array<uint64_t, 5> q1;
+  for (size_t i = 0; i < 5; ++i) {
+    q1[i] = wide[i + 3];
   }
-  return Scalar(rem);
+
+  // q2 = q1 * μ (5×5 limbs → 10 limbs).
+  std::array<uint64_t, 10> q2{};
+  for (size_t i = 0; i < 5; ++i) {
+    u128 carry = 0;
+    for (size_t j = 0; j < 5; ++j) {
+      u128 t = (u128)q1[i] * mu[j] + q2[i + j] + carry;
+      q2[i + j] = (uint64_t)t;
+      carry = t >> 64;
+    }
+    q2[i + 5] = (uint64_t)carry;
+  }
+
+  // q3 = floor(q2 / 2^320): limbs 5..9.
+  // r2 = q3 * ℓ mod 2^320 (only the low 5 limbs of the product matter).
+  std::array<uint64_t, 5> r2{};
+  for (size_t i = 0; i < 5; ++i) {
+    u128 carry = 0;
+    for (size_t j = 0; i + j < 5; ++j) {
+      u128 t = (u128)q2[i + 5] * (j < 4 ? kL[j] : 0) + r2[i + j] + carry;
+      r2[i + j] = (uint64_t)t;
+      carry = t >> 64;
+    }
+  }
+
+  // r = (x mod 2^320) - r2, wrapping mod 2^320 (the wrap implements the
+  // "+ b^(k+1) if negative" step); the true value is < 3ℓ < 2^255.
+  std::array<uint64_t, 5> r;
+  for (size_t i = 0; i < 5; ++i) {
+    r[i] = wide[i];
+  }
+  SubWrap5(r, r2);
+
+  // At most two corrective subtractions by HAC's bound q ≤ q3 + 2.
+  while (Compare5(r, kL5) >= 0) {
+    SubWrap5(r, kL5);
+  }
+  return Scalar({r[0], r[1], r[2], r[3]});
 }
 
 Scalar Scalar::FromBytesModL(std::span<const uint8_t> bytes32) {

@@ -2,10 +2,10 @@
 // prime order of the ristretto255 group. Values are kept canonical (< ℓ) as
 // four 64-bit little-endian limbs.
 //
-// Reduction uses a straightforward binary shift-and-subtract over the 512-bit
-// product; this is deliberately simple (the repository optimizes protocol
-// structure, not scalar-reduction micro-performance — point multiplication
-// dominates every benchmark).
+// Reduction of the 512-bit product uses Barrett reduction (HAC 14.42) with
+// μ = floor(2^512/ℓ) derived at startup: scalar products feed every batch
+// weight on the MSM verification path, so reduction is no longer allowed to
+// cost 512 shift-and-subtract iterations as it did in the seed.
 #ifndef SRC_CRYPTO_SCALAR_H_
 #define SRC_CRYPTO_SCALAR_H_
 

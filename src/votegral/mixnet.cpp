@@ -1,8 +1,12 @@
 #include "src/votegral/mixnet.h"
 
 #include <algorithm>
+#include <array>
 
+#include "src/common/bytes.h"
+#include "src/crypto/batch.h"
 #include "src/crypto/drbg.h"
+#include "src/crypto/msm.h"
 #include "src/crypto/sha256.h"
 #include "src/crypto/sha512.h"
 
@@ -11,6 +15,7 @@ namespace votegral {
 namespace {
 
 constexpr std::string_view kChallengeDomain = "votegral/mixnet/rpc-challenge/v1";
+constexpr std::string_view kLinkWeightDomain = "votegral/mixnet/link-rlc-weights/v1";
 
 // Applies a re-encryption with the given per-ciphertext randomness.
 MixItem ReEncryptItem(const MixItem& item, const RistrettoPoint& pk,
@@ -24,21 +29,30 @@ MixItem ReEncryptItem(const MixItem& item, const RistrettoPoint& pk,
   return out;
 }
 
-// Derives one challenge bit per middle index from the pair's commitments.
-std::vector<uint8_t> DeriveChallengeBits(const MixBatch& input, const MixBatch& mid,
-                                         const MixBatch& out, size_t pair_index) {
-  auto h_in = HashMixBatch(input);
-  auto h_mid = HashMixBatch(mid);
-  auto h_out = HashMixBatch(out);
+// Derives one challenge bit per middle index from the pair's commitment
+// hashes. Batch hashes are passed in rather than recomputed: hashing a batch
+// costs one canonical point encoding per ciphertext component, which is the
+// single most expensive non-group step of cascade verification, so every
+// batch is hashed exactly once per pair.
+std::vector<uint8_t> DeriveChallengeBits(const std::array<uint8_t, 32>& h_in,
+                                         const std::array<uint8_t, 32>& h_mid,
+                                         const std::array<uint8_t, 32>& h_out,
+                                         size_t mid_size, size_t pair_index) {
   uint8_t index_byte = static_cast<uint8_t>(pair_index);
   auto seed = Sha512::HashParts({AsBytes(kChallengeDomain), h_in, h_mid, h_out,
                                  {&index_byte, 1}});
   ChaChaRng bit_source(seed);
-  std::vector<uint8_t> bits(mid.size());
+  std::vector<uint8_t> bits(mid_size);
   for (auto& bit : bits) {
     bit = static_cast<uint8_t>(bit_source.Uniform(2));
   }
   return bits;
+}
+
+std::vector<uint8_t> DeriveChallengeBits(const MixBatch& input, const MixBatch& mid,
+                                         const MixBatch& out, size_t pair_index) {
+  return DeriveChallengeBits(HashMixBatch(input), HashMixBatch(mid), HashMixBatch(out),
+                             mid.size(), pair_index);
 }
 
 }  // namespace
@@ -130,18 +144,103 @@ MixBatch RunRpcMixCascade(const MixBatch& input, const RistrettoPoint& pk, size_
   return current;
 }
 
+namespace {
+
+// One structurally validated opened link of a pair: dst must be a
+// re-encryption of src under `randomness`.
+struct ResolvedLink {
+  const MixItem* src = nullptr;
+  const MixItem* dst = nullptr;
+  const std::vector<Scalar>* randomness = nullptr;
+  size_t mid_index = 0;  // for error messages
+  uint8_t side = 0;
+};
+
+// Exact per-link re-encryption check (the pre-MSM path); names the first
+// offending link.
+Status CheckLinksPerItem(std::span<const ResolvedLink> links, const RistrettoPoint& pk,
+                         size_t pair_index) {
+  for (const ResolvedLink& link : links) {
+    MixItem expected = ReEncryptItem(*link.src, pk, *link.randomness);
+    if (!(expected == *link.dst)) {
+      return Status::Error(std::string("mixnet: ") +
+                           (link.side == 0 ? "left" : "right") +
+                           " re-encryption check failed at pair " +
+                           std::to_string(pair_index) + " index " +
+                           std::to_string(link.mid_index));
+    }
+  }
+  return Status::Ok();
+}
+
+// Batched check: every link equation
+//   dst.c1 - src.c1 - r*B == 0   and   dst.c2 - src.c2 - r*pk == 0
+// is weighted by an independent 128-bit scalar and folded into one flat
+// multi-scalar multiplication that must be the identity. The weight seed
+// must bind the *entire* pair transcript — committed batches AND the
+// reveals themselves — so that a cheating mixer cannot first learn the
+// weights and then solve for reveal randomness that cancels a tamper (the
+// reveals are published after the commitments, so a seed over commitments
+// alone would be known to the mixer while the randomness values are still
+// free variables). On rejection the per-link path localizes the error.
+Status CheckLinksBatched(std::span<const ResolvedLink> links, const RistrettoPoint& pk,
+                         size_t pair_index, std::span<const uint8_t> weight_seed) {
+  ChaChaRng weights(weight_seed);
+  std::vector<Scalar> scalars;
+  std::vector<RistrettoPoint> points;
+  Scalar base_acc = Scalar::Zero();  // accumulated coefficient of B
+  Scalar pk_acc = Scalar::Zero();    // accumulated coefficient of pk
+  for (const ResolvedLink& link : links) {
+    if (link.dst->cts.size() != link.src->cts.size()) {
+      return CheckLinksPerItem(links, pk, pair_index);  // width forgery: localize
+    }
+    for (size_t c = 0; c < link.src->cts.size(); ++c) {
+      const ElGamalCiphertext& src = link.src->cts[c];
+      const ElGamalCiphertext& dst = link.dst->cts[c];
+      const Scalar& r = (*link.randomness)[c];
+      Scalar w1 = RandomRlcWeight(weights);
+      Scalar w2 = RandomRlcWeight(weights);
+      scalars.push_back(w1);
+      points.push_back(dst.c1 - src.c1);
+      scalars.push_back(w2);
+      points.push_back(dst.c2 - src.c2);
+      base_acc = base_acc + w1 * r;
+      pk_acc = pk_acc + w2 * r;
+    }
+  }
+  scalars.push_back(-pk_acc);
+  points.push_back(pk);
+  if (MultiScalarMulWithBase(-base_acc, scalars, points).IsIdentity()) {
+    return Status::Ok();
+  }
+  // Re-run link by link so auditors get the exact failing index.
+  Status localized = CheckLinksPerItem(links, pk, pair_index);
+  if (!localized.ok()) {
+    return localized;
+  }
+  return Status::Error("mixnet: batched link check failed at pair " +
+                       std::to_string(pair_index));
+}
+
+}  // namespace
+
 Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
-                           const MixProof& proof, const RistrettoPoint& pk) {
+                           const MixProof& proof, const RistrettoPoint& pk,
+                           MixLinkCheck mode) {
   if (proof.pairs.empty()) {
     return Status::Error("mixnet: empty proof");
   }
   const MixBatch* current = &input;
+  std::array<uint8_t, 32> h_current = HashMixBatch(input);
   for (size_t p = 0; p < proof.pairs.size(); ++p) {
     const RpcPairProof& pair = proof.pairs[p];
     if (pair.mid.size() != current->size() || pair.out.size() != current->size()) {
       return Status::Error("mixnet: batch size change in pair " + std::to_string(p));
     }
-    std::vector<uint8_t> bits = DeriveChallengeBits(*current, pair.mid, pair.out, p);
+    std::array<uint8_t, 32> h_mid = HashMixBatch(pair.mid);
+    std::array<uint8_t, 32> h_out = HashMixBatch(pair.out);
+    std::vector<uint8_t> bits =
+        DeriveChallengeBits(h_current, h_mid, h_out, pair.mid.size(), p);
     if (pair.reveals.size() != pair.mid.size()) {
       return Status::Error("mixnet: reveal count mismatch in pair " + std::to_string(p));
     }
@@ -149,6 +248,8 @@ Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
     // (right) may be used at most once.
     std::vector<bool> left_used(current->size(), false);
     std::vector<bool> right_used(current->size(), false);
+    std::vector<ResolvedLink> links;
+    links.reserve(pair.mid.size());
     for (size_t j = 0; j < pair.mid.size(); ++j) {
       const RpcReveal& reveal = pair.reveals[j];
       if (reveal.side != bits[j]) {
@@ -157,34 +258,73 @@ Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
       if (reveal.source_or_dest >= current->size()) {
         return Status::Error("mixnet: reveal index out of range");
       }
+      // Proof data with the wrong randomness width is a verification
+      // failure (a Status), not an internal invariant violation: the
+      // reveal is attacker-supplied.
+      if (reveal.randomness.size() !=
+          (reveal.side == 0 ? (*current)[reveal.source_or_dest] : pair.mid[j]).cts.size()) {
+        return Status::Error("mixnet: reveal randomness width mismatch at pair " +
+                             std::to_string(p) + " index " + std::to_string(j));
+      }
+      ResolvedLink link;
+      link.mid_index = j;
+      link.side = reveal.side;
+      link.randomness = &reveal.randomness;
       if (reveal.side == 0) {
         // mid[j] must be a re-encryption of input[source].
         if (left_used[reveal.source_or_dest]) {
           return Status::Error("mixnet: duplicate left link (not a permutation)");
         }
         left_used[reveal.source_or_dest] = true;
-        MixItem expected =
-            ReEncryptItem((*current)[reveal.source_or_dest], pk, reveal.randomness);
-        if (!(expected == pair.mid[j])) {
-          return Status::Error("mixnet: left re-encryption check failed at pair " +
-                               std::to_string(p) + " index " + std::to_string(j));
-        }
+        link.src = &(*current)[reveal.source_or_dest];
+        link.dst = &pair.mid[j];
       } else {
         // out[dest] must be a re-encryption of mid[j].
         if (right_used[reveal.source_or_dest]) {
           return Status::Error("mixnet: duplicate right link (not a permutation)");
         }
         right_used[reveal.source_or_dest] = true;
-        MixItem expected = ReEncryptItem(pair.mid[j], pk, reveal.randomness);
-        if (!(expected == pair.out[reveal.source_or_dest])) {
-          return Status::Error("mixnet: right re-encryption check failed at pair " +
-                               std::to_string(p) + " index " + std::to_string(j));
+        link.src = &pair.mid[j];
+        link.dst = &pair.out[reveal.source_or_dest];
+      }
+      links.push_back(link);
+    }
+    Status link_status = Status::Ok();
+    if (mode == MixLinkCheck::kBatchedMsm) {
+      // Weight seed binds the committed batches (hashes reused, not
+      // recomputed), the pair index, AND every reveal. Binding the reveals
+      // is load-bearing: they are published after the commitments, so
+      // weights derived from commitments alone would be predictable to the
+      // mixer while its reveal randomness is still a free variable.
+      Sha512 seed_hash;
+      seed_hash.Update(AsBytes(kLinkWeightDomain));
+      seed_hash.Update(h_current);
+      seed_hash.Update(h_mid);
+      seed_hash.Update(h_out);
+      uint8_t index_byte = static_cast<uint8_t>(p);
+      seed_hash.Update({&index_byte, 1});
+      for (const RpcReveal& reveal : pair.reveals) {
+        uint8_t side = reveal.side;
+        seed_hash.Update({&side, 1});
+        uint8_t index_bytes[8];
+        StoreLe64(index_bytes, reveal.source_or_dest);
+        seed_hash.Update(index_bytes);
+        for (const Scalar& r : reveal.randomness) {
+          seed_hash.Update(r.ToBytes());
         }
       }
+      auto seed = seed_hash.Finalize();
+      link_status = CheckLinksBatched(links, pk, p, seed);
+    } else {
+      link_status = CheckLinksPerItem(links, pk, p);
+    }
+    if (!link_status.ok()) {
+      return link_status;
     }
     current = &pair.out;
+    h_current = h_out;
   }
-  if (!(HashMixBatch(*current) == HashMixBatch(output))) {
+  if (!(h_current == HashMixBatch(output))) {
     return Status::Error("mixnet: final batch does not match published output");
   }
   return Status::Ok();

@@ -63,9 +63,23 @@ struct MixProof {
 MixBatch RunRpcMixCascade(const MixBatch& input, const RistrettoPoint& pk, size_t pair_count,
                           Rng& rng, MixProof* proof);
 
+// How the verifier checks the opened re-encryption links of a pair.
+enum class MixLinkCheck {
+  // All links of a pair are folded into one random-linear-combination
+  // multi-scalar multiplication (weights derived Fiat–Shamir-style from the
+  // pair's committed batches and its published reveals, soundness error
+  // 2^-128 per link). On rejection the verifier re-runs the per-link path
+  // to name the offending link.
+  kBatchedMsm,
+  // One re-encryption check per link (the pre-MSM path; kept for failure
+  // localization and the ablation benchmarks).
+  kPerLink,
+};
+
 // Verifies an RPC cascade proof against the published input/output.
 Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
-                           const MixProof& proof, const RistrettoPoint& pk);
+                           const MixProof& proof, const RistrettoPoint& pk,
+                           MixLinkCheck mode = MixLinkCheck::kBatchedMsm);
 
 // Single mix layer (used by the cascade and by baselines): shuffles and
 // re-encrypts, recording the permutation and randomness for later reveals.

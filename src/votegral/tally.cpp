@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/crypto/batch.h"
+
 namespace votegral {
 
 std::vector<Ballot> ValidateAndDeduplicate(
@@ -111,12 +113,25 @@ TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& c
   std::vector<ElGamalCiphertext> roster_tagged =
       tagging_.ApplyAll(roster_credentials, &t.roster_tag_steps, rng);
 
-  // Step 5: verifiable decryption of blinded tags.
+  // Step 5: verifiable decryption of blinded tags. Every share the service
+  // produces is also queued for one batched (multi-scalar-multiplication)
+  // self-check before the transcript is released: a buggy or compromised
+  // member implementation must not be able to publish a transcript the
+  // universal verifier would reject.
+  std::vector<DleqBatchEntry> share_self_check;
   auto decrypt_with_shares = [&](const ElGamalCiphertext& ct,
                                  std::vector<DecryptionShare>* shares) {
     shares->clear();
     for (size_t m = 0; m < authority_.size(); ++m) {
       shares->push_back(authority_.ComputeShare(m, ct, rng));
+      const DecryptionShare& share = shares->back();
+      DleqBatchEntry entry;
+      entry.domain = std::string(kDecryptionShareDomain);
+      entry.statement = DleqStatement::MakePair(RistrettoPoint::Base(),
+                                                authority_.member(m).public_share, ct.c1,
+                                                share.share);
+      entry.transcript = share.proof;
+      share_self_check.push_back(std::move(entry));
     }
     return authority_.CombineShares(ct, *shares);
   };
@@ -169,6 +184,12 @@ TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& c
     result.counts[candidates.name(*candidate)] += weight;
     result.counted += weight;
   }
+
+  // Release gate: all decryption-share proofs produced above must verify as
+  // one batch. A failure here is an internal fault, not a verification
+  // result, hence Require rather than a Status.
+  Require(BatchVerifyDleq(share_self_check, rng).ok(),
+          "tally: produced decryption share failed batched self-check");
   return output;
 }
 

@@ -1,21 +1,18 @@
 #include "src/votegral/verifier.h"
 
+#include "src/crypto/batch.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha512.h"
 #include "src/trip/official.h"
 
 namespace votegral {
-
-namespace {
-
-constexpr std::string_view kShareDomain = "votegral/authority/decryption-share/v1";
-
-}  // namespace
 
 Status VerifyShareAgainstCommitment(const RistrettoPoint& member_share_commitment,
                                     const ElGamalCiphertext& ct,
                                     const DecryptionShare& share) {
   DleqStatement statement = DleqStatement::MakePair(
       RistrettoPoint::Base(), member_share_commitment, ct.c1, share.share);
-  return VerifyDleqFs(kShareDomain, statement, share.proof);
+  return VerifyDleqFs(kDecryptionShareDomain, statement, share.proof);
 }
 
 RistrettoPoint CombineSharesPublic(const ElGamalCiphertext& ct,
@@ -33,6 +30,14 @@ namespace {
 
 // Verifies a list of per-ciphertext share vectors and returns the decrypted
 // points; fails on any bad proof.
+//
+// The DLEQ share proofs — the dominant group-operation cost of universal
+// verification — are checked as ONE random-linear-combination multi-scalar
+// multiplication over all ciphertexts and members. Weights are derived
+// deterministically from the verified data itself (Fiat–Shamir style), so
+// the check stays reproducible for auditors while remaining unpredictable
+// to whoever produced the transcript. On rejection the per-item path
+// re-runs to name the offending share.
 Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
                            const std::vector<std::vector<DecryptionShare>>& shares,
                            const VerifierParams& params,
@@ -43,17 +48,48 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
   }
   out->clear();
   out->reserve(cts.size());
+  std::vector<DleqBatchEntry> batch;
+  batch.reserve(cts.size() * params.authority_shares.size());
+  Sha512 weight_seed;
+  weight_seed.Update(AsBytes("votegral/verifier/share-batch-weights/v1"));
   for (size_t i = 0; i < cts.size(); ++i) {
     if (shares[i].size() != params.authority_shares.size()) {
       return Status::Error("verifier: " + what + ": wrong share count at " +
                            std::to_string(i));
     }
     std::vector<bool> seen(params.authority_shares.size(), false);
+    weight_seed.Update(cts[i].Serialize());  // once per ciphertext, not per share
     for (const DecryptionShare& share : shares[i]) {
       if (share.member_index >= params.authority_shares.size() || seen[share.member_index]) {
         return Status::Error("verifier: " + what + ": bad share member index");
       }
       seen[share.member_index] = true;
+      DleqBatchEntry entry;
+      entry.domain = std::string(kDecryptionShareDomain);
+      entry.statement =
+          DleqStatement::MakePair(RistrettoPoint::Base(),
+                                  params.authority_shares[share.member_index], cts[i].c1,
+                                  share.share);
+      entry.transcript = share.proof;
+      // Every attacker-supplied field of the share must bind the weights —
+      // including member_index, which selects the statement being proved.
+      uint8_t member_bytes[8];
+      StoreLe64(member_bytes, share.member_index);
+      weight_seed.Update(member_bytes);
+      weight_seed.Update(share.share.Encode());
+      weight_seed.Update(share.proof.Serialize());
+      batch.push_back(std::move(entry));
+    }
+    out->push_back(
+        CombineSharesPublic(cts[i], shares[i], params.authority_shares.size()).Encode());
+  }
+  ChaChaRng weights(weight_seed.Finalize());
+  if (BatchVerifyDleq(batch, weights).ok()) {
+    return Status::Ok();
+  }
+  // Localize: re-check share by share with the exact per-item verifier.
+  for (size_t i = 0; i < cts.size(); ++i) {
+    for (const DecryptionShare& share : shares[i]) {
       Status ok = VerifyShareAgainstCommitment(params.authority_shares[share.member_index],
                                                cts[i], share);
       if (!ok.ok()) {
@@ -61,10 +97,8 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
                              std::to_string(i) + ": " + ok.reason());
       }
     }
-    out->push_back(
-        CombineSharesPublic(cts[i], shares[i], params.authority_shares.size()).Encode());
   }
-  return Status::Ok();
+  return Status::Error("verifier: " + what + ": batched share check failed");
 }
 
 std::vector<ElGamalCiphertext> Column(const MixBatch& batch, size_t column) {

@@ -88,6 +88,40 @@ TEST(Mixnet, ProofVerifies) {
   EXPECT_TRUE(VerifyRpcMixCascade(input, output, proof, pk).ok());
 }
 
+TEST(Mixnet, TamperedRevealRandomnessRejectedInBothModes) {
+  // A reveal whose randomness does not match the committed re-encryption
+  // must be rejected by the batched-MSM link check (which then localizes
+  // via the per-link path) and by the per-link mode directly.
+  ChaChaRng rng(136);
+  Scalar sk = Scalar::Random(rng);
+  RistrettoPoint pk = RistrettoPoint::MulBase(sk);
+  std::vector<std::vector<RistrettoPoint>> plaintexts;
+  MixBatch input = MakeBatch(12, 2, pk, &plaintexts, rng);
+  MixProof proof;
+  MixBatch output = RunRpcMixCascade(input, pk, 1, rng, &proof);
+  ASSERT_TRUE(VerifyRpcMixCascade(input, output, proof, pk).ok());
+
+  MixProof tampered = proof;
+  tampered.pairs[0].reveals[3].randomness[1] =
+      tampered.pairs[0].reveals[3].randomness[1] + Scalar::One();
+  Status batched =
+      VerifyRpcMixCascade(input, output, tampered, pk, MixLinkCheck::kBatchedMsm);
+  EXPECT_FALSE(batched.ok());
+  // The fallback names the exact failing link.
+  EXPECT_NE(batched.reason().find("re-encryption check failed"), std::string::npos)
+      << batched.reason();
+  EXPECT_FALSE(
+      VerifyRpcMixCascade(input, output, tampered, pk, MixLinkCheck::kPerLink).ok());
+
+  // Wrong randomness *width* is a Status failure, not a ProtocolError.
+  MixProof truncated = proof;
+  truncated.pairs[0].reveals[3].randomness.resize(1);
+  Status width = VerifyRpcMixCascade(input, output, truncated, pk);
+  EXPECT_FALSE(width.ok());
+  EXPECT_NE(width.reason().find("randomness width mismatch"), std::string::npos)
+      << width.reason();
+}
+
 TEST(Mixnet, TamperedOutputRejected) {
   ChaChaRng rng(133);
   Scalar sk = Scalar::Random(rng);

@@ -37,6 +37,61 @@ TEST(Scalar, LReducesToZero) {
   EXPECT_TRUE(Scalar::FromBytesModL(l).IsZero());
 }
 
+TEST(Scalar, BarrettReductionVectors) {
+  // Known (512-bit input, input mod ℓ) pairs, little-endian hex, computed
+  // with an independent bignum implementation. These pin the Barrett path
+  // (HAC 14.42) across its edge cases: multiples of ℓ, the all-ones input,
+  // (ℓ-1)^2 (the largest product of canonical scalars), powers of two
+  // straddling the fold boundary, and random 512-bit values.
+  const struct {
+    const char* wide;
+    const char* reduced;
+  } kVectors[] = {
+      {"edd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000100000000000000000000000000000000000000000000000000000000000000000",
+       "0000000000000000000000000000000000000000000000000000000000000000"},
+      {"eed3f55c1a631258d69cf7a2def9de14000000000000000000000000000000100000000000000000000000000000000000000000000000000000000000000000",
+       "0100000000000000000000000000000000000000000000000000000000000000"},
+      {"daa7ebb934c624b0ac39ef45bdf3bd29000000000000000000000000000000200000000000000000000000000000000000000000000000000000000000000000",
+       "0000000000000000000000000000000000000000000000000000000000000000"},
+      {"ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+       "000f9c44e31106a447938568a71b0ed065bef517d273ecce3d9a307c1b419903"},
+      {"90e126f15030c9327169a9dcb89e453ebef517d273ecce3d9a307c1b4199b3817dba9e4b634c02cb9af35ed43bdf9b0200000000000000000000000000000001",
+       "0100000000000000000000000000000000000000000000000000000000000000"},
+      {"00000000000000000000000000000000000000000000000000000000000000000100000000000000000000000000000000000000000000000000000000000000",
+       "1d95988d7431ecd670cf7d73f45befc6feffffffffffffffffffffffffffff0f"},
+      {"ecd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000100000000000000000000000000000000000000000000000000000000000000000",
+       "ecd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010"},
+      {"38b4e652e44da7f2370d9e260e27136550a4a3a6d07f5c0c332f8b1224083fd22b902f8911e81818f8c99d5d5d9831957504d90e945de2e8f54ee781cc75f636",
+       "69e635e2b59edaf289828e009b47ac5dd30f507e94a31614a8be389e1655b504"},
+      {"d85099095aa300165a67036f9b540d6b8f0be21124179c3dd9f73817ce6e118d264aad6cb6dd210faf94acd3cf92c190237cb11f5d108cf25930263938b370a1",
+       "841ac4e571c9aab54df078817d95682262aed88f044783d0d94ebef20ceea708"},
+      {"b5769fa0f1483f95a90d9df2f130d60fcf04bd93f50ae69514da8c659ce2b10cccdaebf990d19838b0d7ec0b3e97818ecb96c4dbadbe172296d5234a42b24c6b",
+       "fbfa1ec8eb3a28a0e6867e40d52d53090b65e07e85158eb020b4e9cfd6832400"},
+  };
+  for (const auto& vec : kVectors) {
+    Scalar s = Scalar::FromBytesWide(HexDecode(vec.wide));
+    EXPECT_EQ(HexEncode(s.ToBytes()), vec.reduced);
+  }
+}
+
+TEST(Scalar, WideSplitIdentity) {
+  // FromBytesWide(lo || hi) must equal lo + hi * 2^256 (mod ℓ), with the
+  // right-hand side assembled from narrow reductions and ring operations —
+  // a structural cross-check of the Barrett fold independent of vectors.
+  ChaChaRng rng(26);
+  Scalar two128 = Scalar::One();
+  for (int i = 0; i < 128; ++i) {
+    two128 = two128 + two128;
+  }
+  Scalar two256 = two128 * two128;
+  for (int iter = 0; iter < 20; ++iter) {
+    Bytes wide = rng.RandomBytes(64);
+    Scalar lo = Scalar::FromBytesModL(std::span<const uint8_t>(wide).subspan(0, 32));
+    Scalar hi = Scalar::FromBytesModL(std::span<const uint8_t>(wide).subspan(32, 32));
+    EXPECT_EQ(Scalar::FromBytesWide(wide), lo + hi * two256);
+  }
+}
+
 TEST(Scalar, WideReductionMatchesNarrow) {
   ChaChaRng rng(21);
   for (int iter = 0; iter < 20; ++iter) {
