@@ -7,7 +7,9 @@
 // ordering; '*' marks extrapolated points (see fig5a for methodology).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "src/baselines/civitas.h"
 #include "src/baselines/swisspost.h"
@@ -16,8 +18,13 @@
 #include "src/common/clock.h"
 #include "src/common/table.h"
 #include "src/crypto/drbg.h"
+#include "src/crypto/sha256.h"
 #include "src/sim/pipeline.h"
+#include "src/trip/registrar.h"
+#include "src/votegral/ballot.h"
 #include "src/votegral/mixnet.h"
+#include "src/votegral/tally.h"
+#include "src/votegral/verifier.h"
 
 namespace votegral {
 namespace {
@@ -122,11 +129,196 @@ void RunFig5b() {
   std::printf("\nCSV:\n%s", table.Csv().c_str());
 }
 
+// Thread-count sweep over the *real* staged tally pipeline and universal
+// verifier (not the baseline models): one fixed election of N ballots,
+// tallied and verified at 1/2/4/8 threads. Emits BENCH_tally_parallel.json
+// and checks that every thread count produces the byte-identical transcript
+// (the reproducibility contract of the forked-DRBG sharding).
+void RunParallelTallySweep() {
+  size_t ballots = 4096;
+  if (const char* env = std::getenv("VOTEGRAL_TALLY_SWEEP_N")) {
+    long parsed = std::atol(env);
+    if (parsed > 0) {
+      ballots = static_cast<size_t>(parsed);
+    }
+  }
+
+  // Build one election through the real TRIP pipeline (serial, seeded):
+  // the sweep below re-tallies the same ledger at each thread count.
+  ChaChaRng rng(0x5CA1AB1E);
+  TripSystemParams params;
+  params.roster.reserve(ballots);
+  for (size_t i = 0; i < ballots; ++i) {
+    params.roster.push_back("voter-" + std::to_string(i));
+  }
+  std::printf("Fig. 5b addendum — staged parallel tally: registering %zu voters...\n",
+              ballots);
+  WallTimer setup_timer;
+  TripSystem trip = TripSystem::Create(params, rng);
+  TaggingService tagging = TaggingService::Create(4, rng);
+  CandidateList candidates({"Alpha", "Beta", "Gamma"});
+  Vsd vsd = trip.MakeVsd();
+  for (size_t i = 0; i < ballots; ++i) {
+    auto voter = RegisterAndActivate(trip, params.roster[i], /*fake_count=*/0, vsd, rng);
+    Require(voter.ok(), "tally sweep: registration failed");
+    Ballot ballot = MakeBallot(voter->activated[0], candidates, i % candidates.size(),
+                               trip.authority_pk(), rng);
+    trip.ledger().PostBallot(ballot.Serialize());
+  }
+  std::printf("  setup %.1fs; sweeping threads {1, 2, 4, 8} "
+              "(hardware_concurrency=%u)\n",
+              setup_timer.Seconds(), std::thread::hardware_concurrency());
+
+  VerifierParams vparams;
+  vparams.authority_pk = trip.authority_pk();
+  for (size_t i = 0; i < trip.authority().size(); ++i) {
+    vparams.authority_shares.push_back(trip.authority().member(i).public_share);
+  }
+  vparams.tagging_commitments = tagging.commitments();
+  vparams.authorized_kiosks = trip.authorized_kiosks();
+  vparams.authorized_officials = trip.authorized_officials();
+
+  // Full transcript digest: must cover every scheduling-sensitive field —
+  // in particular the forked-DRBG outputs (mix reveal randomness, tagging
+  // proof nonces, decryption-share proofs), not just the tags/points/counts
+  // they produce — or a reproducibility regression could slip past with
+  // "transcripts_identical": true.
+  auto digest = [](const TallyOutput& output) {
+    Sha256 h;
+    auto hash_batch = [&](const MixBatch& batch) {
+      for (const MixItem& item : batch) {
+        for (const ElGamalCiphertext& ct : item.cts) h.Update(ct.Serialize());
+        h.Update(item.wire);
+      }
+    };
+    auto hash_proof = [&](const MixProof& proof) {
+      for (const RpcPairProof& pair : proof.pairs) {
+        hash_batch(pair.mid);
+        hash_batch(pair.out);
+        for (const RpcReveal& reveal : pair.reveals) {
+          uint8_t side_and_index[9];
+          side_and_index[0] = reveal.side;
+          StoreLe64(side_and_index + 1, reveal.source_or_dest);
+          h.Update(side_and_index);
+          for (const Scalar& r : reveal.randomness) h.Update(r.ToBytes());
+        }
+      }
+    };
+    auto hash_steps = [&](const std::vector<TaggingStep>& steps) {
+      for (const TaggingStep& step : steps) {
+        for (const ElGamalCiphertext& ct : step.output) h.Update(ct.Serialize());
+        for (const DleqTranscript& proof : step.proofs) h.Update(proof.Serialize());
+      }
+    };
+    auto hash_shares = [&](const std::vector<std::vector<DecryptionShare>>& shares) {
+      for (const auto& per_ct : shares) {
+        for (const DecryptionShare& share : per_ct) {
+          h.Update(share.share.Encode());
+          h.Update(share.proof.Serialize());
+        }
+      }
+    };
+    const TallyTranscript& t = output.transcript;
+    hash_batch(t.ballot_mix_input);
+    hash_batch(t.ballot_mix_output);
+    hash_proof(t.ballot_mix_proof);
+    hash_batch(t.roster_mix_input);
+    hash_batch(t.roster_mix_output);
+    hash_proof(t.roster_mix_proof);
+    hash_steps(t.ballot_tag_steps);
+    hash_steps(t.roster_tag_steps);
+    hash_shares(t.ballot_tag_shares);
+    hash_shares(t.roster_tag_shares);
+    hash_shares(t.vote_shares);
+    for (const auto& tag : t.ballot_tags) h.Update(tag);
+    for (const auto& tag : t.roster_tags) h.Update(tag);
+    for (const auto& point : t.vote_points) h.Update(point);
+    for (uint64_t v : t.counted_indices) {
+      uint8_t buf[8];
+      StoreLe64(buf, v);
+      h.Update(buf);
+    }
+    uint8_t counted[8];
+    StoreLe64(counted, output.result.counted);
+    h.Update(counted);
+    return h.Finalize();
+  };
+
+  struct SweepRow {
+    size_t threads;
+    double tally_s;
+    double verify_s;
+    std::array<uint8_t, 32> transcript_digest;
+  };
+  std::vector<SweepRow> rows;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    Executor executor(threads);
+    TallyService service(trip.authority(), tagging, /*mix_pairs=*/2, executor);
+    ChaChaRng tally_rng(0x5CA1AB1F);  // same stream every run: transcripts must match
+    WallTimer tally_timer;
+    TallyOutput output =
+        service.Run(trip.ledger(), candidates, trip.authorized_kiosks(), tally_rng);
+    double tally_s = tally_timer.Seconds();
+    WallTimer verify_timer;
+    Status verified = VerifyElection(trip.ledger(), vparams, candidates, output, executor);
+    double verify_s = verify_timer.Seconds();
+    Require(verified.ok(), "tally sweep: universal verification failed");
+    rows.push_back({threads, tally_s, verify_s, digest(output)});
+  }
+
+  bool identical = true;
+  for (const SweepRow& row : rows) {
+    identical = identical && row.transcript_digest == rows[0].transcript_digest;
+  }
+
+  TextTable table("Staged parallel tally — thread sweep at " + std::to_string(ballots) +
+                  " ballots");
+  table.SetHeader({"Threads", "Tally (s)", "Verify (s)", "Tally speedup",
+                   "Verify speedup"});
+  for (const SweepRow& row : rows) {
+    char tally_x[32];
+    char verify_x[32];
+    std::snprintf(tally_x, sizeof(tally_x), "%.2fx", rows[0].tally_s / row.tally_s);
+    std::snprintf(verify_x, sizeof(verify_x), "%.2fx", rows[0].verify_s / row.verify_s);
+    table.AddRow({std::to_string(row.threads), FormatSeconds(row.tally_s),
+                  FormatSeconds(row.verify_s), tally_x, verify_x});
+  }
+  std::printf("%s", table.Format().c_str());
+  std::printf("Transcripts byte-identical across thread counts: %s\n\n",
+              identical ? "yes" : "NO");
+
+  // The JSON is written (with the real `identical` verdict) *before* the
+  // hard failure below, so a determinism regression still leaves the
+  // timing/digest evidence behind for diagnosis.
+  FILE* json = std::fopen("BENCH_tally_parallel.json", "w");
+  Require(json != nullptr, "tally sweep: cannot write BENCH_tally_parallel.json");
+  std::fprintf(json,
+               "{\n  \"bench\": \"tally_parallel\",\n  \"ballots\": %zu,\n"
+               "  \"mix_pairs\": 2,\n  \"authority_members\": %zu,\n"
+               "  \"tagging_members\": %zu,\n  \"hardware_concurrency\": %u,\n"
+               "  \"transcripts_identical\": %s,\n  \"sweep\": [\n",
+               ballots, trip.authority().size(), tagging.size(),
+               std::thread::hardware_concurrency(), identical ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    std::fprintf(json,
+                 "    {\"threads\": %zu, \"tally_s\": %.6f, \"verify_s\": %.6f, "
+                 "\"tally_speedup\": %.3f, \"verify_speedup\": %.3f}%s\n",
+                 row.threads, row.tally_s, row.verify_s, rows[0].tally_s / row.tally_s,
+                 rows[0].verify_s / row.verify_s, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("Wrote BENCH_tally_parallel.json\n");
+  Require(identical, "tally sweep: transcripts differ across thread counts");
+}
+
 }  // namespace
 }  // namespace votegral
 
 int main() {
   votegral::RunFig5b();
   votegral::RunMixVerifyMsmAblation();
+  votegral::RunParallelTallySweep();
   return 0;
 }

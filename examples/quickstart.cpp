@@ -19,6 +19,10 @@ int main() {
   ElectionConfig config;
   config.roster = {"alice"};
   config.candidates = {"Proposal YES", "Proposal NO"};
+  // Serial escape hatch: one voter doesn't need the work pool, and the
+  // transcript (and so this program's output) is identical at any thread
+  // count — the parallel pipeline is byte-reproducible by construction.
+  config.threads = 1;
   Election election(config, rng);
   std::printf("Setup: authority of %zu members, %zu envelopes committed on-ledger\n",
               election.trip().authority().size(),

@@ -1,0 +1,250 @@
+#include "src/common/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+#include "src/common/status.h"
+
+namespace votegral {
+
+namespace {
+
+// Innermost Scope-bound executor on this thread (set while chunk bodies run
+// on pool threads, too, so nested kernels inherit the right pool).
+thread_local Executor* tls_current_executor = nullptr;
+
+}  // namespace
+
+// One ParallelFor invocation: chunks are claimed by atomic increment, so a
+// chunk runs on whichever thread gets to it first while results stay
+// position-addressed and deterministic.
+struct Executor::Job {
+  Executor* owner = nullptr;
+  size_t n = 0;
+  size_t chunk = 1;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next{0};        // next unclaimed chunk start
+  std::atomic<bool> failed{false};    // first exception recorded; skip rest
+  std::atomic<bool> done{false};      // completed == n (set under mutex)
+
+  std::mutex mutex;
+  size_t completed = 0;               // completed indices, guarded by mutex
+  std::exception_ptr error;           // first chunk exception, guarded by mutex
+};
+
+Executor::Executor(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  thread_count_ = threads;
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool Executor::RunOneChunk(Job& job) {
+  size_t begin = job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+  if (begin >= job.n) {
+    return false;
+  }
+  size_t end = std::min(job.n, begin + job.chunk);
+  if (!job.failed.load(std::memory_order_relaxed)) {
+    // The body runs with its owning executor as Current(): nested parallel
+    // kernels (MSM window passes, batch accumulators) stay on the same pool
+    // whether this thread is a worker or the participating submitter.
+    Executor* previous = tls_current_executor;
+    tls_current_executor = job.owner;
+    try {
+      (*job.body)(begin, end);
+      tls_current_executor = previous;
+    } catch (...) {
+      tls_current_executor = previous;
+      std::lock_guard<std::mutex> lock(job.mutex);
+      if (!job.error) {
+        job.error = std::current_exception();
+      }
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+  bool became_done = false;
+  {
+    std::lock_guard<std::mutex> lock(job.mutex);
+    job.completed += end - begin;
+    if (job.completed == job.n) {
+      job.done.store(true, std::memory_order_release);
+      became_done = true;
+    }
+  }
+  if (became_done) {
+    // Submitters park on the owner's queue condition (so they can also be
+    // woken to help with new jobs); completion must signal it.
+    job.owner->queue_cv_.notify_all();
+  }
+  return true;
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+      job = queue_.front();
+    }
+    if (!RunOneChunk(*job)) {
+      // Exhausted: retire the job from the queue if it is still enqueued.
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->get() == job.get()) {
+          queue_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Executor::ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  // Serial executor, tiny loops, or no workers: run inline. Chunk boundaries
+  // are invisible to callers, so this changes nothing observable.
+  if (thread_count_ <= 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->owner = this;
+  job->n = n;
+  // Over-decompose ~4x relative to the worker count so chunks of uneven cost
+  // balance, but keep chunks whole for cache locality.
+  job->chunk = std::max<size_t>(1, n / (thread_count_ * 4));
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    Require(!stopping_, "executor: submit after shutdown");
+    // LIFO: nested jobs go to the front so idle workers help the deepest
+    // (and therefore blocking) submission first.
+    queue_.push_front(job);
+  }
+  queue_cv_.notify_all();
+
+  // The submitting thread drains its own job; nesting therefore always makes
+  // progress even when every worker is busy elsewhere.
+  while (RunOneChunk(*job)) {
+  }
+  {
+    // Drop the job from the queue (the submitter usually exhausts it first).
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->get() == job.get()) {
+        queue_.erase(it);
+        break;
+      }
+    }
+  }
+  // Help-first join: while stragglers finish our chunks, run chunks of other
+  // queued jobs (their nested children, or sibling tasks of the same pool)
+  // instead of idling a thread on a bare wait.
+  while (!job->done.load(std::memory_order_acquire)) {
+    std::shared_ptr<Job> other;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (queue_.empty()) {
+        queue_cv_.wait(lock, [&] {
+          return !queue_.empty() || job->done.load(std::memory_order_acquire);
+        });
+        continue;
+      }
+      other = queue_.front();
+    }
+    if (!RunOneChunk(*other)) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->get() == other.get()) {
+          queue_.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->error) {
+      std::rethrow_exception(job->error);
+    }
+  }
+}
+
+Executor::Scope::Scope(Executor& executor) : previous_(tls_current_executor) {
+  tls_current_executor = &executor;
+}
+
+Executor::Scope::~Scope() { tls_current_executor = previous_; }
+
+Executor& Executor::Current() {
+  return tls_current_executor != nullptr ? *tls_current_executor : Global();
+}
+
+Executor& Executor::Global() {
+  static Executor* global = [] {
+    size_t threads = 0;
+    if (const char* env = std::getenv("VOTEGRAL_THREADS")) {
+      long parsed = std::atol(env);
+      if (parsed > 0) {
+        threads = static_cast<size_t>(parsed);
+      }
+    }
+    return new Executor(threads);
+  }();
+  return *global;
+}
+
+std::vector<std::pair<size_t, size_t>> Executor::Shards(size_t n, size_t max_shards) {
+  std::vector<std::pair<size_t, size_t>> shards;
+  if (n == 0) {
+    return shards;
+  }
+  size_t count = std::min(n, std::max<size_t>(1, max_shards));
+  shards.reserve(count);
+  size_t base = n / count;
+  size_t extra = n % count;  // first `extra` shards get one more element
+  size_t begin = 0;
+  for (size_t s = 0; s < count; ++s) {
+    size_t end = begin + base + (s < extra ? 1 : 0);
+    shards.emplace_back(begin, end);
+    begin = end;
+  }
+  return shards;
+}
+
+std::optional<size_t> FirstMarked(std::span<const uint8_t> flags) {
+  for (size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i]) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace votegral

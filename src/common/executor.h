@@ -1,0 +1,151 @@
+// Work-pool executor for the staged parallel tally pipeline.
+//
+// Design constraints, in order:
+//  1. *Determinism*: parallel protocol stages must be byte-reproducible
+//     regardless of thread count. The executor therefore never makes
+//     scheduling visible to callers — ParallelFor/ParallelMap write results
+//     at fixed positions, and stages that consume randomness partition their
+//     work into `Shards` whose boundaries depend only on the input size
+//     (never on the thread count) and give each shard a forked DRBG stream
+//     (see ForkRngSeeds in src/common/rng.h).
+//  2. *Nested-submit safety*: MSM bucket passes run inside mixnet shard
+//     tasks which run inside tally stages. A thread that waits for a job it
+//     submitted keeps executing chunks of that job itself, so nesting can
+//     never deadlock and a 1-thread executor degrades to plain loops.
+//  3. *Exception transparency*: the first exception thrown by any chunk is
+//     rethrown from the submitting call (ProtocolError propagation).
+#ifndef SRC_COMMON_EXECUTOR_H_
+#define SRC_COMMON_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace votegral {
+
+class Executor {
+ public:
+  // `threads` is the total parallelism including the submitting thread;
+  // 0 selects std::thread::hardware_concurrency(). An Executor(1) runs
+  // everything inline and spawns no workers.
+  explicit Executor(size_t threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t threads() const { return thread_count_; }
+
+  // Runs body(begin, end) over a partition of [0, n). Blocks until every
+  // chunk has completed; rethrows the first chunk exception. The submitting
+  // thread participates, so this is safe to call from inside another
+  // ParallelFor body.
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body);
+
+  // Per-index convenience over ParallelFor.
+  template <typename F>
+  void ParallelForEach(size_t n, F&& f) {
+    ParallelFor(n, [&f](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        f(i);
+      }
+    });
+  }
+
+  // result[i] = f(i), with result order fixed by index (deterministic
+  // regardless of which thread computed which entry). R must be default
+  // constructible.
+  template <typename R, typename F>
+  std::vector<R> ParallelMap(size_t n, F&& f) {
+    std::vector<R> result(n);
+    ParallelForEach(n, [&](size_t i) { result[i] = f(i); });
+    return result;
+  }
+
+  // Process-wide pool, sized from hardware_concurrency (override with the
+  // VOTEGRAL_THREADS environment variable, read once). Protocol entry points
+  // default to this instance; tests construct local executors to pin the
+  // thread count.
+  static Executor& Global();
+
+  // Scoped binding of "the executor parallel kernels below this frame should
+  // use". Layers that cannot take an Executor parameter without contaminating
+  // their API (the MSM engine, batch verification) read Current(); protocol
+  // entry points that accept an injected executor bind it for their duration,
+  // so `threads=1` really means serial all the way down and a dedicated pool
+  // never oversubscribes against the global one. Bodies running on pool
+  // threads automatically see their owning executor as Current().
+  class Scope {
+   public:
+    explicit Scope(Executor& executor);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Executor* previous_;
+  };
+
+  // The innermost bound executor on this thread; Global() when none.
+  static Executor& Current();
+
+  // Partitions [0, n) into at most `max_shards` contiguous, balanced
+  // [begin, end) ranges. The partition depends only on n and max_shards —
+  // never on the thread count — so per-shard forked DRBG streams consume
+  // identical bytes under any parallelism (the reproducibility contract of
+  // the tally pipeline).
+  static std::vector<std::pair<size_t, size_t>> Shards(size_t n, size_t max_shards);
+
+  // Default shard count for randomness-consuming pipeline stages: enough
+  // slack for any realistic worker count without fragmenting small batches.
+  static constexpr size_t kRngShards = 64;
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+
+  // Claims and runs one chunk of `job`. Returns false when the job has no
+  // unclaimed chunks left.
+  static bool RunOneChunk(Job& job);
+
+  size_t thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;  // active jobs with unclaimed chunks
+  bool stopping_ = false;
+};
+
+// Deterministic localization helper for parallel verification passes: scans
+// positional failure flags written by pool workers and returns the lowest
+// marked index, so "first failure" is identical at any thread count.
+std::optional<size_t> FirstMarked(std::span<const uint8_t> flags);
+
+// The canonical parallel-check-then-localize shape: runs ok(i) for every
+// i in [0, n) on the executor and returns the lowest index whose check
+// failed. Callers re-derive the exact error at that index serially, keeping
+// reason strings identical at any thread count.
+template <typename F>
+std::optional<size_t> ParallelFirstFailure(Executor& executor, size_t n, F&& ok) {
+  std::vector<uint8_t> bad(n, 0);
+  executor.ParallelForEach(n, [&](size_t i) {
+    if (!ok(i)) {
+      bad[i] = 1;
+    }
+  });
+  return FirstMarked(bad);
+}
+
+}  // namespace votegral
+
+#endif  // SRC_COMMON_EXECUTOR_H_

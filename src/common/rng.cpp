@@ -4,6 +4,14 @@
 
 namespace votegral {
 
+std::vector<std::array<uint8_t, 32>> ForkRngSeeds(Rng& parent, size_t count) {
+  std::vector<std::array<uint8_t, 32>> seeds(count);
+  for (auto& seed : seeds) {
+    parent.Fill(seed);
+  }
+  return seeds;
+}
+
 uint64_t Rng::Uniform(uint64_t bound) {
   Require(bound > 0, "Rng::Uniform: bound must be positive");
   // Rejection sampling over the largest multiple of `bound` below 2^64.

@@ -1,11 +1,21 @@
 // Randomness interface. Every protocol component takes an `Rng&` so tests and
 // benchmarks are reproducible (seeded ChaCha20 DRBG) while examples can use a
 // system-entropy-seeded instance. Implementations live in src/crypto/drbg.h.
+//
+// Parallel stages fork per-shard child streams with ForkRngSeeds: the parent
+// stream is consumed *sequentially* (one 32-byte draw per shard, in shard
+// order) and each shard's work then runs on its own ChaChaRng(seed), so the
+// bytes any shard sees are independent of how shards are scheduled across
+// threads. Combined with thread-count-independent shard boundaries
+// (Executor::Shards), this keeps mixing, tagging and decryption
+// byte-reproducible under any parallelism.
 #ifndef SRC_COMMON_RNG_H_
 #define SRC_COMMON_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "src/common/bytes.h"
 
@@ -29,6 +39,13 @@ class Rng {
   // Uniform integer in [0, bound) via rejection sampling. `bound` must be >0.
   uint64_t Uniform(uint64_t bound);
 };
+
+// Draws `count` independent 32-byte child seeds from `parent` in one
+// sequential pass. Feed each seed to a ChaChaRng to get the forked child
+// streams described in the header comment. The parent's stream position
+// advances by exactly 32*count bytes regardless of what the children are
+// later used for.
+std::vector<std::array<uint8_t, 32>> ForkRngSeeds(Rng& parent, size_t count);
 
 }  // namespace votegral
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <vector>
 
+#include "src/common/executor.h"
 #include "src/crypto/msm.h"
 #include "src/crypto/sha512.h"
 
@@ -19,6 +20,15 @@ Scalar SchnorrChallenge(const CompressedRistretto& r_bytes,
   return Scalar::FromBytesWide(digest);
 }
 
+// Reports the lowest failed entry index, or OK. Per-entry failure flags are
+// written positionally by parallel workers, so the report is deterministic.
+Status FirstFailure(std::span<const uint8_t> failed, const char* what) {
+  if (auto i = FirstMarked(failed); i.has_value()) {
+    return Status::Error(std::string(what) + " at entry " + std::to_string(*i));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) {
@@ -27,25 +37,50 @@ Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) 
   // All weighted terms are collected into one flat multi-scalar
   // multiplication; the shared-doubling/bucket engine amortizes the group
   // work to a few additions per signature.
-  Scalar combined_s = Scalar::Zero();
-  std::vector<Scalar> scalars;
-  std::vector<RistrettoPoint> points;
-  scalars.reserve(2 * entries.size());
-  points.reserve(2 * entries.size());
-  for (const SchnorrBatchEntry& entry : entries) {
-    auto pk = RistrettoPoint::Decode(entry.public_key);
-    auto r = RistrettoPoint::Decode(entry.signature.r_bytes);
-    if (!pk.has_value() || !r.has_value()) {
-      return Status::Error("batch-schnorr: undecodable point");
+  //
+  // Entry preparation — point decode (one inverse sqrt per point) and
+  // challenge hashing — dominates at large n, so it fans out across the
+  // pool: every entry writes its two weighted terms at fixed positions and
+  // each worker shard accumulates a partial of the fixed-base coefficient,
+  // merged in shard order at the end. Weights are drawn from `rng` up front,
+  // sequentially, so the weight stream is independent of scheduling.
+  const size_t n = entries.size();
+  std::vector<Scalar> weights(n);
+  for (Scalar& w : weights) {
+    w = RandomRlcWeight(rng);
+  }
+
+  std::vector<Scalar> scalars(2 * n);
+  std::vector<RistrettoPoint> points(2 * n);
+  std::vector<uint8_t> bad(n, 0);
+  Executor& executor = Executor::Current();
+  auto shards = Executor::Shards(n, Executor::kRngShards);
+  std::vector<Scalar> partial = executor.ParallelMap<Scalar>(shards.size(), [&](size_t s) {
+    Scalar sum = Scalar::Zero();
+    for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+      const SchnorrBatchEntry& entry = entries[i];
+      auto pk = RistrettoPoint::Decode(entry.public_key);
+      auto r = RistrettoPoint::Decode(entry.signature.r_bytes);
+      if (!pk.has_value() || !r.has_value()) {
+        bad[i] = 1;
+        continue;
+      }
+      Scalar challenge = SchnorrChallenge(entry.signature.r_bytes, entry.public_key,
+                                          entry.message);
+      sum = sum + weights[i] * entry.signature.s;
+      scalars[2 * i] = -(weights[i] * challenge);
+      points[2 * i] = *pk;
+      scalars[2 * i + 1] = -weights[i];
+      points[2 * i + 1] = *r;
     }
-    Scalar weight = RandomRlcWeight(rng);
-    Scalar challenge = SchnorrChallenge(entry.signature.r_bytes, entry.public_key,
-                                        entry.message);
-    combined_s = combined_s + weight * entry.signature.s;
-    scalars.push_back(-(weight * challenge));
-    points.push_back(*pk);
-    scalars.push_back(-weight);
-    points.push_back(*r);
+    return sum;
+  });
+  if (Status s = FirstFailure(bad, "batch-schnorr: undecodable point"); !s.ok()) {
+    return s;
+  }
+  Scalar combined_s = Scalar::Zero();
+  for (const Scalar& p : partial) {
+    combined_s = combined_s + p;
   }
   if (!MultiScalarMulWithBase(combined_s, scalars, points).IsIdentity()) {
     return Status::Error("batch-schnorr: combined verification equation failed");
@@ -53,33 +88,70 @@ Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) 
   return Status::Ok();
 }
 
+std::array<uint8_t, 64> DleqBatchWeightSeed(std::string_view domain,
+                                            std::span<const DleqBatchEntry> entries) {
+  Sha512 h;
+  h.Update(AsBytes(domain));
+  for (const DleqBatchEntry& entry : entries) {
+    h.Update(entry.transcript.challenge.ToBytes());
+    h.Update(entry.transcript.response.ToBytes());
+  }
+  return h.Finalize();
+}
+
 Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
   // Each proof satisfies, for every pair j:
   //   r_i*G_ij + e_i*P_ij - Y_ij == 0.
   // All pairs of all proofs are combined with independent weights into a
   // single multi-scalar multiplication that must evaluate to the identity.
-  std::vector<Scalar> scalars;
-  std::vector<RistrettoPoint> points;
-  for (const DleqBatchEntry& entry : entries) {
-    const DleqStatement& st = entry.statement;
-    const DleqTranscript& t = entry.transcript;
+  //
+  // The per-entry Fiat–Shamir challenge recomputation re-encodes every
+  // statement point (an inverse sqrt each) — the dominant non-MSM cost —
+  // so entries are processed in parallel, writing their weighted terms at
+  // offsets fixed by a prefix sum over pair counts. Weights are pre-drawn
+  // sequentially in pair order, matching the seed's stream.
+  const size_t n = entries.size();
+  std::vector<size_t> offset(n + 1, 0);  // term offset (3 per pair)
+  for (size_t i = 0; i < n; ++i) {
+    const DleqStatement& st = entries[i].statement;
+    const DleqTranscript& t = entries[i].transcript;
     if (st.bases.size() != st.publics.size() || t.commits.size() != st.bases.size()) {
       return Status::Error("batch-dleq: malformed entry");
     }
+    offset[i + 1] = offset[i] + st.bases.size();
+  }
+  const size_t total_pairs = offset[n];
+  std::vector<Scalar> weights(total_pairs);
+  for (Scalar& w : weights) {
+    w = RandomRlcWeight(rng);
+  }
+
+  std::vector<Scalar> scalars(3 * total_pairs);
+  std::vector<RistrettoPoint> points(3 * total_pairs);
+  std::vector<uint8_t> bad(n, 0);
+  Executor::Current().ParallelForEach(n, [&](size_t i) {
+    const DleqBatchEntry& entry = entries[i];
+    const DleqStatement& st = entry.statement;
+    const DleqTranscript& t = entry.transcript;
     // The Fiat–Shamir challenge must still bind per proof.
     Scalar expected = DeriveFsChallenge(entry.domain, st, t.commits, entry.extra);
     if (expected != t.challenge) {
-      return Status::Error("batch-dleq: challenge mismatch");
+      bad[i] = 1;
+      return;
     }
     for (size_t j = 0; j < st.bases.size(); ++j) {
-      Scalar weight = RandomRlcWeight(rng);
-      scalars.push_back(weight * t.response);
-      points.push_back(st.bases[j]);
-      scalars.push_back(weight * t.challenge);
-      points.push_back(st.publics[j]);
-      scalars.push_back(-weight);
-      points.push_back(t.commits[j]);
+      const Scalar& weight = weights[offset[i] + j];
+      size_t at = 3 * (offset[i] + j);
+      scalars[at] = weight * t.response;
+      points[at] = st.bases[j];
+      scalars[at + 1] = weight * t.challenge;
+      points[at + 1] = st.publics[j];
+      scalars[at + 2] = -weight;
+      points[at + 2] = t.commits[j];
     }
+  });
+  if (Status s = FirstFailure(bad, "batch-dleq: challenge mismatch"); !s.ok()) {
+    return s;
   }
   if (!MultiScalarMul(scalars, points).IsIdentity()) {
     return Status::Error("batch-dleq: combined verification equation failed");

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -56,6 +57,16 @@ struct DleqBatchEntry {
 // Verifies all DLEQ proofs at once (challenge recomputation stays per-item;
 // the group equations are combined).
 Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng);
+
+// Deterministic weight seed for auditor-reproducible BatchVerifyDleq calls:
+// binds every entry's Fiat–Shamir challenge and response under `domain`.
+// The challenge itself already binds the proof domain, statement and
+// commitments (collision resistance of the FS hash), so hashing the
+// (challenge, response) pairs binds the entire batch without re-encoding
+// any points — entries are only accepted by BatchVerifyDleq if their
+// recomputed challenge matches, which ties the weights to the statements.
+std::array<uint8_t, 64> DleqBatchWeightSeed(std::string_view domain,
+                                            std::span<const DleqBatchEntry> entries);
 
 }  // namespace votegral
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/executor.h"
 #include "src/common/status.h"
 
 namespace votegral {
@@ -151,14 +152,43 @@ uint32_t ExtractWindow(const std::array<uint8_t, 32>& bytes, size_t bit, int w) 
   return v & ((uint32_t{1} << w) - 1);
 }
 
-// Pippenger bucket accumulation with *signed* radix-2^w digits: each scalar
-// is recoded so digits lie in [-2^(w-1), 2^(w-1)], which halves the bucket
-// count (negative digits contribute the negated point — negation is two
-// field negations, essentially free). Each window sorts terms into buckets
-// by |digit| with one addition per term, then collapses the buckets with
-// the running-suffix trick:
+// One window's bucket pass of Pippenger with *signed* radix-2^w digits
+// (signed recoding halves the bucket count; negative digits contribute the
+// negated point — negation is two field negations, essentially free). Terms
+// are sorted into buckets by |digit| with one addition per term, then the
+// buckets collapse with the running-suffix trick:
 //   sum_d d * bucket[d] = sum over suffixes of (bucket[max] + ... + bucket[d]),
 // i.e. two additions per bucket instead of a multiplication per bucket.
+// Returns whether any digit was nonzero.
+bool PippengerWindowPass(std::span<const RistrettoPoint> points,
+                         std::span<const int16_t> digits, size_t win, size_t nwindows,
+                         size_t nbuckets, RistrettoPoint* window_total) {
+  const size_t n = points.size();
+  std::vector<RistrettoPoint> buckets(nbuckets);
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    int16_t digit = digits[i * nwindows + win];
+    if (digit > 0) {
+      buckets[static_cast<size_t>(digit) - 1] =
+          buckets[static_cast<size_t>(digit) - 1] + points[i];
+      any = true;
+    } else if (digit < 0) {
+      buckets[static_cast<size_t>(-digit) - 1] =
+          buckets[static_cast<size_t>(-digit) - 1] + (-points[i]);
+      any = true;
+    }
+  }
+  *window_total = RistrettoPoint::Identity();
+  if (any) {
+    RistrettoPoint running;  // bucket suffix sum
+    for (size_t b = nbuckets; b-- > 0;) {
+      running = running + buckets[b];
+      *window_total = *window_total + running;
+    }
+  }
+  return any;
+}
+
 RistrettoPoint PippengerMsm(std::span<const Scalar> scalars,
                             std::span<const RistrettoPoint> points) {
   const size_t n = scalars.size();
@@ -166,12 +196,15 @@ RistrettoPoint PippengerMsm(std::span<const Scalar> scalars,
   const size_t nbuckets = size_t{1} << (w - 1);
   // One extra window absorbs the recoding carry out of the top bits.
   const size_t nwindows = (256 + static_cast<size_t>(w) - 1) / static_cast<size_t>(w) + 1;
+  // Scope-bound executor: inherits the caller's pool (or its serial
+  // Executor(1)) instead of unconditionally waking the global one.
+  Executor& executor = Executor::Current();
 
   // Signed-digit recoding, all scalars up front (cache-friendly window pass).
   std::vector<int16_t> digits(n * nwindows);
   const int32_t half = int32_t{1} << (w - 1);
   const int32_t full = int32_t{1} << w;
-  for (size_t i = 0; i < n; ++i) {
+  executor.ParallelForEach(n, [&](size_t i) {
     auto bytes = scalars[i].ToBytes();
     int32_t carry = 0;
     for (size_t win = 0; win < nwindows; ++win) {
@@ -188,9 +221,22 @@ RistrettoPoint PippengerMsm(std::span<const Scalar> scalars,
     }
     // Canonical scalars are < 2^253 < 2^(w*(nwindows-1)), so the recoding
     // carry always terminates inside the extra window.
-  }
+  });
 
-  std::vector<RistrettoPoint> buckets(nbuckets);
+  // Window bucket passes are mutually independent: run them on the pool,
+  // one per-window total each, then fold the totals with the shared doubling
+  // chain. The fold costs ~256 doublings regardless of n, so all the O(n)
+  // work parallelizes. Group addition is exact, and each window keeps the
+  // seed's term order, so the result is bit-identical at any thread count.
+  std::vector<RistrettoPoint> window_totals(nwindows);
+  std::vector<uint8_t> window_any(nwindows, 0);
+  executor.ParallelForEach(nwindows, [&](size_t win) {
+    window_any[win] = PippengerWindowPass(points, digits, win, nwindows, nbuckets,
+                                          &window_totals[win])
+                          ? 1
+                          : 0;
+  });
+
   RistrettoPoint acc;  // identity
   bool started = false;
   for (size_t win = nwindows; win-- > 0;) {
@@ -199,28 +245,8 @@ RistrettoPoint PippengerMsm(std::span<const Scalar> scalars,
         acc = acc.Double();
       }
     }
-    std::fill(buckets.begin(), buckets.end(), RistrettoPoint::Identity());
-    bool any = false;
-    for (size_t i = 0; i < n; ++i) {
-      int16_t digit = digits[i * nwindows + win];
-      if (digit > 0) {
-        buckets[static_cast<size_t>(digit) - 1] =
-            buckets[static_cast<size_t>(digit) - 1] + points[i];
-        any = true;
-      } else if (digit < 0) {
-        buckets[static_cast<size_t>(-digit) - 1] =
-            buckets[static_cast<size_t>(-digit) - 1] + (-points[i]);
-        any = true;
-      }
-    }
-    if (any) {
-      RistrettoPoint running;  // bucket suffix sum
-      RistrettoPoint window_total;
-      for (size_t b = nbuckets; b-- > 0;) {
-        running = running + buckets[b];
-        window_total = window_total + running;
-      }
-      acc = acc + window_total;
+    if (window_any[win]) {
+      acc = acc + window_totals[win];
       started = true;
     }
   }

@@ -99,6 +99,15 @@ class PublicLedger {
   uint64_t PostBallot(Bytes ballot_payload);
   std::vector<Bytes> AllBallots() const;
 
+  // Chunked, zero-copy iteration for the sharded tally pipeline: stages
+  // validate ballots shard by shard instead of materializing a copy of the
+  // whole ballot log (AllBallots copies every payload — fine for tests,
+  // wrong at the million-ballot target).
+  size_t BallotCount() const { return ballot_log_.size(); }
+  const Bytes& BallotPayload(size_t index) const {
+    return ballot_log_.At(index).payload;
+  }
+
   // --- Integrity -------------------------------------------------------------
   // Verifies all three underlying hash chains.
   Status VerifyChains() const;

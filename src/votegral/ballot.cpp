@@ -24,7 +24,11 @@ CandidateList::CandidateList(std::vector<std::string> names) : names_(std::move(
 }
 
 std::optional<size_t> CandidateList::IndexOfPoint(const RistrettoPoint& point) const {
-  auto it = by_encoding_.find(point.Encode());
+  return IndexOfEncoding(point.Encode());
+}
+
+std::optional<size_t> CandidateList::IndexOfEncoding(const CompressedRistretto& encoding) const {
+  auto it = by_encoding_.find(encoding);
   if (it == by_encoding_.end()) {
     return std::nullopt;
   }

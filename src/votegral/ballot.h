@@ -34,6 +34,11 @@ class CandidateList {
   // Reverse lookup of a decrypted vote point; nullopt for invalid votes.
   std::optional<size_t> IndexOfPoint(const RistrettoPoint& point) const;
 
+  // Same lookup from an already-computed canonical encoding. The tally and
+  // verifier pipelines encode decrypted points in parallel batches; this
+  // avoids paying a second Encode inside the sequential counting loop.
+  std::optional<size_t> IndexOfEncoding(const CompressedRistretto& encoding) const;
+
  private:
   std::vector<std::string> names_;
   std::vector<RistrettoPoint> points_;

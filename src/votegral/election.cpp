@@ -17,7 +17,13 @@ Election::Election(ElectionConfig config, Rng& rng)
     : config_(std::move(config)),
       trip_(MakeTrip(config_, rng)),
       tagging_(TaggingService::Create(config_.tagging_members, rng)),
-      candidates_(config_.candidates) {}
+      candidates_(config_.candidates),
+      dedicated_executor_(config_.threads != 0 ? std::make_unique<Executor>(config_.threads)
+                                               : nullptr) {}
+
+Executor& Election::executor() const {
+  return dedicated_executor_ != nullptr ? *dedicated_executor_ : Executor::Global();
+}
 
 Outcome<RegisteredVoter> Election::Register(const std::string& voter_id, size_t fake_count,
                                             Vsd& vsd, Rng& rng) {
@@ -42,12 +48,12 @@ Status Election::Cast(const ActivatedCredential& credential, const std::string& 
 }
 
 TallyOutput Election::Tally(Rng& rng) const {
-  TallyService service(trip_.authority(), tagging_, config_.mix_pairs);
+  TallyService service(trip_.authority(), tagging_, config_.mix_pairs, executor());
   return service.Run(trip_.ledger(), candidates_, trip_.authorized_kiosks(), rng);
 }
 
 Status Election::Verify(const TallyOutput& output) const {
-  return VerifyElection(trip_.ledger(), verifier_params(), candidates_, output);
+  return VerifyElection(trip_.ledger(), verifier_params(), candidates_, output, executor());
 }
 
 VerifierParams Election::verifier_params() const {

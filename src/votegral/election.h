@@ -22,6 +22,12 @@ struct ElectionConfig {
   size_t authority_members = 4;
   size_t tagging_members = 4;
   size_t mix_pairs = 2;  // 4 shufflers, matching the paper's experiments
+
+  // Worker threads for the tally pipeline and the universal verifier.
+  // 0 = share the process-wide pool (sized from hardware_concurrency);
+  // 1 = fully serial (the quickstart escape hatch). The transcript is
+  // byte-identical at any setting — this only trades wall-clock time.
+  size_t threads = 0;
 };
 
 // A complete Votegral election instance.
@@ -51,11 +57,16 @@ class Election {
   // Public verifier parameters (what an auditor downloads at setup).
   VerifierParams verifier_params() const;
 
+  // The executor tallying and verification run on (the config's dedicated
+  // pool, or the global one).
+  Executor& executor() const;
+
  private:
   ElectionConfig config_;
   TripSystem trip_;
   TaggingService tagging_;
   CandidateList candidates_;
+  std::unique_ptr<Executor> dedicated_executor_;  // when config.threads != 0
 };
 
 }  // namespace votegral

@@ -29,11 +29,20 @@ MixItem ReEncryptItem(const MixItem& item, const RistrettoPoint& pk,
   return out;
 }
 
+Bytes SerializeItem(const MixItem& item) {
+  Bytes wire;
+  wire.reserve(64 * item.cts.size());
+  for (const ElGamalCiphertext& ct : item.cts) {
+    Bytes part = ct.Serialize();
+    wire.insert(wire.end(), part.begin(), part.end());
+  }
+  return wire;
+}
+
 // Derives one challenge bit per middle index from the pair's commitment
-// hashes. Batch hashes are passed in rather than recomputed: hashing a batch
-// costs one canonical point encoding per ciphertext component, which is the
-// single most expensive non-group step of cascade verification, so every
-// batch is hashed exactly once per pair.
+// hashes. Batch hashes are passed in rather than recomputed; with wire
+// caches each batch is serialized exactly once, in parallel, by whoever
+// produced or validated it.
 std::vector<uint8_t> DeriveChallengeBits(const std::array<uint8_t, 32>& h_in,
                                          const std::array<uint8_t, 32>& h_mid,
                                          const std::array<uint8_t, 32>& h_out,
@@ -49,33 +58,52 @@ std::vector<uint8_t> DeriveChallengeBits(const std::array<uint8_t, 32>& h_in,
   return bits;
 }
 
-std::vector<uint8_t> DeriveChallengeBits(const MixBatch& input, const MixBatch& mid,
-                                         const MixBatch& out, size_t pair_index) {
-  return DeriveChallengeBits(HashMixBatch(input), HashMixBatch(mid), HashMixBatch(out),
-                             mid.size(), pair_index);
-}
-
 }  // namespace
+
+const Bytes& MixItem::EnsureWire() {
+  if (!HasWire()) {
+    wire = SerializeItem(*this);
+  }
+  return wire;
+}
 
 std::array<uint8_t, 32> HashMixBatch(const MixBatch& batch) {
   Sha256 h;
   uint8_t width = batch.empty() ? 0 : static_cast<uint8_t>(batch[0].cts.size());
   h.Update({&width, 1});
   for (const MixItem& item : batch) {
-    for (const ElGamalCiphertext& ct : item.cts) {
-      h.Update(ct.Serialize());
+    if (item.HasWire()) {
+      h.Update(item.wire);
+    } else {
+      h.Update(SerializeItem(item));
     }
   }
   return h.Finalize();
 }
 
-MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng) {
+void EnsureWireCache(MixBatch& batch, Executor& executor) {
+  executor.ParallelForEach(batch.size(), [&](size_t i) { batch[i].EnsureWire(); });
+}
+
+std::vector<ElGamalCiphertext> BatchColumn(const MixBatch& batch, size_t column) {
+  std::vector<ElGamalCiphertext> out;
+  out.reserve(batch.size());
+  for (const MixItem& item : batch) {
+    out.push_back(item.cts.at(column));
+  }
+  return out;
+}
+
+MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng,
+                            Executor& executor) {
   const size_t n = input.size();
   source_.resize(n);
   dest_.resize(n);
   randomness_.assign(n, {});
 
   // Fisher-Yates permutation: source_[j] = which input lands at output j.
+  // Drawn sequentially from the parent stream, like the per-shard seeds
+  // below, so the server's transcript never depends on scheduling.
   std::vector<uint64_t> perm(n);
   for (size_t i = 0; i < n; ++i) {
     perm[i] = i;
@@ -84,20 +112,31 @@ MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng
     size_t j = rng.Uniform(i);
     std::swap(perm[i - 1], perm[j]);
   }
-
-  MixBatch output(n);
   for (size_t j = 0; j < n; ++j) {
     source_[j] = perm[j];
     dest_[perm[j]] = j;
-    const MixItem& src = input[perm[j]];
-    std::vector<Scalar> randomness;
-    randomness.reserve(src.cts.size());
-    for (size_t c = 0; c < src.cts.size(); ++c) {
-      randomness.push_back(Scalar::Random(rng));
-    }
-    output[j] = ReEncryptItem(src, pk, randomness);
-    randomness_[j] = std::move(randomness);
   }
+
+  // Re-encryption: the expensive part (two scalar multiplications plus one
+  // canonical encoding per ciphertext component) fans out across fixed
+  // shards, each drawing randomness from its own forked child stream.
+  auto shards = Executor::Shards(n, Executor::kRngShards);
+  auto seeds = ForkRngSeeds(rng, shards.size());
+  MixBatch output(n);
+  executor.ParallelForEach(shards.size(), [&](size_t s) {
+    ChaChaRng child(seeds[s]);
+    for (size_t j = shards[s].first; j < shards[s].second; ++j) {
+      const MixItem& src = input[perm[j]];
+      std::vector<Scalar> randomness;
+      randomness.reserve(src.cts.size());
+      for (size_t c = 0; c < src.cts.size(); ++c) {
+        randomness.push_back(Scalar::Random(child));
+      }
+      output[j] = ReEncryptItem(src, pk, randomness);
+      output[j].EnsureWire();  // encode while the points are hot
+      randomness_[j] = std::move(randomness);
+    }
+  });
   return output;
 }
 
@@ -120,25 +159,32 @@ RpcReveal MixServer::RevealLinkForInput(uint64_t input_index) const {
 }
 
 MixBatch RunRpcMixCascade(const MixBatch& input, const RistrettoPoint& pk, size_t pair_count,
-                          Rng& rng, MixProof* proof) {
+                          Rng& rng, MixProof* proof, Executor& executor) {
   Require(pair_count >= 1, "mixnet: need at least one pair");
   Require(proof != nullptr, "mixnet: proof output required");
+  Executor::Scope scope(executor);  // nested crypto kernels follow this pool
   proof->pairs.clear();
   MixBatch current = input;
+  EnsureWireCache(current, executor);  // one parallel encode; hashes are SHA-only after
+  std::array<uint8_t, 32> h_current = HashMixBatch(current);
   for (size_t p = 0; p < pair_count; ++p) {
     MixServer layer_a;
     MixServer layer_b;
     RpcPairProof pair;
-    pair.mid = layer_a.Shuffle(current, pk, rng);
-    pair.out = layer_b.Shuffle(pair.mid, pk, rng);
+    pair.mid = layer_a.Shuffle(current, pk, rng, executor);
+    pair.out = layer_b.Shuffle(pair.mid, pk, rng, executor);
 
-    std::vector<uint8_t> bits = DeriveChallengeBits(current, pair.mid, pair.out, p);
+    std::array<uint8_t, 32> h_mid = HashMixBatch(pair.mid);
+    std::array<uint8_t, 32> h_out = HashMixBatch(pair.out);
+    std::vector<uint8_t> bits =
+        DeriveChallengeBits(h_current, h_mid, h_out, pair.mid.size(), p);
     pair.reveals.resize(pair.mid.size());
     for (size_t j = 0; j < pair.mid.size(); ++j) {
       pair.reveals[j] =
           bits[j] == 0 ? layer_a.RevealLinkForOutput(j) : layer_b.RevealLinkForInput(j);
     }
     current = pair.out;
+    h_current = h_out;
     proof->pairs.push_back(std::move(pair));
   }
   return current;
@@ -157,18 +203,20 @@ struct ResolvedLink {
 };
 
 // Exact per-link re-encryption check (the pre-MSM path); names the first
-// offending link.
+// offending link. Checks run on the pool; "first" is by position in `links`
+// (middle-index order), so the report is deterministic.
 Status CheckLinksPerItem(std::span<const ResolvedLink> links, const RistrettoPoint& pk,
-                         size_t pair_index) {
-  for (const ResolvedLink& link : links) {
-    MixItem expected = ReEncryptItem(*link.src, pk, *link.randomness);
-    if (!(expected == *link.dst)) {
-      return Status::Error(std::string("mixnet: ") +
-                           (link.side == 0 ? "left" : "right") +
-                           " re-encryption check failed at pair " +
-                           std::to_string(pair_index) + " index " +
-                           std::to_string(link.mid_index));
-    }
+                         size_t pair_index, Executor& executor) {
+  if (auto i = ParallelFirstFailure(executor, links.size(), [&](size_t i) {
+        const ResolvedLink& link = links[i];
+        return ReEncryptItem(*link.src, pk, *link.randomness) == *link.dst;
+      });
+      i.has_value()) {
+    const ResolvedLink& link = links[*i];
+    return Status::Error(std::string("mixnet: ") + (link.side == 0 ? "left" : "right") +
+                         " re-encryption check failed at pair " +
+                         std::to_string(pair_index) + " index " +
+                         std::to_string(link.mid_index));
   }
   return Status::Ok();
 }
@@ -183,38 +231,71 @@ Status CheckLinksPerItem(std::span<const ResolvedLink> links, const RistrettoPoi
 // reveals are published after the commitments, so a seed over commitments
 // alone would be known to the mixer while the randomness values are still
 // free variables). On rejection the per-link path localizes the error.
+//
+// Weights are pre-drawn sequentially (the stream a serial verifier sees);
+// the per-component difference points and weighted scalars are then written
+// positionally by shard, with each shard folding partial coefficients of B
+// and pk that are merged in shard order.
 Status CheckLinksBatched(std::span<const ResolvedLink> links, const RistrettoPoint& pk,
-                         size_t pair_index, std::span<const uint8_t> weight_seed) {
-  ChaChaRng weights(weight_seed);
-  std::vector<Scalar> scalars;
-  std::vector<RistrettoPoint> points;
-  Scalar base_acc = Scalar::Zero();  // accumulated coefficient of B
-  Scalar pk_acc = Scalar::Zero();    // accumulated coefficient of pk
-  for (const ResolvedLink& link : links) {
-    if (link.dst->cts.size() != link.src->cts.size()) {
-      return CheckLinksPerItem(links, pk, pair_index);  // width forgery: localize
+                         size_t pair_index, std::span<const uint8_t> weight_seed,
+                         Executor& executor) {
+  std::vector<size_t> offset(links.size() + 1, 0);  // component offsets
+  for (size_t i = 0; i < links.size(); ++i) {
+    if (links[i].dst->cts.size() != links[i].src->cts.size()) {
+      // Width forgery: localize.
+      return CheckLinksPerItem(links, pk, pair_index, executor);
     }
-    for (size_t c = 0; c < link.src->cts.size(); ++c) {
-      const ElGamalCiphertext& src = link.src->cts[c];
-      const ElGamalCiphertext& dst = link.dst->cts[c];
-      const Scalar& r = (*link.randomness)[c];
-      Scalar w1 = RandomRlcWeight(weights);
-      Scalar w2 = RandomRlcWeight(weights);
-      scalars.push_back(w1);
-      points.push_back(dst.c1 - src.c1);
-      scalars.push_back(w2);
-      points.push_back(dst.c2 - src.c2);
-      base_acc = base_acc + w1 * r;
-      pk_acc = pk_acc + w2 * r;
-    }
+    offset[i + 1] = offset[i] + links[i].src->cts.size();
   }
-  scalars.push_back(-pk_acc);
-  points.push_back(pk);
+  const size_t components = offset[links.size()];
+  ChaChaRng weight_rng(weight_seed);
+  std::vector<Scalar> w1(components);
+  std::vector<Scalar> w2(components);
+  for (size_t c = 0; c < components; ++c) {
+    w1[c] = RandomRlcWeight(weight_rng);
+    w2[c] = RandomRlcWeight(weight_rng);
+  }
+
+  std::vector<Scalar> scalars(2 * components + 1);
+  std::vector<RistrettoPoint> points(2 * components + 1);
+  auto shards = Executor::Shards(links.size(), Executor::kRngShards);
+  struct Partial {
+    Scalar base_acc = Scalar::Zero();  // accumulated coefficient of B
+    Scalar pk_acc = Scalar::Zero();    // accumulated coefficient of pk
+  };
+  std::vector<Partial> partials = executor.ParallelMap<Partial>(
+      shards.size(), [&](size_t s) {
+        Partial acc;
+        for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+          const ResolvedLink& link = links[i];
+          for (size_t c = 0; c < link.src->cts.size(); ++c) {
+            const ElGamalCiphertext& src = link.src->cts[c];
+            const ElGamalCiphertext& dst = link.dst->cts[c];
+            const Scalar& r = (*link.randomness)[c];
+            size_t at = offset[i] + c;
+            scalars[2 * at] = w1[at];
+            points[2 * at] = dst.c1 - src.c1;
+            scalars[2 * at + 1] = w2[at];
+            points[2 * at + 1] = dst.c2 - src.c2;
+            acc.base_acc = acc.base_acc + w1[at] * r;
+            acc.pk_acc = acc.pk_acc + w2[at] * r;
+          }
+        }
+        return acc;
+      });
+  Scalar base_acc = Scalar::Zero();
+  Scalar pk_acc = Scalar::Zero();
+  for (const Partial& p : partials) {
+    base_acc = base_acc + p.base_acc;
+    pk_acc = pk_acc + p.pk_acc;
+  }
+  scalars[2 * components] = -pk_acc;
+  points[2 * components] = pk;
   if (MultiScalarMulWithBase(-base_acc, scalars, points).IsIdentity()) {
     return Status::Ok();
   }
   // Re-run link by link so auditors get the exact failing index.
-  Status localized = CheckLinksPerItem(links, pk, pair_index);
+  Status localized = CheckLinksPerItem(links, pk, pair_index, executor);
   if (!localized.ok()) {
     return localized;
   }
@@ -222,23 +303,83 @@ Status CheckLinksBatched(std::span<const ResolvedLink> links, const RistrettoPoi
                        std::to_string(pair_index));
 }
 
+// Verifier-grade batch hash: an item's wire cache is attacker-supplied, so
+// before its bytes may bind challenge bits the cache is parsed back into
+// points and compared against the item's ciphertexts (cheap coset-aware
+// equality; the decode replaces the encode a cacheless hash would pay, and
+// the whole pass runs on the pool). A mismatched or malformed cache is a
+// verification failure — otherwise a cheating mixer could grind the hashed
+// bytes independently of the checked group elements to steer the per-item
+// challenge bits. Cacheless items are encoded fresh in the same pass.
+Status ValidatedBatchHash(const MixBatch& batch, Executor& executor,
+                          const std::string& what, std::array<uint8_t, 32>* out) {
+  std::vector<uint8_t> bad(batch.size(), 0);
+  // Per-item bytes for cacheless items; empty when the (validated) cache
+  // will be hashed directly.
+  std::vector<Bytes> fresh(batch.size());
+  executor.ParallelForEach(batch.size(), [&](size_t i) {
+    const MixItem& item = batch[i];
+    if (item.wire.empty()) {
+      fresh[i] = SerializeItem(item);
+      return;
+    }
+    if (item.wire.size() != 64 * item.cts.size()) {
+      bad[i] = 1;
+      return;
+    }
+    for (size_t c = 0; c < item.cts.size(); ++c) {
+      auto parsed = ElGamalCiphertext::Parse(
+          std::span<const uint8_t>(item.wire).subspan(64 * c, 64));
+      if (!parsed.has_value() || !(*parsed == item.cts[c])) {
+        bad[i] = 1;
+        return;
+      }
+    }
+  });
+  if (auto i = FirstMarked(bad); i.has_value()) {
+    return Status::Error("mixnet: " + what + ": wire cache does not match points at index " +
+                         std::to_string(*i));
+  }
+  Sha256 h;
+  uint8_t width = batch.empty() ? 0 : static_cast<uint8_t>(batch[0].cts.size());
+  h.Update({&width, 1});
+  for (size_t i = 0; i < batch.size(); ++i) {
+    h.Update(fresh[i].empty() ? batch[i].wire : fresh[i]);
+  }
+  *out = h.Finalize();
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
                            const MixProof& proof, const RistrettoPoint& pk,
-                           MixLinkCheck mode) {
+                           MixLinkCheck mode, Executor& executor) {
+  Executor::Scope scope(executor);  // nested crypto kernels follow this pool
   if (proof.pairs.empty()) {
     return Status::Error("mixnet: empty proof");
   }
   const MixBatch* current = &input;
-  std::array<uint8_t, 32> h_current = HashMixBatch(input);
+  std::array<uint8_t, 32> h_current;
+  if (Status s = ValidatedBatchHash(input, executor, "input", &h_current); !s.ok()) {
+    return s;
+  }
   for (size_t p = 0; p < proof.pairs.size(); ++p) {
     const RpcPairProof& pair = proof.pairs[p];
     if (pair.mid.size() != current->size() || pair.out.size() != current->size()) {
       return Status::Error("mixnet: batch size change in pair " + std::to_string(p));
     }
-    std::array<uint8_t, 32> h_mid = HashMixBatch(pair.mid);
-    std::array<uint8_t, 32> h_out = HashMixBatch(pair.out);
+    std::array<uint8_t, 32> h_mid;
+    std::array<uint8_t, 32> h_out;
+    std::string pair_name = "pair " + std::to_string(p);
+    if (Status s = ValidatedBatchHash(pair.mid, executor, pair_name + " mid", &h_mid);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = ValidatedBatchHash(pair.out, executor, pair_name + " out", &h_out);
+        !s.ok()) {
+      return s;
+    }
     std::vector<uint8_t> bits =
         DeriveChallengeBits(h_current, h_mid, h_out, pair.mid.size(), p);
     if (pair.reveals.size() != pair.mid.size()) {
@@ -314,9 +455,9 @@ Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
         }
       }
       auto seed = seed_hash.Finalize();
-      link_status = CheckLinksBatched(links, pk, p, seed);
+      link_status = CheckLinksBatched(links, pk, p, seed, executor);
     } else {
-      link_status = CheckLinksPerItem(links, pk, p);
+      link_status = CheckLinksPerItem(links, pk, p, executor);
     }
     if (!link_status.ok()) {
       return link_status;
@@ -324,7 +465,12 @@ Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
     current = &pair.out;
     h_current = h_out;
   }
-  if (!(h_current == HashMixBatch(output))) {
+  std::array<uint8_t, 32> h_output;
+  if (Status s = ValidatedBatchHash(output, executor, "published output", &h_output);
+      !s.ok()) {
+    return s;
+  }
+  if (!(h_current == h_output)) {
     return Status::Error("mixnet: final batch does not match published output");
   }
   return Status::Ok();

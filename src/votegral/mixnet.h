@@ -13,12 +13,29 @@
 // Each mix item is a fixed-width bundle of ElGamal ciphertexts re-encrypted
 // under the same permutation (width 2 for ballots: vote + credential;
 // width 1 for roster tags).
+//
+// Parallel architecture (the staged tally pipeline):
+//  * Shuffling partitions the batch into thread-count-independent shards
+//    (Executor::Shards); each shard re-encrypts under its own forked DRBG
+//    stream (ForkRngSeeds), so the shuffled batch, the proof, and every
+//    downstream transcript byte are identical at any thread count.
+//  * Each produced MixItem carries its canonical wire bytes (`wire`), filled
+//    inside the same parallel region that computed the points. Challenge
+//    derivation then hashes cached bytes instead of paying one ristretto
+//    Encode (an inverse square root) per ciphertext component per hash —
+//    the cost that made cascade verification hash-bound.
+//  * The verifier treats caches as attacker-supplied: a cached item is
+//    decoded and compared against its points (in parallel) before its bytes
+//    may bind a challenge, so a cheating mixer cannot decouple the hashed
+//    transcript from the checked group elements (which would allow grinding
+//    the per-item challenge bits).
 #ifndef SRC_VOTEGRAL_MIXNET_H_
 #define SRC_VOTEGRAL_MIXNET_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "src/common/executor.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/crypto/elgamal.h"
@@ -27,15 +44,43 @@ namespace votegral {
 
 // One element moving through the mixnet.
 struct MixItem {
+  MixItem() = default;
+  MixItem(std::vector<ElGamalCiphertext> cts_in) : cts(std::move(cts_in)) {}
+
   std::vector<ElGamalCiphertext> cts;
+
+  // Cached canonical wire bytes of `cts` (64 bytes per ciphertext), or empty.
+  // Invariant for honest producers: when non-empty, `wire` equals the
+  // concatenation of cts[c].Serialize(). Producers fill it via EnsureWire()
+  // inside parallel regions; the universal verifier re-checks it (see header
+  // comment) rather than trusting it. Excluded from equality: the cache is a
+  // performance artifact, not protocol state.
+  Bytes wire;
+
+  // Fills `wire` from `cts` if absent; returns it.
+  const Bytes& EnsureWire();
+
+  // True when `wire` has the size a cache for `cts` must have.
+  bool HasWire() const { return wire.size() == 64 * cts.size() && !cts.empty(); }
 
   bool operator==(const MixItem& other) const { return cts == other.cts; }
 };
 
 using MixBatch = std::vector<MixItem>;
 
-// Hashes a batch for challenge derivation and commitment comparison.
+// Hashes a batch for challenge derivation and commitment comparison. Uses
+// each item's wire cache when present (trusting the producer invariant);
+// encodes fresh otherwise. Prover-side use only — verifiers go through
+// VerifyRpcMixCascade, which validates caches before hashing them.
 std::array<uint8_t, 32> HashMixBatch(const MixBatch& batch);
+
+// Fills missing wire caches across the batch on the pool (one parallel
+// encode pass); later hashes of the batch are then SHA-only.
+void EnsureWireCache(MixBatch& batch, Executor& executor);
+
+// Extracts one ciphertext column from a fixed-width batch (tally and
+// verifier hand mix outputs to the tagging stage this way).
+std::vector<ElGamalCiphertext> BatchColumn(const MixBatch& batch, size_t column);
 
 // An opened re-encryption link for one middle-layer item.
 struct RpcReveal {
@@ -59,9 +104,12 @@ struct MixProof {
 };
 
 // Runs `pair_count` RPC pairs (2·pair_count mix servers) over `input`.
-// Returns the final shuffled batch and fills `proof`.
+// Returns the final shuffled batch and fills `proof`. Shuffle re-encryption
+// fans out across `executor` under forked per-shard DRBGs; the output and
+// proof are byte-identical at any thread count.
 MixBatch RunRpcMixCascade(const MixBatch& input, const RistrettoPoint& pk, size_t pair_count,
-                          Rng& rng, MixProof* proof);
+                          Rng& rng, MixProof* proof,
+                          Executor& executor = Executor::Global());
 
 // How the verifier checks the opened re-encryption links of a pair.
 enum class MixLinkCheck {
@@ -76,17 +124,26 @@ enum class MixLinkCheck {
   kPerLink,
 };
 
-// Verifies an RPC cascade proof against the published input/output.
+// Verifies an RPC cascade proof against the published input/output. Wire
+// caches inside the proof batches are validated (decoded and compared to
+// the points) before they may bind challenge bits; link checks, cache
+// validation, and the closing MSM all run on `executor`, with the first
+// failing pair/index reported deterministically.
 Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
                            const MixProof& proof, const RistrettoPoint& pk,
-                           MixLinkCheck mode = MixLinkCheck::kBatchedMsm);
+                           MixLinkCheck mode = MixLinkCheck::kBatchedMsm,
+                           Executor& executor = Executor::Global());
 
 // Single mix layer (used by the cascade and by baselines): shuffles and
 // re-encrypts, recording the permutation and randomness for later reveals.
 class MixServer {
  public:
   // Shuffles `input`; after this call the server holds its secret records.
-  MixBatch Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng);
+  // The permutation is drawn sequentially from `rng`; re-encryption
+  // randomness comes from per-shard forked streams so the result is
+  // reproducible at any thread count.
+  MixBatch Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng,
+                   Executor& executor = Executor::Global());
 
   // For output index j: the input index it came from plus the randomness.
   RpcReveal RevealLinkForOutput(uint64_t output_index) const;

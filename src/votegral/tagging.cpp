@@ -1,10 +1,14 @@
 #include "src/votegral/tagging.h"
 
+#include "src/crypto/batch.h"
+#include "src/crypto/drbg.h"
+
 namespace votegral {
 
 namespace {
 
 constexpr std::string_view kTagDomain = "votegral/tagging/step/v1";
+constexpr std::string_view kChainWeightDomain = "votegral/tagging/chain-batch-weights/v1";
 
 DleqStatement TagStatement(const ElGamalCiphertext& input, const ElGamalCiphertext& output,
                            const RistrettoPoint& commitment) {
@@ -30,46 +34,60 @@ TaggingService TaggingService::Create(size_t members, Rng& rng) {
 }
 
 TaggingStep TaggingService::Apply(size_t member, const std::vector<ElGamalCiphertext>& input,
-                                  Rng& rng) const {
+                                  Rng& rng, Executor& executor) const {
   const Scalar& z = secrets_.at(member);
+  Executor::Scope scope(executor);
   TaggingStep step;
   step.member_index = member;
-  step.output.reserve(input.size());
-  step.proofs.reserve(input.size());
-  for (const ElGamalCiphertext& ct : input) {
-    ElGamalCiphertext out = ct.ExponentiateBy(z);
-    step.proofs.push_back(
-        ProveDleqFs(kTagDomain, TagStatement(ct, out, commitments_[member]), z, rng));
-    step.output.push_back(out);
-  }
+  step.output.resize(input.size());
+  step.proofs.resize(input.size());
+  // Each ciphertext costs two exponentiations plus a 3-element proof (three
+  // more scalar multiplications): the per-ballot hot loop of the tagging
+  // stage. Shards are fixed by input size; nonces come from forked streams.
+  auto shards = Executor::Shards(input.size(), Executor::kRngShards);
+  auto seeds = ForkRngSeeds(rng, shards.size());
+  executor.ParallelForEach(shards.size(), [&](size_t s) {
+    ChaChaRng child(seeds[s]);
+    for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+      ElGamalCiphertext out = input[i].ExponentiateBy(z);
+      step.proofs[i] = ProveDleqFs(
+          kTagDomain, TagStatement(input[i], out, commitments_[member]), z, child);
+      step.output[i] = out;
+    }
+  });
   return step;
 }
 
 Status TaggingService::VerifyStep(const TaggingStep& step,
                                   const std::vector<ElGamalCiphertext>& input,
-                                  const RistrettoPoint& commitment) {
+                                  const RistrettoPoint& commitment, Executor& executor) {
   if (step.output.size() != input.size() || step.proofs.size() != input.size()) {
     return Status::Error("tagging: step size mismatch");
   }
-  for (size_t i = 0; i < input.size(); ++i) {
-    Status ok = VerifyDleqFs(kTagDomain, TagStatement(input[i], step.output[i], commitment),
-                             step.proofs[i]);
-    if (!ok.ok()) {
-      return Status::Error("tagging: proof " + std::to_string(i) +
-                           " invalid: " + ok.reason());
-    }
+  if (auto i = ParallelFirstFailure(executor, input.size(), [&](size_t i) {
+        return VerifyDleqFs(kTagDomain, TagStatement(input[i], step.output[i], commitment),
+                            step.proofs[i])
+            .ok();
+      });
+      i.has_value()) {
+    // Re-run the single failing item for its exact reason string.
+    Status ok = VerifyDleqFs(kTagDomain,
+                             TagStatement(input[*i], step.output[*i], commitment),
+                             step.proofs[*i]);
+    return Status::Error("tagging: proof " + std::to_string(*i) +
+                         " invalid: " + ok.reason());
   }
   return Status::Ok();
 }
 
 std::vector<ElGamalCiphertext> TaggingService::ApplyAll(
-    const std::vector<ElGamalCiphertext>& input, std::vector<TaggingStep>* steps,
-    Rng& rng) const {
+    const std::vector<ElGamalCiphertext>& input, std::vector<TaggingStep>* steps, Rng& rng,
+    Executor& executor) const {
   Require(steps != nullptr, "tagging: steps output required");
   steps->clear();
   std::vector<ElGamalCiphertext> current = input;
   for (size_t member = 0; member < secrets_.size(); ++member) {
-    TaggingStep step = Apply(member, current, rng);
+    TaggingStep step = Apply(member, current, rng, executor);
     current = step.output;
     steps->push_back(std::move(step));
   }
@@ -78,22 +96,47 @@ std::vector<ElGamalCiphertext> TaggingService::ApplyAll(
 
 Status TaggingService::VerifyChain(const std::vector<ElGamalCiphertext>& input,
                                    const std::vector<TaggingStep>& steps,
-                                   const std::vector<RistrettoPoint>& commitments) {
+                                   const std::vector<RistrettoPoint>& commitments,
+                                   Executor& executor) {
   if (steps.size() != commitments.size()) {
     return Status::Error("tagging: step count does not match committee size");
   }
+  Executor::Scope scope(executor);  // the batched MSM below follows this pool
+  // Structural pass, then every proof of every step into one DLEQ batch.
   const std::vector<ElGamalCiphertext>* current = &input;
+  std::vector<DleqBatchEntry> batch;
+  batch.reserve(steps.size() * input.size());
   for (size_t i = 0; i < steps.size(); ++i) {
     if (steps[i].member_index != i) {
       return Status::Error("tagging: steps out of order");
     }
-    Status ok = VerifyStep(steps[i], *current, commitments[i]);
+    if (steps[i].output.size() != current->size() ||
+        steps[i].proofs.size() != current->size()) {
+      return Status::Error("tagging: step size mismatch");
+    }
+    for (size_t j = 0; j < current->size(); ++j) {
+      DleqBatchEntry entry;
+      entry.domain = std::string(kTagDomain);
+      entry.statement = TagStatement((*current)[j], steps[i].output[j], commitments[i]);
+      entry.transcript = steps[i].proofs[j];
+      batch.push_back(std::move(entry));
+    }
+    current = &steps[i].output;
+  }
+  ChaChaRng weights(DleqBatchWeightSeed(kChainWeightDomain, batch));
+  if (BatchVerifyDleq(batch, weights).ok()) {
+    return Status::Ok();
+  }
+  // Localize: re-verify step by step, item by item.
+  current = &input;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    Status ok = VerifyStep(steps[i], *current, commitments[i], executor);
     if (!ok.ok()) {
       return ok;
     }
     current = &steps[i].output;
   }
-  return Status::Ok();
+  return Status::Error("tagging: batched chain check failed");
 }
 
 Scalar TaggingService::CombinedExponent() const {

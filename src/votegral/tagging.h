@@ -8,11 +8,21 @@
 // encrypted M encrypts (Πz_t)·M; verifiable decryption then yields blinded
 // tags that match iff the underlying plaintexts matched — the linear-time
 // filter that replaces JCJ/Civitas' quadratic pairwise PETs (§7.4).
+//
+// Parallel architecture: talliers are inherently sequential (each consumes
+// the previous output), but within one tallier's pass every ciphertext is
+// independent, so Apply shards the list across the executor under forked
+// per-shard DRBG streams (proof nonces), keeping the step byte-identical at
+// any thread count. Chain verification folds every step's Chaum–Pedersen
+// proofs into one batched multi-scalar multiplication with deterministic
+// Fiat–Shamir weights, falling back to the per-item path to localize the
+// offending step and index on rejection.
 #ifndef SRC_VOTEGRAL_TAGGING_H_
 #define SRC_VOTEGRAL_TAGGING_H_
 
 #include <vector>
 
+#include "src/common/executor.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/crypto/dleq.h"
@@ -38,23 +48,32 @@ class TaggingService {
   const std::vector<RistrettoPoint>& commitments() const { return commitments_; }
 
   // Member `i` exponentiates every ciphertext by z_i and proves it.
-  TaggingStep Apply(size_t member, const std::vector<ElGamalCiphertext>& input,
-                    Rng& rng) const;
+  // Ciphertexts fan out across the executor; proof nonces come from forked
+  // per-shard streams, so the step is reproducible at any thread count.
+  TaggingStep Apply(size_t member, const std::vector<ElGamalCiphertext>& input, Rng& rng,
+                    Executor& executor = Executor::Global()) const;
 
-  // Verifies one member's step against its input and commitment.
+  // Verifies one member's step against its input and commitment, proof by
+  // proof (the localization path; names the first bad index).
   static Status VerifyStep(const TaggingStep& step,
                            const std::vector<ElGamalCiphertext>& input,
-                           const RistrettoPoint& commitment);
+                           const RistrettoPoint& commitment,
+                           Executor& executor = Executor::Global());
 
   // Runs all members sequentially, collecting each step. Returns the final
   // tagged ciphertexts.
   std::vector<ElGamalCiphertext> ApplyAll(const std::vector<ElGamalCiphertext>& input,
-                                          std::vector<TaggingStep>* steps, Rng& rng) const;
+                                          std::vector<TaggingStep>* steps, Rng& rng,
+                                          Executor& executor = Executor::Global()) const;
 
   // Verifies a full chain of steps (step i's input is step i-1's output).
+  // All steps' proofs are checked as one batched MSM with deterministic
+  // weights; on rejection the per-step path re-runs to name the offending
+  // member and index.
   static Status VerifyChain(const std::vector<ElGamalCiphertext>& input,
                             const std::vector<TaggingStep>& steps,
-                            const std::vector<RistrettoPoint>& commitments);
+                            const std::vector<RistrettoPoint>& commitments,
+                            Executor& executor = Executor::Global());
 
   // Test helper: the combined exponent Πz_t.
   Scalar CombinedExponent() const;

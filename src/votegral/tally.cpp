@@ -3,28 +3,53 @@
 #include <algorithm>
 
 #include "src/crypto/batch.h"
+#include "src/crypto/drbg.h"
 
 namespace votegral {
 
-std::vector<Ballot> ValidateAndDeduplicate(
+std::vector<std::optional<Ballot>> ValidateBallots(
     const PublicLedger& ledger, const std::set<CompressedRistretto>& authorized_kiosks,
-    TallyDiscards* discards) {
+    TallyDiscards* discards, Executor& executor) {
   Require(discards != nullptr, "tally: discards output required");
-  std::vector<Bytes> raw = ledger.AllBallots();
+  const size_t n = ledger.BallotCount();
+  std::vector<std::optional<Ballot>> validated(n);
+  // Parse + two Schnorr verifications per ballot: the validate stage's
+  // per-ballot hot loop. Outcomes are written positionally and tallied
+  // sequentially afterwards, so discard counts never depend on scheduling.
+  enum : uint8_t { kOk = 0, kBadStructure = 1, kBadSignature = 2 };
+  std::vector<uint8_t> outcome(n, kOk);
+  executor.ParallelForEach(n, [&](size_t i) {
+    auto ballot = Ballot::Parse(ledger.BallotPayload(i));
+    if (!ballot.has_value()) {
+      outcome[i] = kBadStructure;
+      return;
+    }
+    if (!CheckBallot(*ballot, authorized_kiosks).ok()) {
+      outcome[i] = kBadSignature;
+      return;
+    }
+    validated[i] = std::move(*ballot);
+  });
+  for (uint8_t o : outcome) {
+    if (o == kBadStructure) {
+      ++discards->invalid_structure;
+    } else if (o == kBadSignature) {
+      ++discards->invalid_signature;
+    }
+  }
+  return validated;
+}
 
+std::vector<Ballot> DeduplicateBallots(const std::vector<std::optional<Ballot>>& validated,
+                                       TallyDiscards* discards) {
+  Require(discards != nullptr, "tally: discards output required");
   // Keep the *last* valid ballot per credential key (re-voting overrides,
   // matching the JCJ-with-tags dedup rule; ledger order is cast order).
   std::map<CompressedRistretto, Ballot> latest;
   std::map<CompressedRistretto, size_t> first_seen_order;
   size_t order = 0;
-  for (const Bytes& payload : raw) {
-    auto ballot = Ballot::Parse(payload);
+  for (const std::optional<Ballot>& ballot : validated) {
     if (!ballot.has_value()) {
-      ++discards->invalid_structure;
-      continue;
-    }
-    if (!CheckBallot(*ballot, authorized_kiosks).ok()) {
-      ++discards->invalid_signature;
       continue;
     }
     auto [it, inserted] = latest.insert_or_assign(ballot->credential_pk, *ballot);
@@ -44,117 +69,162 @@ std::vector<Ballot> ValidateAndDeduplicate(
   return accepted;
 }
 
+std::vector<Ballot> ValidateAndDeduplicate(
+    const PublicLedger& ledger, const std::set<CompressedRistretto>& authorized_kiosks,
+    TallyDiscards* discards, Executor& executor) {
+  return DeduplicateBallots(ValidateBallots(ledger, authorized_kiosks, discards, executor),
+                            discards);
+}
+
 TallyService::TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
-                           size_t mix_pairs)
-    : authority_(authority), tagging_(tagging), mix_pairs_(mix_pairs) {}
+                           size_t mix_pairs, Executor& executor)
+    : authority_(authority), tagging_(tagging), mix_pairs_(mix_pairs), executor_(executor) {}
 
 namespace {
 
-// Extracts the credential ciphertexts (column 1) from a width-2 batch.
-std::vector<ElGamalCiphertext> CredentialColumn(const MixBatch& batch) {
-  std::vector<ElGamalCiphertext> out;
-  out.reserve(batch.size());
-  for (const MixItem& item : batch) {
-    out.push_back(item.cts.at(1));
-  }
-  return out;
+// Releases a consumed inter-stage buffer immediately (the streaming
+// property: a stage's input shards do not outlive the stage).
+template <typename T>
+void Release(T& container) {
+  T().swap(container);
 }
 
-std::vector<ElGamalCiphertext> RosterColumn(const MixBatch& batch) {
-  std::vector<ElGamalCiphertext> out;
-  out.reserve(batch.size());
-  for (const MixItem& item : batch) {
-    out.push_back(item.cts.at(0));
-  }
-  return out;
+// Decrypt-stage workhorse: every authority member's verifiable share for
+// every ciphertext, fanned out over fixed shards with forked DRBG streams
+// for the proof nonces. Returns the canonical encodings of the combined
+// plaintexts; appends one self-check DLEQ entry per share, in (ciphertext,
+// member) order, for the release gate.
+std::vector<CompressedRistretto> DecryptBatchWithShares(
+    const ElectionAuthority& authority, const std::vector<ElGamalCiphertext>& cts, Rng& rng,
+    Executor& executor, std::vector<std::vector<DecryptionShare>>* shares_out,
+    std::vector<DleqBatchEntry>* self_check) {
+  const size_t n = cts.size();
+  const size_t members = authority.size();
+  shares_out->assign(n, {});
+  std::vector<CompressedRistretto> encoded(n);
+  const size_t check_base = self_check->size();
+  self_check->resize(check_base + n * members);
+  auto shards = Executor::Shards(n, Executor::kRngShards);
+  auto seeds = ForkRngSeeds(rng, shards.size());
+  executor.ParallelForEach(shards.size(), [&](size_t s) {
+    ChaChaRng child(seeds[s]);
+    for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+      std::vector<DecryptionShare>& shares = (*shares_out)[i];
+      shares.reserve(members);
+      for (size_t m = 0; m < members; ++m) {
+        shares.push_back(authority.ComputeShare(m, cts[i], child));
+        const DecryptionShare& share = shares.back();
+        DleqBatchEntry entry;
+        entry.domain = std::string(kDecryptionShareDomain);
+        entry.statement = DleqStatement::MakePair(RistrettoPoint::Base(),
+                                                  authority.member(m).public_share,
+                                                  cts[i].c1, share.share);
+        entry.transcript = share.proof;
+        (*self_check)[check_base + i * members + m] = std::move(entry);
+      }
+      encoded[i] = authority.CombineShares(cts[i], shares).Encode();
+    }
+  });
+  return encoded;
 }
 
-}  // namespace
+void StageValidate(const TallyService& service, const PublicLedger& ledger,
+                   const CandidateList&, const std::set<CompressedRistretto>& kiosks, Rng&,
+                   TallyPipelineState& state) {
+  state.validated_ballots =
+      ValidateBallots(ledger, kiosks, &state.output.result.discards, service.executor());
+}
 
-TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& candidates,
-                              const std::set<CompressedRistretto>& authorized_kiosks,
-                              Rng& rng) const {
-  TallyOutput output;
-  TallyTranscript& t = output.transcript;
-  TallyResult& result = output.result;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    result.counts[candidates.name(i)] = 0;
-  }
+void StageDedup(const TallyService&, const PublicLedger&, const CandidateList&,
+                const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
+  state.output.transcript.accepted_ballots =
+      DeduplicateBallots(state.validated_ballots, &state.output.result.discards);
+  Release(state.validated_ballots);
+}
 
-  // Steps 1-2: validate and deduplicate.
-  t.accepted_ballots = ValidateAndDeduplicate(ledger, authorized_kiosks, &result.discards);
+void StageMix(const TallyService& service, const PublicLedger& ledger, const CandidateList&,
+              const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
+  TallyTranscript& t = state.output.transcript;
+  Executor& executor = service.executor();
 
-  // Step 3a: build and mix the ballot batch.
-  t.ballot_mix_input.reserve(t.accepted_ballots.size());
-  for (const Ballot& ballot : t.accepted_ballots) {
+  // Ballot batch: [Enc(vote), Enc(c_pk)]; wire caches are filled in the
+  // same parallel pass that decodes the credential points, so every later
+  // hash of these batches is SHA-only.
+  t.ballot_mix_input.resize(t.accepted_ballots.size());
+  executor.ParallelForEach(t.accepted_ballots.size(), [&](size_t i) {
+    const Ballot& ballot = t.accepted_ballots[i];
     auto credential_point = RistrettoPoint::Decode(ballot.credential_pk);
     Require(credential_point.has_value(), "tally: validated ballot has bad credential point");
     MixItem item;
     item.cts = {ballot.encrypted_vote, ElGamalTrivialEncrypt(*credential_point)};
-    t.ballot_mix_input.push_back(std::move(item));
-  }
-  t.ballot_mix_output = RunRpcMixCascade(t.ballot_mix_input, authority_.public_key(),
-                                         mix_pairs_, rng, &t.ballot_mix_proof);
+    item.EnsureWire();
+    t.ballot_mix_input[i] = std::move(item);
+  });
+  t.ballot_mix_output = RunRpcMixCascade(t.ballot_mix_input, service.authority().public_key(),
+                                         service.mix_pairs(), rng, &t.ballot_mix_proof,
+                                         executor);
 
-  // Step 3b: build and mix the roster batch.
-  for (const RegistrationRecord& record : ledger.ActiveRegistrations()) {
+  // Roster batch: [c_pc].
+  std::vector<RegistrationRecord> roster = ledger.ActiveRegistrations();
+  t.roster_mix_input.resize(roster.size());
+  executor.ParallelForEach(roster.size(), [&](size_t i) {
     MixItem item;
-    item.cts = {record.public_credential};
-    t.roster_mix_input.push_back(std::move(item));
+    item.cts = {roster[i].public_credential};
+    item.EnsureWire();
+    t.roster_mix_input[i] = std::move(item);
+  });
+  t.roster_mix_output = RunRpcMixCascade(t.roster_mix_input, service.authority().public_key(),
+                                         service.mix_pairs(), rng, &t.roster_mix_proof,
+                                         executor);
+
+  // Hand the credential columns to the tag stage.
+  state.ballot_credentials = BatchColumn(t.ballot_mix_output, 1);
+  state.roster_credentials = BatchColumn(t.roster_mix_output, 0);
+}
+
+void StageTag(const TallyService& service, const PublicLedger&, const CandidateList&,
+              const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
+  TallyTranscript& t = state.output.transcript;
+  state.ballot_tagged = service.tagging().ApplyAll(state.ballot_credentials,
+                                                   &t.ballot_tag_steps, rng,
+                                                   service.executor());
+  Release(state.ballot_credentials);
+  state.roster_tagged = service.tagging().ApplyAll(state.roster_credentials,
+                                                   &t.roster_tag_steps, rng,
+                                                   service.executor());
+  Release(state.roster_credentials);
+}
+
+void StageDecryptTags(const TallyService& service, const PublicLedger&, const CandidateList&,
+                      const std::set<CompressedRistretto>&, Rng& rng,
+                      TallyPipelineState& state) {
+  TallyTranscript& t = state.output.transcript;
+  // Roster side first (the stream order auditors replay), then ballots.
+  t.roster_tags = DecryptBatchWithShares(service.authority(), state.roster_tagged, rng,
+                                         service.executor(), &t.roster_tag_shares,
+                                         &state.share_self_check);
+  Release(state.roster_tagged);
+  for (const CompressedRistretto& tag : t.roster_tags) {
+    state.roster_tag_counts[tag] += 1;
   }
-  t.roster_mix_output = RunRpcMixCascade(t.roster_mix_input, authority_.public_key(),
-                                         mix_pairs_, rng, &t.roster_mix_proof);
+  t.ballot_tags = DecryptBatchWithShares(service.authority(), state.ballot_tagged, rng,
+                                         service.executor(), &t.ballot_tag_shares,
+                                         &state.share_self_check);
+  Release(state.ballot_tagged);
+}
 
-  // Step 4: deterministic tagging over both credential ciphertext lists.
-  std::vector<ElGamalCiphertext> ballot_credentials = CredentialColumn(t.ballot_mix_output);
-  std::vector<ElGamalCiphertext> roster_credentials = RosterColumn(t.roster_mix_output);
-  std::vector<ElGamalCiphertext> ballot_tagged =
-      tagging_.ApplyAll(ballot_credentials, &t.ballot_tag_steps, rng);
-  std::vector<ElGamalCiphertext> roster_tagged =
-      tagging_.ApplyAll(roster_credentials, &t.roster_tag_steps, rng);
-
-  // Step 5: verifiable decryption of blinded tags. Every share the service
-  // produces is also queued for one batched (multi-scalar-multiplication)
-  // self-check before the transcript is released: a buggy or compromised
-  // member implementation must not be able to publish a transcript the
-  // universal verifier would reject.
-  std::vector<DleqBatchEntry> share_self_check;
-  auto decrypt_with_shares = [&](const ElGamalCiphertext& ct,
-                                 std::vector<DecryptionShare>* shares) {
-    shares->clear();
-    for (size_t m = 0; m < authority_.size(); ++m) {
-      shares->push_back(authority_.ComputeShare(m, ct, rng));
-      const DecryptionShare& share = shares->back();
-      DleqBatchEntry entry;
-      entry.domain = std::string(kDecryptionShareDomain);
-      entry.statement = DleqStatement::MakePair(RistrettoPoint::Base(),
-                                                authority_.member(m).public_share, ct.c1,
-                                                share.share);
-      entry.transcript = share.proof;
-      share_self_check.push_back(std::move(entry));
-    }
-    return authority_.CombineShares(ct, *shares);
-  };
-
-  // Multiset of roster tags: a tag appearing k times means k voters'
+void StageJoin(const TallyService&, const PublicLedger&, const CandidateList&,
+               const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
+  TallyTranscript& t = state.output.transcript;
+  TallyResult& result = state.output.result;
+  // Hash-join ballot tags against the roster tag multiset: at most one
+  // ballot counts per tag; a tag appearing k times means k voters'
   // registrations point at the same credential (k > 1 only under the
-  // delegation extension, Appendix C.3).
-  std::map<CompressedRistretto, uint64_t> roster_tag_counts;
-  t.roster_tag_shares.resize(roster_tagged.size());
-  for (size_t i = 0; i < roster_tagged.size(); ++i) {
-    RistrettoPoint tag = decrypt_with_shares(roster_tagged[i], &t.roster_tag_shares[i]);
-    auto encoded = tag.Encode();
-    t.roster_tags.push_back(encoded);
-    roster_tag_counts[encoded] += 1;
-  }
-
-  t.ballot_tag_shares.resize(ballot_tagged.size());
-  for (size_t i = 0; i < ballot_tagged.size(); ++i) {
-    RistrettoPoint tag = decrypt_with_shares(ballot_tagged[i], &t.ballot_tag_shares[i]);
-    auto encoded = tag.Encode();
-    t.ballot_tags.push_back(encoded);
-    auto it = roster_tag_counts.find(encoded);
-    if (it == roster_tag_counts.end()) {
+  // delegation extension, Appendix C.3). Sequential by design — the join is
+  // a cheap ordered map pass whose output order is part of the transcript.
+  for (size_t i = 0; i < t.ballot_tags.size(); ++i) {
+    auto it = state.roster_tag_counts.find(t.ballot_tags[i]);
+    if (it == state.roster_tag_counts.end()) {
       ++result.discards.unmatched_tag;  // fake credential (or never registered)
       continue;
     }
@@ -166,17 +236,26 @@ TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& c
     t.counted_weights.push_back(it->second);
     it->second = 0;  // consume all matching registrations at once
   }
+  Release(state.roster_tag_counts);
+}
 
-  // Step 6-7: verifiable vote decryption for the counted ballots.
+void StageDecryptVotes(const TallyService& service, const PublicLedger&,
+                       const CandidateList& candidates,
+                       const std::set<CompressedRistretto>&, Rng& rng,
+                       TallyPipelineState& state) {
+  TallyTranscript& t = state.output.transcript;
+  TallyResult& result = state.output.result;
+  std::vector<ElGamalCiphertext> counted_votes;
+  counted_votes.reserve(t.counted_indices.size());
+  for (uint64_t index : t.counted_indices) {
+    counted_votes.push_back(t.ballot_mix_output[index].cts.at(0));
+  }
+  t.vote_points = DecryptBatchWithShares(service.authority(), counted_votes, rng,
+                                         service.executor(), &t.vote_shares,
+                                         &state.share_self_check);
   for (size_t c = 0; c < t.counted_indices.size(); ++c) {
-    uint64_t index = t.counted_indices[c];
     uint64_t weight = t.counted_weights[c];
-    const ElGamalCiphertext& vote_ct = t.ballot_mix_output[index].cts.at(0);
-    std::vector<DecryptionShare> shares;
-    RistrettoPoint vote = decrypt_with_shares(vote_ct, &shares);
-    t.vote_shares.push_back(std::move(shares));
-    t.vote_points.push_back(vote.Encode());
-    auto candidate = candidates.IndexOfPoint(vote);
+    auto candidate = candidates.IndexOfEncoding(t.vote_points[c]);
     if (!candidate.has_value()) {
       ++result.discards.invalid_vote;
       continue;
@@ -184,13 +263,46 @@ TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& c
     result.counts[candidates.name(*candidate)] += weight;
     result.counted += weight;
   }
+}
 
+void StageReleaseGate(const TallyService&, const PublicLedger&, const CandidateList&,
+                      const std::set<CompressedRistretto>&, Rng& rng,
+                      TallyPipelineState& state) {
   // Release gate: all decryption-share proofs produced above must verify as
   // one batch. A failure here is an internal fault, not a verification
   // result, hence Require rather than a Status.
-  Require(BatchVerifyDleq(share_self_check, rng).ok(),
+  Require(BatchVerifyDleq(state.share_self_check, rng).ok(),
           "tally: produced decryption share failed batched self-check");
-  return output;
+  Release(state.share_self_check);
+}
+
+constexpr TallyService::Stage kPipeline[] = {
+    {"validate", StageValidate},
+    {"dedup", StageDedup},
+    {"mix", StageMix},
+    {"tag", StageTag},
+    {"decrypt-tags", StageDecryptTags},
+    {"join", StageJoin},
+    {"decrypt-votes", StageDecryptVotes},
+    {"release-gate", StageReleaseGate},
+};
+
+}  // namespace
+
+std::span<const TallyService::Stage> TallyService::Pipeline() { return kPipeline; }
+
+TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& candidates,
+                              const std::set<CompressedRistretto>& authorized_kiosks,
+                              Rng& rng) const {
+  Executor::Scope scope(executor_);  // nested crypto kernels follow this pool
+  TallyPipelineState state;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    state.output.result.counts[candidates.name(i)] = 0;
+  }
+  for (const Stage& stage : Pipeline()) {
+    stage.run(*this, ledger, candidates, authorized_kiosks, rng, state);
+  }
+  return std::move(state.output);
 }
 
 }  // namespace votegral

@@ -1,14 +1,23 @@
-// The Votegral tally pipeline (Fig. 3, Appendix M):
-//   1. validate ballots from L_V (signature, kiosk certificate, linear time),
-//   2. deduplicate per credential key (the last cast ballot counts),
-//   3. mix ballots (vote + wrapped credential) and roster tags {c_pc}
-//      through the RPC cascade,
-//   4. deterministic tagging: every tallier exponentiates both credential
-//      ciphertext lists with per-ciphertext proofs,
-//   5. verifiably decrypt the blinded tags on both sides,
-//   6. hash-join: count ballots whose blinded credential matches a roster
-//      tag, at most one ballot per tag (fakes never match),
-//   7. verifiably decrypt the surviving votes and publish results.
+// The Votegral tally pipeline (Fig. 3, Appendix M), restructured as an
+// explicit staged, sharded, parallel pipeline:
+//
+//   validate -> dedup -> mix -> tag -> decrypt-tags -> join -> decrypt-votes
+//                                                        (-> release gate)
+//
+// Stage/shard architecture:
+//  * Each stage consumes the previous stage's output as sharded chunks
+//    (Executor::Shards — boundaries fixed by the data size, never by the
+//    thread count) and fans per-ballot work (signature validation, mix
+//    re-encryption, tagging exponentiations, decryption shares) out across
+//    the work pool (src/common/executor.h).
+//  * Stages that consume randomness draw forked per-shard DRBG streams
+//    (ForkRngSeeds) from the caller's Rng, so the transcript is
+//    byte-identical at any thread count — `threads=1` and `threads=64`
+//    produce the same election, bit for bit.
+//  * Intermediate shards are working state, released as soon as the next
+//    stage has consumed them; only what universal verification needs is
+//    retained in TallyTranscript. Ballots are read from the ledger in
+//    chunks (PublicLedger::BallotPayload) rather than copied wholesale.
 //
 // Everything needed for universal verification is collected in
 // TallyTranscript; see src/votegral/verifier.h.
@@ -16,11 +25,15 @@
 #define SRC_VOTEGRAL_TALLY_H_
 
 #include <map>
+#include <optional>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/common/executor.h"
 #include "src/common/outcome.h"
+#include "src/crypto/batch.h"
 #include "src/crypto/dkg.h"
 #include "src/ledger/subledgers.h"
 #include "src/votegral/ballot.h"
@@ -48,11 +61,11 @@ struct TallyResult {
 
 // Every artifact an auditor needs to re-check the tally from the ledger.
 struct TallyTranscript {
-  // Step 1-2 outputs: the validated, deduplicated ballots, in mix-input
-  // order (recomputable from L_V by any auditor).
+  // Validate/dedup outputs: the validated, deduplicated ballots, in
+  // mix-input order (recomputable from L_V by any auditor).
   std::vector<Ballot> accepted_ballots;
 
-  // Step 3: mixing.
+  // Mix stage.
   MixBatch ballot_mix_input;   // width 2: [Enc(vote), Enc(c_pk)]
   MixBatch ballot_mix_output;
   MixProof ballot_mix_proof;
@@ -60,20 +73,20 @@ struct TallyTranscript {
   MixBatch roster_mix_output;
   MixProof roster_mix_proof;
 
-  // Step 4: tagging chains over the credential ciphertexts.
+  // Tag stage: tagging chains over the credential ciphertexts.
   std::vector<TaggingStep> ballot_tag_steps;
   std::vector<TaggingStep> roster_tag_steps;
 
-  // Step 5: verifiable tag decryption.
+  // Decrypt-tags stage: verifiable tag decryption.
   std::vector<std::vector<DecryptionShare>> ballot_tag_shares;  // [ct][member]
   std::vector<std::vector<DecryptionShare>> roster_tag_shares;
   std::vector<CompressedRistretto> ballot_tags;
   std::vector<CompressedRistretto> roster_tags;
 
-  // Step 6-7: which mixed ballots counted, with what weight (weight > 1
-  // arises only when several roster tags decrypt to the same credential —
-  // the delegation extension of Appendix C.3), and their verifiable vote
-  // decryptions.
+  // Join / decrypt-votes stages: which mixed ballots counted, with what
+  // weight (weight > 1 arises only when several roster tags decrypt to the
+  // same credential — the delegation extension of Appendix C.3), and their
+  // verifiable vote decryptions.
   std::vector<uint64_t> counted_indices;  // into ballot_mix_output
   std::vector<uint64_t> counted_weights;  // parallel: matching roster tags
   std::vector<std::vector<DecryptionShare>> vote_shares;  // parallel to counted_indices
@@ -85,28 +98,81 @@ struct TallyOutput {
   TallyTranscript transcript;
 };
 
+// Mutable state threaded through the stage pipeline: the output under
+// construction plus inter-stage working buffers (sharded chunks a stage
+// produces for the next one and that are released once consumed).
+struct TallyPipelineState {
+  TallyOutput output;
+
+  // validate -> dedup: per-ledger-index validation results (nullopt =
+  // discarded).
+  std::vector<std::optional<Ballot>> validated_ballots;
+  // mix -> tag: the credential ciphertext columns of the mixed batches.
+  std::vector<ElGamalCiphertext> ballot_credentials;
+  std::vector<ElGamalCiphertext> roster_credentials;
+  // tag -> decrypt-tags: the fully tagged ciphertext lists.
+  std::vector<ElGamalCiphertext> ballot_tagged;
+  std::vector<ElGamalCiphertext> roster_tagged;
+  // decrypt-tags -> join: roster tag multiset.
+  std::map<CompressedRistretto, uint64_t> roster_tag_counts;
+  // Accumulated self-check batch for the release gate.
+  std::vector<DleqBatchEntry> share_self_check;
+};
+
 // The tally service: runs the pipeline with the authority's and tagging
-// committee's secrets.
+// committee's secrets. Parallel work is dispatched to the injected
+// executor; pass Executor(1) (or plumb ElectionConfig::threads = 1) for a
+// fully serial run — the transcript is identical either way.
 class TallyService {
  public:
   TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
-               size_t mix_pairs = 2);
+               size_t mix_pairs = 2, Executor& executor = Executor::Global());
 
-  // Runs the full pipeline over the ledger's ballots and active roster.
+  // Runs the staged pipeline over the ledger's ballots and active roster.
   TallyOutput Run(const PublicLedger& ledger, const CandidateList& candidates,
                   const std::set<CompressedRistretto>& authorized_kiosks, Rng& rng) const;
+
+  // One named step of the pipeline; stages run in order, each fanning its
+  // per-chunk work out on the executor. Exposed for tests and for the
+  // stage-latency benchmarks.
+  struct Stage {
+    const char* name;
+    void (*run)(const TallyService&, const PublicLedger&, const CandidateList&,
+                const std::set<CompressedRistretto>&, Rng&, TallyPipelineState&);
+  };
+  static std::span<const Stage> Pipeline();
+
+  const ElectionAuthority& authority() const { return authority_; }
+  const TaggingService& tagging() const { return tagging_; }
+  size_t mix_pairs() const { return mix_pairs_; }
+  Executor& executor() const { return executor_; }
 
  private:
   const ElectionAuthority& authority_;
   const TaggingService& tagging_;
   size_t mix_pairs_;
+  Executor& executor_;
 };
 
-// Shared between tally and verifier: validates + deduplicates the ballot
-// log. Returns accepted ballots in canonical order and fills discard stats.
+// Validate stage, phase 1 (shared with the universal verifier): parses and
+// signature-checks every ballot on L_V in parallel chunks. Entry i of the
+// result corresponds to ledger ballot i; nullopt marks a discarded ballot,
+// with the reason tallied into `discards` deterministically.
+std::vector<std::optional<Ballot>> ValidateBallots(
+    const PublicLedger& ledger, const std::set<CompressedRistretto>& authorized_kiosks,
+    TallyDiscards* discards, Executor& executor = Executor::Global());
+
+// Dedup stage, phase 2: keeps the *last* valid ballot per credential key
+// (re-voting overrides; ledger order is cast order) and returns the
+// accepted ballots in first-seen credential order.
+std::vector<Ballot> DeduplicateBallots(const std::vector<std::optional<Ballot>>& validated,
+                                       TallyDiscards* discards);
+
+// Convenience composition of both phases (tally, verifier, tests).
 std::vector<Ballot> ValidateAndDeduplicate(const PublicLedger& ledger,
                                            const std::set<CompressedRistretto>& authorized_kiosks,
-                                           TallyDiscards* discards);
+                                           TallyDiscards* discards,
+                                           Executor& executor = Executor::Global());
 
 }  // namespace votegral
 

@@ -28,40 +28,44 @@ RistrettoPoint CombineSharesPublic(const ElGamalCiphertext& ct,
 
 namespace {
 
+constexpr std::string_view kShareWeightDomain = "votegral/verifier/share-batch-weights/v2";
+
 // Verifies a list of per-ciphertext share vectors and returns the decrypted
 // points; fails on any bad proof.
 //
 // The DLEQ share proofs — the dominant group-operation cost of universal
 // verification — are checked as ONE random-linear-combination multi-scalar
-// multiplication over all ciphertexts and members. Weights are derived
-// deterministically from the verified data itself (Fiat–Shamir style), so
-// the check stays reproducible for auditors while remaining unpredictable
-// to whoever produced the transcript. On rejection the per-item path
-// re-runs to name the offending share.
+// multiplication over all ciphertexts and members, with entry preparation,
+// share combination and point encoding fanned out across the pool. Weights
+// are derived deterministically from the proofs themselves (Fiat–Shamir
+// style; the per-proof challenge binds statement and commitments), so the
+// check stays reproducible for auditors while remaining unpredictable to
+// whoever produced the transcript. On rejection the per-item path re-runs
+// to name the offending share.
 Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
                            const std::vector<std::vector<DecryptionShare>>& shares,
-                           const VerifierParams& params,
+                           const VerifierParams& params, Executor& executor,
                            std::vector<CompressedRistretto>* out,
                            const std::string& what) {
   if (shares.size() != cts.size()) {
     return Status::Error("verifier: " + what + ": share list size mismatch");
   }
-  out->clear();
-  out->reserve(cts.size());
-  std::vector<DleqBatchEntry> batch;
-  batch.reserve(cts.size() * params.authority_shares.size());
-  Sha512 weight_seed;
-  weight_seed.Update(AsBytes("votegral/verifier/share-batch-weights/v1"));
-  for (size_t i = 0; i < cts.size(); ++i) {
-    if (shares[i].size() != params.authority_shares.size()) {
-      return Status::Error("verifier: " + what + ": wrong share count at " +
-                           std::to_string(i));
+  const size_t members = params.authority_shares.size();
+  std::vector<DleqBatchEntry> batch(cts.size() * members);
+  std::vector<CompressedRistretto> decrypted(cts.size());
+  std::vector<uint8_t> bad_count(cts.size(), 0);
+  std::vector<uint8_t> bad_member(cts.size(), 0);
+  executor.ParallelForEach(cts.size(), [&](size_t i) {
+    if (shares[i].size() != members) {
+      bad_count[i] = 1;
+      return;
     }
-    std::vector<bool> seen(params.authority_shares.size(), false);
-    weight_seed.Update(cts[i].Serialize());  // once per ciphertext, not per share
-    for (const DecryptionShare& share : shares[i]) {
-      if (share.member_index >= params.authority_shares.size() || seen[share.member_index]) {
-        return Status::Error("verifier: " + what + ": bad share member index");
+    std::vector<bool> seen(members, false);
+    for (size_t m = 0; m < members; ++m) {
+      const DecryptionShare& share = shares[i][m];
+      if (share.member_index >= members || seen[share.member_index]) {
+        bad_member[i] = 1;
+        return;
       }
       seen[share.member_index] = true;
       DleqBatchEntry entry;
@@ -71,49 +75,53 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
                                   params.authority_shares[share.member_index], cts[i].c1,
                                   share.share);
       entry.transcript = share.proof;
-      // Every attacker-supplied field of the share must bind the weights —
-      // including member_index, which selects the statement being proved.
-      uint8_t member_bytes[8];
-      StoreLe64(member_bytes, share.member_index);
-      weight_seed.Update(member_bytes);
-      weight_seed.Update(share.share.Encode());
-      weight_seed.Update(share.proof.Serialize());
-      batch.push_back(std::move(entry));
+      batch[i * members + m] = std::move(entry);
     }
-    out->push_back(
-        CombineSharesPublic(cts[i], shares[i], params.authority_shares.size()).Encode());
+    decrypted[i] = CombineSharesPublic(cts[i], shares[i], members).Encode();
+  });
+  if (auto i = FirstMarked(bad_count); i.has_value()) {
+    return Status::Error("verifier: " + what + ": wrong share count at " +
+                         std::to_string(*i));
   }
-  ChaChaRng weights(weight_seed.Finalize());
+  if (FirstMarked(bad_member).has_value()) {
+    return Status::Error("verifier: " + what + ": bad share member index");
+  }
+  *out = std::move(decrypted);
+
+  ChaChaRng weights(DleqBatchWeightSeed(kShareWeightDomain, batch));
   if (BatchVerifyDleq(batch, weights).ok()) {
     return Status::Ok();
   }
   // Localize: re-check share by share with the exact per-item verifier.
-  for (size_t i = 0; i < cts.size(); ++i) {
+  auto all_shares_ok = [&](size_t i) {
     for (const DecryptionShare& share : shares[i]) {
+      if (!VerifyShareAgainstCommitment(params.authority_shares[share.member_index], cts[i],
+                                        share)
+               .ok()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (auto i = ParallelFirstFailure(executor, cts.size(), all_shares_ok); i.has_value()) {
+    for (const DecryptionShare& share : shares[*i]) {
       Status ok = VerifyShareAgainstCommitment(params.authority_shares[share.member_index],
-                                               cts[i], share);
+                                               cts[*i], share);
       if (!ok.ok()) {
         return Status::Error("verifier: " + what + ": share proof invalid at " +
-                             std::to_string(i) + ": " + ok.reason());
+                             std::to_string(*i) + ": " + ok.reason());
       }
     }
   }
   return Status::Error("verifier: " + what + ": batched share check failed");
 }
 
-std::vector<ElGamalCiphertext> Column(const MixBatch& batch, size_t column) {
-  std::vector<ElGamalCiphertext> out;
-  out.reserve(batch.size());
-  for (const MixItem& item : batch) {
-    out.push_back(item.cts.at(column));
-  }
-  return out;
-}
-
 }  // namespace
 
 Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
-                      const CandidateList& candidates, const TallyOutput& output) {
+                      const CandidateList& candidates, const TallyOutput& output,
+                      Executor& executor) {
+  Executor::Scope scope(executor);  // nested crypto kernels follow this pool
   const TallyTranscript& t = output.transcript;
 
   // Step 0: the ledger itself must be intact.
@@ -121,93 +129,125 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
     return s;
   }
 
-  // Step 1-2: recompute the accepted ballot set from L_V.
+  // Validate/dedup replay: recompute the accepted ballot set from L_V
+  // (ballot parsing and signature checks fan out in chunks).
   TallyDiscards recomputed_discards;
   std::vector<Ballot> accepted =
-      ValidateAndDeduplicate(ledger, params.authorized_kiosks, &recomputed_discards);
+      ValidateAndDeduplicate(ledger, params.authorized_kiosks, &recomputed_discards,
+                             executor);
   if (accepted.size() != t.accepted_ballots.size()) {
     return Status::Error("verifier: accepted ballot set size mismatch");
   }
-  for (size_t i = 0; i < accepted.size(); ++i) {
-    if (accepted[i].Serialize() != t.accepted_ballots[i].Serialize()) {
-      return Status::Error("verifier: accepted ballot " + std::to_string(i) + " differs");
-    }
+  if (auto i = ParallelFirstFailure(executor, accepted.size(), [&](size_t i) {
+        return accepted[i].Serialize() == t.accepted_ballots[i].Serialize();
+      });
+      i.has_value()) {
+    return Status::Error("verifier: accepted ballot " + std::to_string(*i) + " differs");
   }
 
-  // Every registration record's signature chain must verify.
-  for (const RegistrationRecord& record : ledger.ActiveRegistrations()) {
-    Status ok = VerifyRegistrationRecord(record, params.authorized_kiosks,
-                                         params.authorized_officials);
-    if (!ok.ok()) {
-      return ok;
-    }
+  // Every registration record's signature chain must verify (independent
+  // per record; first failure reported by roster position).
+  std::vector<RegistrationRecord> roster = ledger.ActiveRegistrations();
+  if (auto i = ParallelFirstFailure(executor, roster.size(), [&](size_t i) {
+        return VerifyRegistrationRecord(roster[i], params.authorized_kiosks,
+                                        params.authorized_officials)
+            .ok();
+      });
+      i.has_value()) {
+    return VerifyRegistrationRecord(roster[*i], params.authorized_kiosks,
+                                    params.authorized_officials);
   }
 
-  // Step 3: mix inputs must match the accepted ballots / active roster.
+  // Mix stage replay: inputs must match the accepted ballots / active
+  // roster (credential decode per ballot runs in parallel).
   if (t.ballot_mix_input.size() != accepted.size()) {
     return Status::Error("verifier: ballot mix input size mismatch");
   }
-  for (size_t i = 0; i < accepted.size(); ++i) {
-    auto credential_point = RistrettoPoint::Decode(accepted[i].credential_pk);
-    if (!credential_point.has_value()) {
+  {
+    std::vector<uint8_t> undecodable(accepted.size(), 0);
+    std::vector<uint8_t> differs(accepted.size(), 0);
+    executor.ParallelForEach(accepted.size(), [&](size_t i) {
+      auto credential_point = RistrettoPoint::Decode(accepted[i].credential_pk);
+      if (!credential_point.has_value()) {
+        undecodable[i] = 1;
+        return;
+      }
+      MixItem expected;
+      expected.cts = {accepted[i].encrypted_vote, ElGamalTrivialEncrypt(*credential_point)};
+      if (!(expected == t.ballot_mix_input[i])) {
+        differs[i] = 1;
+      }
+    });
+    if (FirstMarked(undecodable).has_value()) {
       return Status::Error("verifier: accepted ballot credential undecodable");
     }
-    MixItem expected;
-    expected.cts = {accepted[i].encrypted_vote, ElGamalTrivialEncrypt(*credential_point)};
-    if (!(expected == t.ballot_mix_input[i])) {
-      return Status::Error("verifier: ballot mix input " + std::to_string(i) + " differs");
+    if (auto i = FirstMarked(differs); i.has_value()) {
+      return Status::Error("verifier: ballot mix input " + std::to_string(*i) + " differs");
     }
   }
-  auto roster = ledger.ActiveRegistrations();
   if (t.roster_mix_input.size() != roster.size()) {
     return Status::Error("verifier: roster mix input size mismatch");
   }
-  for (size_t i = 0; i < roster.size(); ++i) {
-    if (!(t.roster_mix_input[i].cts.at(0) == roster[i].public_credential)) {
-      return Status::Error("verifier: roster mix input " + std::to_string(i) + " differs");
+  if (auto i = ParallelFirstFailure(executor, roster.size(), [&](size_t i) {
+        return t.roster_mix_input[i].cts.at(0) == roster[i].public_credential;
+      });
+      i.has_value()) {
+    return Status::Error("verifier: roster mix input " + std::to_string(*i) + " differs");
+  }
+
+  // Mix proofs: the two cascades are independent; verify them as two pool
+  // tasks (each internally parallel — nested submission is safe). Failure
+  // reporting keeps the ballot-then-roster order.
+  {
+    Status cascade_status[2] = {Status::Ok(), Status::Ok()};
+    executor.ParallelForEach(2, [&](size_t which) {
+      if (which == 0) {
+        cascade_status[0] =
+            VerifyRpcMixCascade(t.ballot_mix_input, t.ballot_mix_output, t.ballot_mix_proof,
+                                params.authority_pk, MixLinkCheck::kBatchedMsm, executor);
+      } else {
+        cascade_status[1] =
+            VerifyRpcMixCascade(t.roster_mix_input, t.roster_mix_output, t.roster_mix_proof,
+                                params.authority_pk, MixLinkCheck::kBatchedMsm, executor);
+      }
+    });
+    if (!cascade_status[0].ok()) {
+      return Status::Error("verifier: ballot mix: " + cascade_status[0].reason());
+    }
+    if (!cascade_status[1].ok()) {
+      return Status::Error("verifier: roster mix: " + cascade_status[1].reason());
     }
   }
 
-  // Mix proofs.
-  if (Status s = VerifyRpcMixCascade(t.ballot_mix_input, t.ballot_mix_output,
-                                     t.ballot_mix_proof, params.authority_pk);
-      !s.ok()) {
-    return Status::Error("verifier: ballot mix: " + s.reason());
-  }
-  if (Status s = VerifyRpcMixCascade(t.roster_mix_input, t.roster_mix_output,
-                                     t.roster_mix_proof, params.authority_pk);
-      !s.ok()) {
-    return Status::Error("verifier: roster mix: " + s.reason());
-  }
-
-  // Step 4: tagging chains.
-  std::vector<ElGamalCiphertext> ballot_credentials = Column(t.ballot_mix_output, 1);
-  std::vector<ElGamalCiphertext> roster_credentials = Column(t.roster_mix_output, 0);
+  // Tag stage replay: both chains, each one batched MSM over every step's
+  // Chaum–Pedersen proofs.
+  std::vector<ElGamalCiphertext> ballot_credentials = BatchColumn(t.ballot_mix_output, 1);
+  std::vector<ElGamalCiphertext> roster_credentials = BatchColumn(t.roster_mix_output, 0);
   if (Status s = TaggingService::VerifyChain(ballot_credentials, t.ballot_tag_steps,
-                                             params.tagging_commitments);
+                                             params.tagging_commitments, executor);
       !s.ok()) {
     return Status::Error("verifier: ballot tagging: " + s.reason());
   }
   if (Status s = TaggingService::VerifyChain(roster_credentials, t.roster_tag_steps,
-                                             params.tagging_commitments);
+                                             params.tagging_commitments, executor);
       !s.ok()) {
     return Status::Error("verifier: roster tagging: " + s.reason());
   }
 
-  // Step 5: tag decryptions.
+  // Decrypt-tags replay.
   const std::vector<ElGamalCiphertext>& ballot_tagged =
       t.ballot_tag_steps.empty() ? ballot_credentials : t.ballot_tag_steps.back().output;
   const std::vector<ElGamalCiphertext>& roster_tagged =
       t.roster_tag_steps.empty() ? roster_credentials : t.roster_tag_steps.back().output;
   std::vector<CompressedRistretto> ballot_tags;
   std::vector<CompressedRistretto> roster_tags;
-  if (Status s = VerifyAndDecryptAll(ballot_tagged, t.ballot_tag_shares, params, &ballot_tags,
-                                     "ballot tags");
+  if (Status s = VerifyAndDecryptAll(ballot_tagged, t.ballot_tag_shares, params, executor,
+                                     &ballot_tags, "ballot tags");
       !s.ok()) {
     return s;
   }
-  if (Status s = VerifyAndDecryptAll(roster_tagged, t.roster_tag_shares, params, &roster_tags,
-                                     "roster tags");
+  if (Status s = VerifyAndDecryptAll(roster_tagged, t.roster_tag_shares, params, executor,
+                                     &roster_tags, "roster tags");
       !s.ok()) {
     return s;
   }
@@ -215,7 +255,7 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
     return Status::Error("verifier: published tags do not match decryptions");
   }
 
-  // Step 6: replay the weighted join (weights > 1 arise only under the
+  // Join replay: the weighted join (weights > 1 arise only under the
   // Appendix C.3 delegation extension).
   std::map<CompressedRistretto, uint64_t> roster_counts;
   for (const CompressedRistretto& tag : roster_tags) {
@@ -236,14 +276,14 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
     return Status::Error("verifier: counted ballot set differs from published");
   }
 
-  // Step 7: vote decryptions and final counts.
+  // Decrypt-votes replay and final counts.
   std::vector<ElGamalCiphertext> counted_votes;
   for (uint64_t index : t.counted_indices) {
     counted_votes.push_back(t.ballot_mix_output.at(index).cts.at(0));
   }
   std::vector<CompressedRistretto> vote_points;
-  if (Status s =
-          VerifyAndDecryptAll(counted_votes, t.vote_shares, params, &vote_points, "votes");
+  if (Status s = VerifyAndDecryptAll(counted_votes, t.vote_shares, params, executor,
+                                     &vote_points, "votes");
       !s.ok()) {
     return s;
   }
@@ -256,11 +296,10 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
   }
   size_t total_counted = 0;
   for (size_t i = 0; i < vote_points.size(); ++i) {
-    auto point = RistrettoPoint::Decode(vote_points[i]);
-    if (!point.has_value()) {
-      return Status::Error("verifier: vote point undecodable");
-    }
-    auto candidate = candidates.IndexOfPoint(*point);
+    // vote_points[i] is a canonical encoding the verifier itself computed
+    // from the combined shares, so the candidate lookup works directly on
+    // the bytes (no re-decode / re-encode round trip).
+    auto candidate = candidates.IndexOfEncoding(vote_points[i]);
     if (!candidate.has_value()) {
       continue;  // invalid vote, matches the tally's discard rule
     }

@@ -3,6 +3,16 @@
 // secrets required. The verifier recomputes the validated ballot set,
 // re-verifies every mix, tagging and decryption proof, replays the tag join,
 // and recounts.
+//
+// Parallel architecture: the expensive sections — ballot revalidation,
+// registration-record checks, mix-pair link RLCs, tagging-step DLEQ batches
+// and decryption-share batches — are independent multi-scalar
+// multiplications and per-item proof checks, dispatched to the injected
+// executor (the two mix cascades verify concurrently; every batch's entry
+// preparation and closing MSM fan out further). Failure localization is
+// preserved: parallel passes record positional flags and the lowest failing
+// pair/index is re-derived exactly, so the verdict and its reason string
+// are identical at any thread count.
 #ifndef SRC_VOTEGRAL_VERIFIER_H_
 #define SRC_VOTEGRAL_VERIFIER_H_
 
@@ -26,7 +36,8 @@ struct VerifierParams {
 // Re-checks the published tally against the ledger. Returns the first
 // discrepancy found, or OK when the election verifies end-to-end.
 Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
-                      const CandidateList& candidates, const TallyOutput& output);
+                      const CandidateList& candidates, const TallyOutput& output,
+                      Executor& executor = Executor::Global());
 
 // Verifies a decryption share against a member's public share without an
 // ElectionAuthority instance (auditors have only public data).

@@ -1,0 +1,111 @@
+// Tests for the work-pool executor and the forked-DRBG reproducibility
+// primitives underneath the parallel tally pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "src/common/executor.h"
+#include "src/common/status.h"
+#include "src/crypto/drbg.h"
+
+namespace votegral {
+namespace {
+
+TEST(Executor, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    Executor executor(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    executor.ParallelForEach(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(Executor, ParallelMapIsPositional) {
+  Executor executor(4);
+  auto squares =
+      executor.ParallelMap<uint64_t>(257, [](size_t i) { return uint64_t{i} * i; });
+  ASSERT_EQ(squares.size(), 257u);
+  for (size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], uint64_t{i} * i);
+  }
+}
+
+TEST(Executor, NestedSubmissionCompletes) {
+  // Every outer chunk submits an inner ParallelFor; the submitting thread
+  // must drain its own inner job, so this terminates at any thread count.
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    Executor executor(threads);
+    std::atomic<uint64_t> sum{0};
+    executor.ParallelForEach(16, [&](size_t outer) {
+      executor.ParallelForEach(64, [&](size_t inner) {
+        sum.fetch_add(outer * 64 + inner, std::memory_order_relaxed);
+      });
+    });
+    // sum over [0, 1024)
+    EXPECT_EQ(sum.load(), uint64_t{1024} * 1023 / 2);
+  }
+}
+
+TEST(Executor, FirstExceptionPropagates) {
+  Executor executor(4);
+  EXPECT_THROW(executor.ParallelForEach(
+                   100, [&](size_t i) { Require(i != 37, "executor-test: boom"); }),
+               ProtocolError);
+  // The pool survives a failed job.
+  std::atomic<int> count{0};
+  executor.ParallelForEach(10, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(Executor, ShardsAreDeterministicBalancedAndThreadCountFree) {
+  auto shards = Executor::Shards(10, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0], (std::pair<size_t, size_t>{0, 3}));
+  EXPECT_EQ(shards[1], (std::pair<size_t, size_t>{3, 6}));
+  EXPECT_EQ(shards[2], (std::pair<size_t, size_t>{6, 8}));
+  EXPECT_EQ(shards[3], (std::pair<size_t, size_t>{8, 10}));
+
+  // Fewer elements than shards: one singleton shard per element.
+  EXPECT_EQ(Executor::Shards(3, 64).size(), 3u);
+  EXPECT_TRUE(Executor::Shards(0, 8).empty());
+
+  // Shard boundaries cover [0, n) without gaps or overlap.
+  auto big = Executor::Shards(100001, Executor::kRngShards);
+  size_t expect_begin = 0;
+  for (const auto& [begin, end] : big) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LT(begin, end);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, 100001u);
+}
+
+TEST(Executor, ForkedSeedsMatchAcrossThreadCounts) {
+  // The reproducibility recipe: sequential seed forking + fixed shards means
+  // identical per-shard streams no matter the executor size.
+  auto run = [](size_t threads) {
+    Executor executor(threads);
+    ChaChaRng parent(0xF0F0);
+    auto shards = Executor::Shards(333, Executor::kRngShards);
+    auto seeds = ForkRngSeeds(parent, shards.size());
+    std::vector<uint8_t> stream(333);
+    executor.ParallelForEach(shards.size(), [&](size_t s) {
+      ChaChaRng child(seeds[s]);
+      for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+        uint8_t byte;
+        child.Fill({&byte, 1});
+        stream[i] = byte;
+      }
+    });
+    return stream;
+  };
+  auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+}  // namespace
+}  // namespace votegral

@@ -1,0 +1,264 @@
+// Tests for the staged parallel tally pipeline: the transcript and the
+// universal-verification verdict must be byte-identical at any thread
+// count, and the parallel verifier must still localize a single corrupted
+// link or share to the exact pair/index.
+#include <gtest/gtest.h>
+
+#include "src/crypto/drbg.h"
+#include "src/crypto/sha256.h"
+#include "src/votegral/election.h"
+
+namespace votegral {
+namespace {
+
+// Flattens every field of the transcript into one digest so "byte-identical"
+// is a single comparison. Includes the wire caches: producers must fill them
+// identically at any thread count.
+std::array<uint8_t, 32> DigestTranscript(const TallyOutput& output) {
+  Sha256 h;
+  auto hash_u64 = [&](uint64_t v) {
+    uint8_t buf[8];
+    StoreLe64(buf, v);
+    h.Update(buf);
+  };
+  auto hash_batch = [&](const MixBatch& batch) {
+    hash_u64(batch.size());
+    for (const MixItem& item : batch) {
+      for (const ElGamalCiphertext& ct : item.cts) {
+        h.Update(ct.Serialize());
+      }
+      hash_u64(item.wire.size());
+      h.Update(item.wire);
+    }
+  };
+  auto hash_proof = [&](const MixProof& proof) {
+    hash_u64(proof.pairs.size());
+    for (const RpcPairProof& pair : proof.pairs) {
+      hash_batch(pair.mid);
+      hash_batch(pair.out);
+      for (const RpcReveal& reveal : pair.reveals) {
+        h.Update({&reveal.side, 1});
+        hash_u64(reveal.source_or_dest);
+        for (const Scalar& r : reveal.randomness) {
+          h.Update(r.ToBytes());
+        }
+      }
+    }
+  };
+  auto hash_steps = [&](const std::vector<TaggingStep>& steps) {
+    hash_u64(steps.size());
+    for (const TaggingStep& step : steps) {
+      hash_u64(step.member_index);
+      for (const ElGamalCiphertext& ct : step.output) {
+        h.Update(ct.Serialize());
+      }
+      for (const DleqTranscript& proof : step.proofs) {
+        h.Update(proof.Serialize());
+      }
+    }
+  };
+  auto hash_shares = [&](const std::vector<std::vector<DecryptionShare>>& shares) {
+    hash_u64(shares.size());
+    for (const auto& per_ct : shares) {
+      for (const DecryptionShare& share : per_ct) {
+        hash_u64(share.member_index);
+        h.Update(share.share.Encode());
+        h.Update(share.proof.Serialize());
+      }
+    }
+  };
+
+  const TallyTranscript& t = output.transcript;
+  hash_u64(t.accepted_ballots.size());
+  for (const Ballot& ballot : t.accepted_ballots) {
+    h.Update(ballot.Serialize());
+  }
+  hash_batch(t.ballot_mix_input);
+  hash_batch(t.ballot_mix_output);
+  hash_proof(t.ballot_mix_proof);
+  hash_batch(t.roster_mix_input);
+  hash_batch(t.roster_mix_output);
+  hash_proof(t.roster_mix_proof);
+  hash_steps(t.ballot_tag_steps);
+  hash_steps(t.roster_tag_steps);
+  hash_shares(t.ballot_tag_shares);
+  hash_shares(t.roster_tag_shares);
+  for (const CompressedRistretto& tag : t.ballot_tags) {
+    h.Update(tag);
+  }
+  for (const CompressedRistretto& tag : t.roster_tags) {
+    h.Update(tag);
+  }
+  for (uint64_t v : t.counted_indices) {
+    hash_u64(v);
+  }
+  for (uint64_t v : t.counted_weights) {
+    hash_u64(v);
+  }
+  hash_shares(t.vote_shares);
+  for (const CompressedRistretto& point : t.vote_points) {
+    h.Update(point);
+  }
+  // Published result too: counts must agree, not just the transcript.
+  for (const auto& [name, count] : output.result.counts) {
+    h.Update(AsBytes(name));
+    hash_u64(count);
+  }
+  hash_u64(output.result.counted);
+  return h.Finalize();
+}
+
+// Builds one fixed election (setup + registration + casting is serial and
+// seeded, so the ledger is identical across calls), tallies and verifies it
+// on an executor with the given thread count.
+struct TalliedElection {
+  std::array<uint8_t, 32> digest;
+  bool verified = false;
+  TallyResult result;
+};
+
+TalliedElection RunElection(size_t threads) {
+  ChaChaRng rng(0x7A11E7);
+  ElectionConfig config;
+  config.roster = {"alice", "bob", "carol", "dave", "erin", "frank"};
+  config.candidates = {"Alpha", "Beta", "Gamma"};
+  config.threads = threads;
+  Election election(config, rng);
+  Vsd vsd = election.trip().MakeVsd();
+  const char* choices[] = {"Alpha", "Alpha", "Beta", "Gamma", "Alpha", "Beta"};
+  for (size_t i = 0; i < config.roster.size(); ++i) {
+    auto voter = election.Register(config.roster[i], /*fake_count=*/1, vsd, rng);
+    EXPECT_TRUE(voter.ok()) << voter.status.reason();
+    EXPECT_TRUE(election.Cast(voter->activated[0], choices[i], rng).ok());
+    // Every voter also casts a decoy with the fake credential.
+    EXPECT_TRUE(election.Cast(voter->activated[1], "Gamma", rng).ok());
+  }
+  // The tally draws from a fresh, fixed stream so the transcript comparison
+  // is exact by construction.
+  ChaChaRng tally_rng(0x7A11E8);
+  TallyOutput output = election.Tally(tally_rng);
+  TalliedElection out;
+  out.digest = DigestTranscript(output);
+  out.verified = election.Verify(output).ok();
+  out.result = output.result;
+  return out;
+}
+
+TEST(ParallelTally, TranscriptByteIdenticalAcrossThreadCounts) {
+  TalliedElection serial = RunElection(1);
+  EXPECT_TRUE(serial.verified);
+  EXPECT_EQ(serial.result.counted, 6u);
+  EXPECT_EQ(serial.result.counts.at("Alpha"), 3u);
+  EXPECT_EQ(serial.result.counts.at("Beta"), 2u);
+  EXPECT_EQ(serial.result.counts.at("Gamma"), 1u);
+  EXPECT_EQ(serial.result.discards.unmatched_tag, 6u);  // the six decoys
+
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    TalliedElection parallel = RunElection(threads);
+    EXPECT_EQ(parallel.digest, serial.digest) << "threads=" << threads;
+    EXPECT_EQ(parallel.verified, serial.verified) << "threads=" << threads;
+    EXPECT_EQ(parallel.result.counts, serial.result.counts) << "threads=" << threads;
+  }
+}
+
+// A full election fixture the localization tests tamper with.
+struct Fixture {
+  Fixture()
+      : rng(0x10CA1),
+        election(MakeConfig(), rng),
+        vsd(election.trip().MakeVsd()) {
+    for (const char* id : {"alice", "bob", "carol"}) {
+      auto voter = election.Register(id, 1, vsd, rng);
+      EXPECT_TRUE(voter.ok());
+      EXPECT_TRUE(election.Cast(voter->activated[0], "Alpha", rng).ok());
+      EXPECT_TRUE(election.Cast(voter->activated[1], "Beta", rng).ok());
+    }
+    output = election.Tally(rng);
+    EXPECT_TRUE(election.Verify(output).ok());
+  }
+
+  static ElectionConfig MakeConfig() {
+    ElectionConfig config;
+    config.roster = {"alice", "bob", "carol"};
+    config.candidates = {"Alpha", "Beta"};
+    config.threads = 8;  // exercise the parallel verifier paths
+    return config;
+  }
+
+  ChaChaRng rng;
+  Election election;
+  Vsd vsd;
+  TallyOutput output;
+};
+
+TEST(ParallelVerifier, CorruptedLinkLocalizedToExactPairAndIndex) {
+  Fixture f;
+  // Tamper with one reveal's randomness in pair 1: the batched MSM rejects
+  // and the (parallel) per-link fallback must name pair 1 and the index.
+  TallyOutput bad = f.output;
+  ASSERT_GT(bad.transcript.ballot_mix_proof.pairs.size(), 1u);
+  auto& reveal = bad.transcript.ballot_mix_proof.pairs[1].reveals[2];
+  reveal.randomness[0] = reveal.randomness[0] + Scalar::One();
+  Status status = f.election.Verify(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.reason().find("re-encryption check failed at pair 1 index 2"),
+            std::string::npos)
+      << status.reason();
+}
+
+TEST(ParallelVerifier, CorruptedShareLocalizedToExactIndex) {
+  Fixture f;
+  // Tamper with one decryption share of ballot-tag ciphertext 2: the batch
+  // rejects; localization must name that ciphertext index.
+  TallyOutput bad = f.output;
+  ASSERT_GT(bad.transcript.ballot_tag_shares.size(), 2u);
+  bad.transcript.ballot_tag_shares[2][1].share =
+      bad.transcript.ballot_tag_shares[2][1].share + RistrettoPoint::Base();
+  Status status = f.election.Verify(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.reason().find("ballot tags: share proof invalid at 2"),
+            std::string::npos)
+      << status.reason();
+}
+
+TEST(ParallelVerifier, CorruptedTaggingProofLocalized) {
+  Fixture f;
+  TallyOutput bad = f.output;
+  ASSERT_FALSE(bad.transcript.roster_tag_steps.empty());
+  // Swap one tagging output ciphertext for another: that item's proof no
+  // longer verifies; the batched chain check falls back per-item.
+  auto& step = bad.transcript.roster_tag_steps[0];
+  ASSERT_GT(step.output.size(), 1u);
+  std::swap(step.output[0], step.output[1]);
+  Status status = f.election.Verify(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.reason().find("tagging: proof 0 invalid"), std::string::npos)
+      << status.reason();
+}
+
+TEST(ParallelVerifier, StaleWireCacheRejected) {
+  Fixture f;
+  // Substitute a mixed ciphertext without refreshing its wire cache: the
+  // verifier must refuse to hash cached bytes that no longer match the
+  // points (otherwise a cheating mixer could grind challenge bits).
+  TallyOutput bad = f.output;
+  ASSERT_FALSE(bad.transcript.ballot_mix_output.empty());
+  ASSERT_TRUE(bad.transcript.ballot_mix_output[0].HasWire());
+  bad.transcript.ballot_mix_output[0].cts[0] = ElGamalEncrypt(
+      f.election.trip().authority_pk(), RistrettoPoint::Base(), f.rng);
+  Status status = f.election.Verify(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.reason().find("wire cache does not match points"), std::string::npos)
+      << status.reason();
+}
+
+TEST(ParallelTally, SerialAndGlobalExecutorAgree) {
+  // TallyService with an explicit serial executor produces the same
+  // transcript as the config-driven pools above (threads=1 escape hatch).
+  TalliedElection serial = RunElection(1);
+  TalliedElection pooled = RunElection(0);  // 0 = global pool
+  EXPECT_EQ(serial.digest, pooled.digest);
+}
+
+}  // namespace
+}  // namespace votegral
