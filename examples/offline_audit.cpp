@@ -1,12 +1,21 @@
 // Offline audit: universal verifiability without ever touching the live
-// system. The election happens on one "machine"; the public ledger is
-// written to a file; an auditor loads that file elsewhere (integrity is
-// re-verified hash-by-hash on load) and re-checks the entire tally —
-// mixing, tagging, decryption proofs, the tag join and the counts — from
-// public data and the published transcript alone.
+// system — now against the file-backed segmented ledger.
+//
+// The election runs with its public ledger on disk (fixed-size sealed
+// segments, hash-chained entries, incremental Merkle commitments), so the
+// tally streams ballots off segments instead of holding the log in RAM.
+// The auditor then re-checks the entire tally two independent ways:
+//   1. by recovering the segment directory itself (crash-safe open:
+//      per-segment hash re-verification, derived indices rebuilt), and
+//   2. by downloading a serialized snapshot and importing it (every entry
+//      frame re-hashed and compared on load).
+// Either path ends in the same universal verification of the published
+// transcript — mixing, tagging, decryption proofs, the tag join and the
+// counts — from public data alone.
 //
 //   $ ./offline_audit
 #include <cstdio>
+#include <filesystem>
 
 #include "src/crypto/drbg.h"
 #include "src/ledger/persistence.h"
@@ -16,13 +25,18 @@ using namespace votegral;
 
 int main() {
   ChaChaRng rng(777);
+  const std::string ledger_dir = "/tmp/votegral_offline_audit.ledgerd";
+  std::filesystem::remove_all(ledger_dir);
 
-  // --- Election side ---------------------------------------------------
+  // --- Election side, on a segmented on-disk ledger ----------------------
   ElectionConfig config;
   for (int i = 0; i < 12; ++i) {
     config.roster.push_back("voter-" + std::to_string(i));
   }
   config.candidates = {"Option Alpha", "Option Beta"};
+  config.storage.backend = LedgerStorageConfig::Backend::kFile;
+  config.storage.directory = ledger_dir;
+  config.storage.segment_entries = 16;  // small segments so the demo seals a few
   Election election(config, rng);
   Vsd vsd = election.trip().MakeVsd();
   for (int i = 0; i < 12; ++i) {
@@ -40,36 +54,56 @@ int main() {
               output.result.counts.at("Option Alpha"),
               output.result.counts.at("Option Beta"), output.result.counted,
               output.result.discards.unmatched_tag);
+  std::printf("Ledger lives in %s (%llu ballot-log segments, backend \"%s\")\n",
+              ledger_dir.c_str(),
+              static_cast<unsigned long long>(
+                  election.ledger().ballot_log().store().SegmentCount()),
+              election.ledger().ballot_log().store().Describe().c_str());
 
-  const std::string path = "/tmp/votegral_offline_audit.ledger";
-  if (Status s = SavePublicLedger(election.ledger(), path); !s.ok()) {
+  // --- Auditor path 1: recover the segment directory directly ------------
+  {
+    auto recovered = PublicLedger::Open(config.storage);
+    if (!recovered.ok()) {
+      std::printf("auditor: segment recovery failed: %s\n",
+                  recovered.status.reason().c_str());
+      return 1;
+    }
+    Status verdict = VerifyElection(*recovered, election.verifier_params(),
+                                    election.candidates(), output);
+    std::printf("Auditor (segment recovery): %s\n",
+                verdict.ok() ? "ELECTION VERIFIES" : verdict.reason().c_str());
+    if (!verdict.ok()) {
+      return 1;
+    }
+  }
+
+  // --- Auditor path 2: serialized snapshot download -----------------------
+  const std::string snapshot = "/tmp/votegral_offline_audit.ledger";
+  if (Status s = SavePublicLedger(election.ledger(), snapshot); !s.ok()) {
     std::printf("save failed: %s\n", s.reason().c_str());
     return 1;
   }
-  std::printf("Ledger written to %s\n\n", path.c_str());
-
-  // --- Auditor side ------------------------------------------------------
-  auto restored = LoadPublicLedger(path);
+  auto restored = LoadPublicLedger(snapshot);
   if (!restored.ok()) {
     std::printf("auditor: load failed: %s\n", restored.status.reason().c_str());
     return 1;
   }
-  std::printf("Auditor loaded ledger: %zu registrations, %zu ballots, chains intact\n",
+  std::printf("Auditor loaded snapshot: %zu registrations, %zu ballots, chains intact\n",
               restored->ActiveRegistrations().size(), restored->AllBallots().size());
-
   Status verdict = VerifyElection(*restored, election.verifier_params(),
                                   election.candidates(), output);
-  std::printf("Auditor verdict: %s\n", verdict.ok() ? "ELECTION VERIFIES" :
-                                                      verdict.reason().c_str());
+  std::printf("Auditor (snapshot): %s\n", verdict.ok() ? "ELECTION VERIFIES" :
+                                                         verdict.reason().c_str());
 
-  // Demonstrate tamper-evidence at rest: flip one byte of the file.
+  // Demonstrate tamper-evidence at rest: flip one byte of the snapshot.
   {
     Bytes bytes = SerializePublicLedger(election.ledger());
     bytes[bytes.size() / 2] ^= 1;
     auto tampered = ParsePublicLedger(bytes);
-    std::printf("Tampered file rejected on load: %s\n",
+    std::printf("Tampered snapshot rejected on load: %s\n",
                 tampered.ok() ? "NO (bad!)" : tampered.status.reason().c_str());
   }
-  std::remove(path.c_str());
+  std::remove(snapshot.c_str());
+  std::filesystem::remove_all(ledger_dir);
   return verdict.ok() ? 0 : 1;
 }

@@ -1,7 +1,5 @@
 #include "src/ledger/ledger.h"
 
-#include "src/common/serde.h"
-
 namespace votegral {
 
 namespace {
@@ -10,116 +8,111 @@ constexpr LedgerHash kZeroHash = {};
 
 }  // namespace
 
-LedgerHash Ledger::HashEntry(uint64_t index, std::string_view topic,
-                             std::span<const uint8_t> payload, const LedgerHash& prev) {
-  ByteWriter w;
-  w.U64(index);
-  w.Str(topic);
-  w.Var(payload);
-  w.Fixed(prev);
-  return Sha256::Hash(w.bytes());
+Ledger::Ledger() : store_(std::make_unique<InMemoryLedgerStore>()) {}
+
+Ledger::Ledger(const LedgerStorageConfig& config) : store_(CreateFreshStore(config)) {}
+
+Ledger::Ledger(std::unique_ptr<LedgerStore> store) : store_(std::move(store)) {
+  Require(store_ != nullptr, "Ledger: null store");
+  Require(store_->Size() == 0, "Ledger: non-empty store needs Ledger::Open");
 }
 
-LedgerHash Ledger::HashInternal(const LedgerHash& left, const LedgerHash& right) {
-  // Domain-separate internal nodes from leaves (RFC 6962 style).
-  uint8_t prefix = 1;
-  return Sha256::HashParts({{&prefix, 1}, left, right});
+Outcome<Ledger> Ledger::Open(std::unique_ptr<LedgerStore> store) {
+  Require(store != nullptr, "Ledger::Open: null store");
+  // One streaming pass rebuilds the derived commitments. The store verified
+  // hashes on its own open; here we only index them.
+  Ledger ledger;
+  ledger.store_ = std::move(store);
+  LedgerCursor cursor(*ledger.store_);
+  LedgerEntryView view;
+  while (cursor.Next(&view)) {
+    ledger.merkle_.Append(view.entry_hash);
+    ledger.topic_index_[std::string(view.topic)].push_back(view.index);
+    ledger.head_ = view.entry_hash;
+  }
+  return Outcome<Ledger>::Ok(std::move(ledger));
+}
+
+Outcome<Ledger> Ledger::Open(const LedgerStorageConfig& config) {
+  if (config.backend == LedgerStorageConfig::Backend::kMemory) {
+    return Outcome<Ledger>::Ok(Ledger(config));
+  }
+  auto store = FileLedgerStore::Open(config.directory, config.segment_entries);
+  if (!store.ok()) {
+    return Outcome<Ledger>::Fail(store.status.reason());
+  }
+  return Open(std::move(*store));
 }
 
 uint64_t Ledger::Append(std::string_view topic, Bytes payload) {
   LedgerEntry entry;
-  entry.index = entries_.size();
+  entry.index = store_->Size();
   entry.topic = std::string(topic);
   entry.payload = std::move(payload);
-  entry.prev_hash = entries_.empty() ? kZeroHash : entries_.back().entry_hash;
-  entry.entry_hash = HashEntry(entry.index, entry.topic, entry.payload, entry.prev_hash);
-  entries_.push_back(std::move(entry));
-  return entries_.back().index;
-}
-
-const LedgerEntry& Ledger::At(uint64_t index) const {
-  Require(index < entries_.size(), "Ledger::At: index out of range");
-  return entries_[index];
-}
-
-LedgerHash Ledger::Head() const {
-  return entries_.empty() ? kZeroHash : entries_.back().entry_hash;
+  entry.prev_hash = head_;
+  entry.entry_hash = HashLedgerEntry(entry.index, entry.topic, entry.payload,
+                                     entry.prev_hash);
+  // Persist first: if the store throws (disk full), the facade's head,
+  // frontier and topic index must not commit to a ghost entry.
+  uint64_t index = store_->Append(entry);
+  head_ = entry.entry_hash;
+  merkle_.Append(entry.entry_hash);
+  topic_index_[entry.topic].push_back(entry.index);
+  return index;
 }
 
 Status Ledger::VerifyChain() const {
   LedgerHash prev = kZeroHash;
-  for (const auto& entry : entries_) {
-    if (entry.prev_hash != prev) {
-      return Status::Error("ledger: chain break at index " + std::to_string(entry.index));
+  LedgerCursor cursor(*store_);
+  LedgerEntryView view;
+  while (cursor.Next(&view)) {
+    if (view.prev_hash != prev) {
+      return Status::Error("ledger: chain break at index " + std::to_string(view.index));
     }
-    LedgerHash expected = HashEntry(entry.index, entry.topic, entry.payload, entry.prev_hash);
-    if (expected != entry.entry_hash) {
+    LedgerHash expected =
+        HashLedgerEntry(view.index, view.topic, view.payload, view.prev_hash);
+    if (expected != view.entry_hash) {
       return Status::Error("ledger: entry hash mismatch at index " +
-                           std::to_string(entry.index));
+                           std::to_string(view.index));
     }
-    prev = entry.entry_hash;
+    prev = view.entry_hash;
+  }
+  if (prev != head_) {
+    return Status::Error("ledger: stored chain does not end at the committed head");
   }
   return Status::Ok();
 }
 
-LedgerHash Ledger::SubtreeRoot(uint64_t lo, uint64_t hi) const {
-  if (hi - lo == 1) {
-    return entries_[lo].entry_hash;
-  }
-  // Split at the largest power of two strictly less than the range size.
-  uint64_t size = hi - lo;
-  uint64_t split = 1;
-  while (split * 2 < size) {
-    split *= 2;
-  }
-  return HashInternal(SubtreeRoot(lo, lo + split), SubtreeRoot(lo + split, hi));
-}
+LedgerHash Ledger::MerkleRoot() const { return merkle_.Root(); }
 
-LedgerHash Ledger::MerkleRoot() const {
-  if (entries_.empty()) {
-    return kZeroHash;
+Outcome<InclusionProof> Ledger::ProveInclusion(uint64_t index) const {
+  if (size() == 0) {
+    return Outcome<InclusionProof>::Fail("ledger: cannot prove inclusion in an empty ledger");
   }
-  return SubtreeRoot(0, entries_.size());
-}
-
-void Ledger::SubtreePath(uint64_t lo, uint64_t hi, uint64_t index,
-                         std::vector<LedgerHash>& path) const {
-  if (hi - lo == 1) {
-    return;
+  if (index >= size()) {
+    return Outcome<InclusionProof>::Fail(
+        "ledger: inclusion proof index " + std::to_string(index) +
+        " out of range (tree size " + std::to_string(size()) + ")");
   }
-  uint64_t size = hi - lo;
-  uint64_t split = 1;
-  while (split * 2 < size) {
-    split *= 2;
-  }
-  if (index < lo + split) {
-    SubtreePath(lo, lo + split, index, path);
-    path.push_back(SubtreeRoot(lo + split, hi));
-  } else {
-    SubtreePath(lo + split, hi, index, path);
-    path.push_back(SubtreeRoot(lo, lo + split));
-  }
-}
-
-InclusionProof Ledger::ProveInclusion(uint64_t index) const {
-  Require(index < entries_.size(), "Ledger::ProveInclusion: index out of range");
   InclusionProof proof;
   proof.index = index;
-  proof.tree_size = entries_.size();
-  SubtreePath(0, entries_.size(), index, proof.path);
-  return proof;
+  proof.tree_size = size();
+  merkle_.Path(index, &proof.path);
+  return Outcome<InclusionProof>::Ok(std::move(proof));
 }
 
 Status Ledger::VerifyInclusion(const LedgerHash& root, const LedgerHash& leaf,
                                const InclusionProof& proof) {
-  if (proof.index >= proof.tree_size || proof.tree_size == 0) {
-    return Status::Error("ledger: malformed inclusion proof");
+  if (proof.tree_size == 0) {
+    return Status::Error("ledger: inclusion proof against an empty tree");
+  }
+  if (proof.index >= proof.tree_size) {
+    return Status::Error("ledger: inclusion proof index " + std::to_string(proof.index) +
+                         " >= tree size " + std::to_string(proof.tree_size));
   }
   // Recompute the root by walking the path; at each level we must know
-  // whether the current node is a left or right child. Replaying the same
-  // split rule from the bottom up: reconstruct by simulating the recursion.
-  // Simpler equivalent: recompute the sequence of (lo, hi) ranges top-down,
-  // then fold bottom-up.
+  // whether the current node is a left or right child. Replay the split rule
+  // top-down to learn the child directions, then fold bottom-up.
   std::vector<bool> is_left_child;  // for each path element, whether sibling is on the right
   uint64_t lo = 0;
   uint64_t hi = proof.tree_size;
@@ -142,16 +135,13 @@ Status Ledger::VerifyInclusion(const LedgerHash& root, const LedgerHash& leaf,
   }
   LedgerHash acc = leaf;
   for (size_t level = proof.path.size(); level-- > 0;) {
-    // The path was appended bottom-up during recursion unwinding, so
-    // path[k] corresponds to is_left_child in reverse order... both were
-    // built in the same recursion; path is leaf-to-root (pushed after the
-    // recursive call), is_left_child is root-to-leaf. Align them:
+    // path is leaf-to-root, is_left_child root-to-leaf; align them.
     size_t path_pos = proof.path.size() - 1 - level;
     const LedgerHash& sibling = proof.path[path_pos];
     if (is_left_child[level]) {
-      acc = HashInternal(acc, sibling);
+      acc = MerkleCommitmentTree::HashInternal(acc, sibling);
     } else {
-      acc = HashInternal(sibling, acc);
+      acc = MerkleCommitmentTree::HashInternal(sibling, acc);
     }
   }
   if (acc != root) {
@@ -160,19 +150,27 @@ Status Ledger::VerifyInclusion(const LedgerHash& root, const LedgerHash& leaf,
   return Status::Ok();
 }
 
+const std::vector<uint64_t>& Ledger::TopicIndices(std::string_view topic) const {
+  static const std::vector<uint64_t> kEmpty;
+  auto it = topic_index_.find(topic);
+  return it == topic_index_.end() ? kEmpty : it->second;
+}
+
+LedgerEntry Ledger::At(uint64_t index) const {
+  Require(index < size(), "Ledger::At: index out of range");
+  LedgerCursor cursor(*store_, index, index + 1);
+  LedgerEntryView view;
+  Require(cursor.Next(&view), "Ledger::At: cursor read failed");
+  return view.Materialize();
+}
+
 std::vector<uint64_t> Ledger::IndicesWithTopic(std::string_view topic) const {
-  std::vector<uint64_t> out;
-  for (const auto& entry : entries_) {
-    if (entry.topic == topic) {
-      out.push_back(entry.index);
-    }
-  }
-  return out;
+  return TopicIndices(topic);
 }
 
 void Ledger::TamperWithPayloadForTest(uint64_t index, Bytes new_payload) {
-  Require(index < entries_.size(), "Ledger::TamperWithPayloadForTest: index out of range");
-  entries_[index].payload = std::move(new_payload);
+  Require(index < size(), "Ledger::TamperWithPayloadForTest: index out of range");
+  store_->TamperWithPayloadForTest(index, std::move(new_payload));
 }
 
 }  // namespace votegral

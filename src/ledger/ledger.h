@@ -1,35 +1,50 @@
 // Append-only, tamper-evident public ledger (the paper's L, §D.1), modeled
-// after hash-chained tamper-evident logs [Crosby & Wallach]. The paper
-// idealizes the ledger as globally consistent with detectable tampering;
-// we implement exactly that contract: a SHA-256 hash chain over entries plus
-// Merkle inclusion proofs so light clients (VSDs) can check membership
-// without holding the full log.
+// after hash-chained tamper-evident logs [Crosby & Wallach] — now layered
+// over a pluggable storage backend so the same contract holds whether the
+// log lives in memory or as a file-backed segmented log larger than RAM.
+//
+// Layering:
+//  * LedgerStore (src/ledger/store.h) persists raw, fully-hashed entries in
+//    fixed-capacity segments. Backends: InMemoryLedgerStore and the
+//    crash-recovering FileLedgerStore.
+//  * Ledger (this file) is the integrity facade: it computes the SHA-256
+//    hash chain on Append, maintains the per-topic index and the incremental
+//    Merkle commitment tree (src/ledger/merkle.h), and answers commitment
+//    queries without touching stored payloads:
+//      - Head() is O(1) (cached chain head),
+//      - MerkleRoot() is O(log n) hashes off the append-time frontier,
+//      - ProveInclusion() is O(log^2 n) hashes and reads no segments.
+//  * LedgerCursor/TopicCursor (src/ledger/cursor.h) are the read path:
+//    forward streams and seeks that keep at most one segment pinned.
+//    Random-access At()/IndicesWithTopic() survive only as [[deprecated]]
+//    shims; new code scans.
+//
+// The paper idealizes the ledger as globally consistent with detectable
+// tampering; VerifyChain() re-derives every entry hash by streaming the
+// segments, and Merkle inclusion proofs let light clients (VSDs) check
+// membership without holding the full log. Verification failures are Status
+// values (per DESIGN.md §4): a forged proof, an out-of-range proof index or
+// a broken chain each yield a descriptive, localized reason, never UB.
 #ifndef SRC_LEDGER_LEDGER_H_
 #define SRC_LEDGER_LEDGER_H_
 
-#include <array>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/outcome.h"
 #include "src/common/status.h"
 #include "src/crypto/sha256.h"
+#include "src/ledger/cursor.h"
+#include "src/ledger/merkle.h"
+#include "src/ledger/store.h"
 
 namespace votegral {
-
-using LedgerHash = std::array<uint8_t, 32>;
-
-// One immutable ledger entry.
-struct LedgerEntry {
-  uint64_t index = 0;
-  std::string topic;     // namespacing, e.g. "registration", "envelope", "ballot"
-  Bytes payload;
-  LedgerHash prev_hash;  // hash of the preceding entry (zero for the first)
-  LedgerHash entry_hash; // H(index || topic || payload || prev_hash)
-};
 
 // Merkle inclusion proof for one entry against a root.
 struct InclusionProof {
@@ -38,47 +53,97 @@ struct InclusionProof {
   std::vector<LedgerHash> path;  // sibling hashes, leaf to root
 };
 
-// The append-only log.
+// The append-only log. Move-only (it owns its storage backend).
 class Ledger {
  public:
+  // In-memory backend with default segment geometry.
+  Ledger();
+  // Fresh (empty) backend per `config`; throws ProtocolError when the file
+  // backend's directory already holds entries — recovery is Open()'s job.
+  explicit Ledger(const LedgerStorageConfig& config);
+  // Takes ownership of an *empty* store.
+  explicit Ledger(std::unique_ptr<LedgerStore> store);
+
+  // Attaches a recovered (possibly non-empty) store: streams it once to
+  // rebuild the head, Merkle frontier and topic index. Store-side corruption
+  // has already been localized by the backend's own Open.
+  static Outcome<Ledger> Open(std::unique_ptr<LedgerStore> store);
+  static Outcome<Ledger> Open(const LedgerStorageConfig& config);
+
+  Ledger(Ledger&&) = default;
+  Ledger& operator=(Ledger&&) = default;
+
   // Appends a payload under `topic`; returns the new entry's index.
+  // Invalidates outstanding cursors over this ledger.
   uint64_t Append(std::string_view topic, Bytes payload);
 
-  size_t size() const { return entries_.size(); }
-  const LedgerEntry& At(uint64_t index) const;
+  size_t size() const { return store_->Size(); }
 
-  // Head commitment: hash of the latest entry (zero hash when empty).
-  LedgerHash Head() const;
+  // Head commitment: hash of the latest entry (zero hash when empty). O(1).
+  LedgerHash Head() const { return head_; }
 
-  // Recomputes the whole hash chain; detects any in-place tampering.
+  // Streams every segment, recomputing the whole hash chain; detects any
+  // in-place tampering. O(segment) resident memory.
   Status VerifyChain() const;
 
-  // Merkle root over all entry hashes (RFC 6962-style tree).
+  // Merkle root over all entry hashes (RFC 6962-style tree), from the
+  // incremental frontier — O(log n) hashes, no segment reads.
   LedgerHash MerkleRoot() const;
 
-  // Inclusion proof for entry `index` against the current tree.
-  InclusionProof ProveInclusion(uint64_t index) const;
+  // Entry hash of leaf `index` from the commitment index (O(1), no segment
+  // reads). Require()s index < size().
+  const LedgerHash& LeafHash(uint64_t index) const { return merkle_.Leaf(index); }
+
+  // Inclusion proof for entry `index` against the current tree. Fails (as a
+  // value) on an empty ledger or index >= size().
+  Outcome<InclusionProof> ProveInclusion(uint64_t index) const;
 
   // Verifies an inclusion proof for `leaf` against `root`.
   static Status VerifyInclusion(const LedgerHash& root, const LedgerHash& leaf,
                                 const InclusionProof& proof);
 
-  // Indices of all entries with the given topic, in append order.
+  // --- Streaming read path ---------------------------------------------------
+
+  // Forward cursor over entries [begin, min(end, size())).
+  LedgerCursor Scan(uint64_t begin = 0, uint64_t end = LedgerCursor::kEnd) const {
+    return LedgerCursor(*store_, begin, end);
+  }
+
+  // Cursor over all entries with `topic`, in append order (topic-index
+  // driven; pins only segments that hold matching entries).
+  TopicCursor ScanTopic(std::string_view topic) const {
+    return TopicCursor(*store_, TopicIndices(topic));
+  }
+
+  // Indices of all entries with `topic`, maintained at append time (no
+  // scan). The reference is invalidated by the next Append.
+  const std::vector<uint64_t>& TopicIndices(std::string_view topic) const;
+
+  // The storage backend (segment geometry, backend description, stats).
+  const LedgerStore& store() const { return *store_; }
+
+  // --- Deprecated index-poke accessors ---------------------------------------
+
+  // Materializes one entry (copies topic + payload out of its segment).
+  [[deprecated("stream with Ledger::Scan/ScanTopic cursors instead")]]
+  LedgerEntry At(uint64_t index) const;
+
+  [[deprecated("use Ledger::TopicIndices (maintained at append) or ScanTopic")]]
   std::vector<uint64_t> IndicesWithTopic(std::string_view topic) const;
 
   // Test hook: mutates a stored payload in place, simulating a compromised
   // ledger replica. Production code has no business calling this.
   void TamperWithPayloadForTest(uint64_t index, Bytes new_payload);
 
- private:
-  static LedgerHash HashEntry(uint64_t index, std::string_view topic,
-                              std::span<const uint8_t> payload, const LedgerHash& prev);
-  static LedgerHash HashInternal(const LedgerHash& left, const LedgerHash& right);
-  LedgerHash SubtreeRoot(uint64_t lo, uint64_t hi) const;  // [lo, hi)
-  void SubtreePath(uint64_t lo, uint64_t hi, uint64_t index,
-                   std::vector<LedgerHash>& path) const;
+  // Internal-hash counter of the commitment tree; tests assert the
+  // incremental O(log n) bound per MerkleRoot/ProveInclusion call.
+  uint64_t MerkleHashInvocationsForTest() const { return merkle_.hash_invocations(); }
 
-  std::vector<LedgerEntry> entries_;
+ private:
+  std::unique_ptr<LedgerStore> store_;
+  MerkleCommitmentTree merkle_;
+  LedgerHash head_ = {};
+  std::map<std::string, std::vector<uint64_t>, std::less<>> topic_index_;
 };
 
 }  // namespace votegral

@@ -1,0 +1,104 @@
+#include "src/ledger/merkle.h"
+
+namespace votegral {
+
+namespace {
+
+constexpr LedgerHash kZeroHash = {};
+
+// Largest power of two strictly below `size` (size >= 2) — the RFC 6962
+// split point.
+uint64_t SplitPoint(uint64_t size) {
+  uint64_t split = 1;
+  while (split * 2 < size) {
+    split *= 2;
+  }
+  return split;
+}
+
+}  // namespace
+
+LedgerHash MerkleCommitmentTree::HashInternal(const LedgerHash& left,
+                                              const LedgerHash& right) {
+  uint8_t prefix = 1;
+  return Sha256::HashParts({{&prefix, 1}, left, right});
+}
+
+LedgerHash MerkleCommitmentTree::CountedHash(const LedgerHash& left,
+                                             const LedgerHash& right) const {
+  ++hash_count_;
+  return HashInternal(left, right);
+}
+
+void MerkleCommitmentTree::Append(const LedgerHash& leaf) {
+  if (levels_.empty()) {
+    levels_.emplace_back();
+  }
+  levels_[0].push_back(leaf);
+  // Binary-counter carry: each time the new node is a right child, its
+  // parent's block just completed; fold upward until a left child remains.
+  size_t level = 0;
+  uint64_t index = levels_[0].size() - 1;
+  while (index % 2 == 1) {
+    LedgerHash parent = CountedHash(levels_[level][index - 1], levels_[level][index]);
+    if (levels_.size() <= level + 1) {
+      levels_.emplace_back();
+    }
+    levels_[level + 1].push_back(parent);
+    index = levels_[level + 1].size() - 1;
+    ++level;
+  }
+}
+
+const LedgerHash& MerkleCommitmentTree::Leaf(uint64_t index) const {
+  Require(index < size(), "merkle: leaf index out of range");
+  return levels_[0][index];
+}
+
+LedgerHash MerkleCommitmentTree::RangeRoot(uint64_t lo, uint64_t hi) const {
+  uint64_t range = hi - lo;
+  if (range == 1) {
+    return levels_[0][lo];
+  }
+  // Complete aligned blocks are stored nodes (every such block inside the
+  // tree is, by the append-time fold above).
+  if ((range & (range - 1)) == 0 && lo % range == 0) {
+    size_t level = 0;
+    for (uint64_t r = range; r > 1; r >>= 1) {
+      ++level;
+    }
+    return levels_[level][lo / range];
+  }
+  uint64_t split = SplitPoint(range);
+  return CountedHash(RangeRoot(lo, lo + split), RangeRoot(lo + split, hi));
+}
+
+LedgerHash MerkleCommitmentTree::Root() const {
+  if (size() == 0) {
+    return kZeroHash;
+  }
+  return RangeRoot(0, size());
+}
+
+void MerkleCommitmentTree::RangePath(uint64_t lo, uint64_t hi, uint64_t index,
+                                     std::vector<LedgerHash>* path) const {
+  if (hi - lo == 1) {
+    return;
+  }
+  uint64_t split = SplitPoint(hi - lo);
+  if (index < lo + split) {
+    RangePath(lo, lo + split, index, path);
+    path->push_back(RangeRoot(lo + split, hi));
+  } else {
+    RangePath(lo + split, hi, index, path);
+    path->push_back(RangeRoot(lo, lo + split));
+  }
+}
+
+void MerkleCommitmentTree::Path(uint64_t index, std::vector<LedgerHash>* out) const {
+  Require(index < size(), "merkle: path index out of range");
+  out->clear();
+  RangePath(0, size(), index, out);
+}
+
+}  // namespace votegral

@@ -1,0 +1,74 @@
+// Incremental Merkle commitments over ledger entry hashes.
+//
+// The tree shape is the RFC 6962 / Certificate-Transparency one the seed
+// computed recursively: split a range at the largest power of two strictly
+// below its size. Instead of recomputing that recursion over every leaf on
+// each call, this index is maintained *at append time*:
+//
+//  * levels_[0] holds every leaf hash; levels_[j][i] is the internal hash of
+//    the complete aligned block [i·2^j, (i+1)·2^j) and is computed exactly
+//    once, when its right child completes (the binary-counter "frontier"
+//    update — amortized one hash per append, n-1 internal hashes total).
+//  * The only nodes NOT stored are the ephemeral right-spine nodes covering
+//    incomplete ranges [lo, n); Root() and Path() re-derive those from at
+//    most log n stored nodes per spine level.
+//
+// Consequences the ledger layer relies on: Root() costs O(log n) hashes,
+// Path() O(log^2 n), and neither ever touches entry payloads — so Merkle
+// commitments over a file-backed segmented log never read cold segments.
+// hash_invocations() exposes the internal-hash counter so tests can assert
+// the incremental bound instead of trusting this comment.
+#ifndef SRC_LEDGER_MERKLE_H_
+#define SRC_LEDGER_MERKLE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/crypto/sha256.h"
+
+namespace votegral {
+
+using LedgerHash = std::array<uint8_t, 32>;
+
+class MerkleCommitmentTree {
+ public:
+  // Appends one leaf (a ledger entry hash). Amortized O(1) internal hashes.
+  void Append(const LedgerHash& leaf);
+
+  uint64_t size() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+  // Root over all leaves (zero hash when empty). O(log n) internal hashes.
+  LedgerHash Root() const;
+
+  // Stored leaf hash; Require()s index < size().
+  const LedgerHash& Leaf(uint64_t index) const;
+
+  // Sibling path for `index` against the current tree, leaf to root.
+  // Require()s index < size().
+  void Path(uint64_t index, std::vector<LedgerHash>* out) const;
+
+  // Internal-node hash (RFC 6962 domain separation). Shared with the
+  // verification side so proofs recombine identically.
+  static LedgerHash HashInternal(const LedgerHash& left, const LedgerHash& right);
+
+  // Total internal-hash invocations by this instance (appends + roots +
+  // paths). Tests assert O(log n) deltas per query against this counter.
+  uint64_t hash_invocations() const { return hash_count_; }
+
+ private:
+  LedgerHash CountedHash(const LedgerHash& left, const LedgerHash& right) const;
+  // Root of [lo, hi): stored lookup for complete aligned blocks, right-spine
+  // recursion otherwise.
+  LedgerHash RangeRoot(uint64_t lo, uint64_t hi) const;
+  void RangePath(uint64_t lo, uint64_t hi, uint64_t index,
+                 std::vector<LedgerHash>* path) const;
+
+  std::vector<std::vector<LedgerHash>> levels_;
+  mutable uint64_t hash_count_ = 0;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_LEDGER_MERKLE_H_

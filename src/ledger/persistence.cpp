@@ -8,67 +8,80 @@ namespace votegral {
 
 namespace {
 
-constexpr std::string_view kMagic = "votegral-ledger/v1";
-
-constexpr std::string_view kRegistrationTopic = "registration";
-constexpr std::string_view kEnvelopeTopic = "envelope-commitment";
-constexpr std::string_view kChallengeTopic = "envelope-challenge";
-constexpr std::string_view kBallotTopic = "ballot";
+constexpr std::string_view kMagic = "votegral-ledger/v2";
 
 }  // namespace
 
 Bytes SerializeLedger(const Ledger& ledger) {
   ByteWriter w;
   w.U64(ledger.size());
-  for (uint64_t i = 0; i < ledger.size(); ++i) {
-    const LedgerEntry& entry = ledger.At(i);
-    w.Str(entry.topic);
-    w.Var(entry.payload);
+  // Streamed export: one frame per entry, one segment pinned at a time.
+  Bytes frame;
+  LedgerEntryView view;
+  for (LedgerCursor cursor = ledger.Scan(); cursor.Next(&view);) {
+    frame.clear();
+    AppendEntryFrame(&frame, view);
+    w.Fixed(frame);
   }
   w.Fixed(ledger.Head());
   return w.Take();
 }
 
-Outcome<Ledger> ParseLedger(std::span<const uint8_t> bytes) {
+Outcome<Ledger> ParseLedger(std::span<const uint8_t> bytes,
+                            const LedgerStorageConfig& storage) {
+  using Out = Outcome<Ledger>;
   try {
-    ByteReader r(bytes);
-    uint64_t count = r.U64();
-    Ledger ledger;
+    if (bytes.size() < 8) {
+      return Out::Fail("persistence: serialized ledger shorter than its header");
+    }
+    const uint64_t count = LoadLe64(bytes.data());
+    size_t offset = 8;
+    Ledger ledger(storage);
     for (uint64_t i = 0; i < count; ++i) {
-      std::string topic = r.Str();
-      Bytes payload = r.Var();
-      ledger.Append(topic, std::move(payload));
+      auto entry = DecodeEntryFrame(bytes, &offset);
+      if (!entry.ok()) {
+        return Out::Fail("persistence: entry " + std::to_string(i) + ": " +
+                         entry.status.reason());
+      }
+      // Re-appending re-derives every hash; the stored frame must agree in
+      // full — the chain link too, so a flipped byte anywhere in the frame
+      // (even in the redundant prev-hash field) is rejected.
+      if (!ConstantTimeEqual(ledger.Head(), entry->prev_hash)) {
+        return Out::Fail("persistence: entry " + std::to_string(i) +
+                         " chain link mismatch (file tampered?)");
+      }
+      uint64_t index = ledger.Append(entry->topic, std::move(entry->payload));
+      if (index != entry->index || !ConstantTimeEqual(ledger.Head(), entry->entry_hash)) {
+        return Out::Fail("persistence: entry " + std::to_string(i) +
+                         " hash mismatch (file tampered?)");
+      }
     }
-    Bytes head = r.Fixed(32);
-    r.ExpectEnd();
-    // Re-appending recomputes every hash; the stored head must match.
-    if (!ConstantTimeEqual(ledger.Head(), head)) {
-      return Outcome<Ledger>::Fail("persistence: ledger head mismatch (file tampered?)");
+    if (bytes.size() - offset != 32) {
+      return Out::Fail("persistence: bad trailer length");
     }
-    if (Status chain = ledger.VerifyChain(); !chain.ok()) {
-      return Outcome<Ledger>::Fail(chain.reason());
+    if (!ConstantTimeEqual(ledger.Head(), bytes.subspan(offset, 32))) {
+      return Out::Fail("persistence: ledger head mismatch (file tampered?)");
     }
-    return Outcome<Ledger>::Ok(std::move(ledger));
+    return Out::Ok(std::move(ledger));
   } catch (const ProtocolError& error) {
-    return Outcome<Ledger>::Fail(std::string("persistence: ") + error.what());
+    return Out::Fail(std::string("persistence: ") + error.what());
   }
 }
 
 Bytes SerializePublicLedger(const PublicLedger& ledger) {
   ByteWriter w;
   w.Str(kMagic);
-  auto roster = ledger.EligibleVoters();
-  w.U64(roster.size());
-  for (const std::string& voter : roster) {
-    w.Str(voter);
-  }
+  // Sub-logs in SubLogs() order — the import loop reads them back the same
+  // way, so the two lists cannot drift apart.
+  w.Var(SerializeLedger(ledger.roster_log()));
   w.Var(SerializeLedger(ledger.registration_log()));
   w.Var(SerializeLedger(ledger.envelope_log()));
   w.Var(SerializeLedger(ledger.ballot_log()));
   return w.Take();
 }
 
-Outcome<PublicLedger> ParsePublicLedger(std::span<const uint8_t> bytes) {
+Outcome<PublicLedger> ParsePublicLedger(std::span<const uint8_t> bytes,
+                                        const LedgerStorageConfig& storage) {
   using Out = Outcome<PublicLedger>;
   try {
     ByteReader r(bytes);
@@ -76,71 +89,28 @@ Outcome<PublicLedger> ParsePublicLedger(std::span<const uint8_t> bytes) {
       return Out::Fail("persistence: bad magic");
     }
     PublicLedger ledger;
-    uint64_t roster_size = r.U64();
-    for (uint64_t i = 0; i < roster_size; ++i) {
-      ledger.AddEligibleVoter(r.Str());
+    for (const PublicLedger::SubLogSpec& spec : PublicLedger::SubLogs()) {
+      Bytes wire = r.Var();  // sub-logs appear in SubLogs() order
+      auto parsed = ParseLedger(wire, storage.ForSubLog(spec.name));
+      if (!parsed.ok()) {
+        return Out::Fail(std::string(spec.name) + " log: " + parsed.status.reason());
+      }
+      ledger.*spec.member = std::move(*parsed);
     }
-    Bytes reg_bytes = r.Var();
-    Bytes env_bytes = r.Var();
-    Bytes ballot_bytes = r.Var();
     r.ExpectEnd();
-
-    auto registration = ParseLedger(reg_bytes);
-    auto envelope = ParseLedger(env_bytes);
-    auto ballots = ParseLedger(ballot_bytes);
-    if (!registration.ok() || !envelope.ok() || !ballots.ok()) {
-      return Out::Fail("persistence: sub-ledger corrupt");
-    }
-
-    // Replay every entry through the typed APIs so the derived indices
-    // (active registrations, used challenges, ...) are rebuilt, and the
-    // regenerated hash chains coincide with the verified ones.
-    for (uint64_t i = 0; i < envelope->size(); ++i) {
-      const LedgerEntry& entry = envelope->At(i);
-      if (entry.topic == kEnvelopeTopic) {
-        auto commitment = EnvelopeCommitment::Parse(entry.payload);
-        if (!commitment.has_value()) {
-          return Out::Fail("persistence: corrupt envelope commitment");
-        }
-        ledger.PostEnvelopeCommitment(*commitment);
-      } else if (entry.topic == kChallengeTopic) {
-        auto challenge = Scalar::FromCanonicalBytes(entry.payload);
-        if (!challenge.has_value() ||
-            !ledger.RevealEnvelopeChallenge(*challenge).ok()) {
-          return Out::Fail("persistence: corrupt challenge reveal");
-        }
-      } else {
-        return Out::Fail("persistence: unknown envelope-log topic");
-      }
-    }
-    for (uint64_t i = 0; i < registration->size(); ++i) {
-      const LedgerEntry& entry = registration->At(i);
-      if (entry.topic != kRegistrationTopic) {
-        return Out::Fail("persistence: unknown registration-log topic");
-      }
-      auto record = RegistrationRecord::Parse(entry.payload);
-      if (!record.has_value() || !ledger.PostRegistration(*record).ok()) {
-        return Out::Fail("persistence: corrupt registration record");
-      }
-    }
-    for (uint64_t i = 0; i < ballots->size(); ++i) {
-      const LedgerEntry& entry = ballots->At(i);
-      if (entry.topic != kBallotTopic) {
-        return Out::Fail("persistence: unknown ballot-log topic");
-      }
-      ledger.PostBallot(entry.payload);
-    }
-
-    // Replay must reproduce the exact chains.
-    if (!ConstantTimeEqual(ledger.registration_log().Head(), registration->Head()) ||
-        !ConstantTimeEqual(ledger.envelope_log().Head(), envelope->Head()) ||
-        !ConstantTimeEqual(ledger.ballot_log().Head(), ballots->Head())) {
-      return Out::Fail("persistence: replay diverged from stored chains");
+    // Rebuild the derived lookup state by streaming the verified logs —
+    // same path as recovering a segment directory via PublicLedger::Open.
+    if (Status derived = ledger.RebuildDerivedState(); !derived.ok()) {
+      return Out::Fail(derived.reason());
     }
     return Out::Ok(std::move(ledger));
   } catch (const ProtocolError& error) {
     return Out::Fail(std::string("persistence: ") + error.what());
   }
+}
+
+Outcome<PublicLedger> ParsePublicLedger(std::span<const uint8_t> bytes) {
+  return ParsePublicLedger(bytes, LedgerStorageConfig{});
 }
 
 Status SavePublicLedger(const PublicLedger& ledger, const std::string& path) {

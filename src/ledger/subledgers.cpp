@@ -6,6 +6,7 @@ namespace votegral {
 
 namespace {
 
+constexpr std::string_view kRosterTopic = "roster-member";
 constexpr std::string_view kRegistrationTopic = "registration";
 constexpr std::string_view kEnvelopeTopic = "envelope-commitment";
 constexpr std::string_view kChallengeTopic = "envelope-challenge";
@@ -87,8 +88,111 @@ std::optional<EnvelopeCommitment> EnvelopeCommitment::Parse(std::span<const uint
   }
 }
 
+PublicLedger::PublicLedger(const LedgerStorageConfig& storage)
+    : roster_log_(storage.ForSubLog("roster")),
+      registration_log_(storage.ForSubLog("registration")),
+      envelope_log_(storage.ForSubLog("envelope")),
+      ballot_log_(storage.ForSubLog("ballot")) {}
+
+std::span<const PublicLedger::SubLogSpec> PublicLedger::SubLogs() {
+  static constexpr SubLogSpec kLogs[] = {
+      {"roster", &PublicLedger::roster_log_},
+      {"registration", &PublicLedger::registration_log_},
+      {"envelope", &PublicLedger::envelope_log_},
+      {"ballot", &PublicLedger::ballot_log_},
+  };
+  return kLogs;
+}
+
+Outcome<PublicLedger> PublicLedger::Open(const LedgerStorageConfig& storage) {
+  using Out = Outcome<PublicLedger>;
+  PublicLedger ledger;
+  for (const SubLogSpec& spec : SubLogs()) {
+    auto opened = Ledger::Open(storage.ForSubLog(spec.name));
+    if (!opened.ok()) {
+      return Out::Fail("ledger: " + std::string(spec.name) + " log: " +
+                       opened.status.reason());
+    }
+    ledger.*spec.member = std::move(*opened);
+  }
+  if (Status derived = ledger.RebuildDerivedState(); !derived.ok()) {
+    return Out::Fail(derived.reason());
+  }
+  return Out::Ok(std::move(ledger));
+}
+
+Status PublicLedger::RebuildDerivedState() {
+  eligible_.clear();
+  registrations_by_voter_.clear();
+  envelope_hashes_.clear();
+  revealed_challenges_.clear();
+
+  LedgerEntryView view;
+  for (LedgerCursor cursor = roster_log_.Scan(); cursor.Next(&view);) {
+    if (view.topic != kRosterTopic) {
+      return Status::Error("ledger: unknown roster-log topic at index " +
+                           std::to_string(view.index));
+    }
+    eligible_.insert(std::string(reinterpret_cast<const char*>(view.payload.data()),
+                                 view.payload.size()));
+  }
+
+  for (LedgerCursor cursor = envelope_log_.Scan(); cursor.Next(&view);) {
+    if (view.topic == kEnvelopeTopic) {
+      auto commitment = EnvelopeCommitment::Parse(view.payload);
+      if (!commitment.has_value()) {
+        return Status::Error("ledger: corrupt envelope commitment at index " +
+                             std::to_string(view.index));
+      }
+      envelope_hashes_.insert(commitment->challenge_hash);
+    } else if (view.topic == kChallengeTopic) {
+      auto challenge = Scalar::FromCanonicalBytes(view.payload);
+      if (!challenge.has_value()) {
+        return Status::Error("ledger: corrupt challenge reveal at index " +
+                             std::to_string(view.index));
+      }
+      auto hash = HashChallenge(*challenge);
+      if (envelope_hashes_.count(hash) == 0 || !revealed_challenges_.insert(hash).second) {
+        return Status::Error("ledger: challenge reveal at index " +
+                             std::to_string(view.index) +
+                             " violates the commitment/duplicate rules");
+      }
+    } else {
+      return Status::Error("ledger: unknown envelope-log topic at index " +
+                           std::to_string(view.index));
+    }
+  }
+
+  for (LedgerCursor cursor = registration_log_.Scan(); cursor.Next(&view);) {
+    if (view.topic != kRegistrationTopic) {
+      return Status::Error("ledger: unknown registration-log topic at index " +
+                           std::to_string(view.index));
+    }
+    auto record = RegistrationRecord::Parse(view.payload);
+    if (!record.has_value()) {
+      return Status::Error("ledger: corrupt registration record at index " +
+                           std::to_string(view.index));
+    }
+    if (!IsEligible(record->voter_id)) {
+      return Status::Error("ledger: registration at index " + std::to_string(view.index) +
+                           " for a voter not on the roster");
+    }
+    registrations_by_voter_[record->voter_id].push_back(view.index);
+  }
+
+  for (LedgerCursor cursor = ballot_log_.Scan(); cursor.Next(&view);) {
+    if (view.topic != kBallotTopic) {
+      return Status::Error("ledger: unknown ballot-log topic at index " +
+                           std::to_string(view.index));
+    }
+  }
+  return Status::Ok();
+}
+
 void PublicLedger::AddEligibleVoter(const std::string& voter_id) {
-  eligible_.insert(voter_id);
+  if (eligible_.insert(voter_id).second) {
+    roster_log_.Append(kRosterTopic, Bytes(voter_id.begin(), voter_id.end()));
+  }
 }
 
 bool PublicLedger::IsEligible(const std::string& voter_id) const {
@@ -111,18 +215,27 @@ std::optional<RegistrationRecord> PublicLedger::ActiveRegistration(
     return std::nullopt;
   }
   // The most recent record supersedes all prior ones (§3.1).
-  const LedgerEntry& entry = registration_log_.At(it->second.back());
-  return RegistrationRecord::Parse(entry.payload);
+  LedgerCursor cursor = registration_log_.Scan(it->second.back(), it->second.back() + 1);
+  LedgerEntryView view;
+  Require(cursor.Next(&view), "ledger: registration index points past the log");
+  return RegistrationRecord::Parse(view.payload);
 }
 
 std::vector<RegistrationRecord> PublicLedger::ActiveRegistrations() const {
   std::vector<RegistrationRecord> out;
   out.reserve(registrations_by_voter_.size());
+  // One cursor for the whole pass: voters' latest indices are read in voter
+  // order, and the cursor's segment pin is reused whenever consecutive
+  // records share a segment.
+  LedgerCursor cursor = registration_log_.Scan();
+  LedgerEntryView view;
   for (const auto& [voter_id, indices] : registrations_by_voter_) {
     if (indices.empty()) {
       continue;
     }
-    auto record = RegistrationRecord::Parse(registration_log_.At(indices.back()).payload);
+    cursor.Seek(indices.back());
+    Require(cursor.Next(&view), "ledger: registration index points past the log");
+    auto record = RegistrationRecord::Parse(view.payload);
     Require(record.has_value(), "ledger: stored registration record is corrupt");
     out.push_back(std::move(*record));
   }
@@ -163,15 +276,19 @@ uint64_t PublicLedger::PostBallot(Bytes ballot_payload) {
 
 std::vector<Bytes> PublicLedger::AllBallots() const {
   std::vector<Bytes> out;
-  for (uint64_t index : ballot_log_.IndicesWithTopic(kBallotTopic)) {
-    out.push_back(ballot_log_.At(index).payload);
+  out.reserve(ballot_log_.TopicIndices(kBallotTopic).size());
+  LedgerEntryView view;
+  for (TopicCursor cursor = ballot_log_.ScanTopic(kBallotTopic); cursor.Next(&view);) {
+    out.emplace_back(view.payload.begin(), view.payload.end());
   }
   return out;
 }
 
 Status PublicLedger::VerifyChains() const {
-  return registration_log_.VerifyChain().And(envelope_log_.VerifyChain()).And(
-      ballot_log_.VerifyChain());
+  return roster_log_.VerifyChain()
+      .And(registration_log_.VerifyChain())
+      .And(envelope_log_.VerifyChain())
+      .And(ballot_log_.VerifyChain());
 }
 
 }  // namespace votegral

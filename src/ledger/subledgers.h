@@ -1,5 +1,6 @@
 // Typed views over the public ledger: the registration sub-ledger L_R, the
-// envelope-commitment sub-ledger L_E and the ballot sub-ledger L_V (§D.1).
+// envelope-commitment sub-ledger L_E and the ballot sub-ledger L_V (§D.1),
+// plus a tamper-evident roster log for the electoral roll V.
 //
 // Key semantics implemented here, straight from the paper:
 //  * L_R: one *active* record per voter identity; a new registration
@@ -8,6 +9,14 @@
 //    every envelope; at activation, VSDs publish the revealed challenge e
 //    and reject duplicates — the duplicate-envelope defense of App. F.3.5.
 //  * L_V: append-only encrypted ballots.
+//
+// Storage: every sub-log sits on a LedgerStore backend selected by the
+// LedgerStorageConfig the PublicLedger is constructed with — in-memory by
+// default, or a file-backed segmented log (one subdirectory per sub-log)
+// for ledgers larger than RAM. The derived lookup state (active
+// registrations, used challenges, the eligibility set) is an index over the
+// logs, rebuilt by streaming them on Open(); consumers read entries through
+// cursors (BallotCursor / the logs' Scan/ScanTopic), never by index pokes.
 #ifndef SRC_LEDGER_SUBLEDGERS_H_
 #define SRC_LEDGER_SUBLEDGERS_H_
 
@@ -17,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/outcome.h"
 #include "src/common/status.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/schnorr.h"
@@ -49,11 +59,26 @@ struct EnvelopeCommitment {
   static std::optional<EnvelopeCommitment> Parse(std::span<const uint8_t> bytes);
 };
 
-// The three sub-ledgers plus an eligibility roster, bundled as the paper's
+// The sub-ledgers plus the eligibility roster, bundled as the paper's
 // single logical ledger L. All mutations go through typed methods that also
-// append to the underlying tamper-evident logs.
+// append to the underlying tamper-evident logs. Move-only (it owns the
+// storage backends).
 class PublicLedger {
  public:
+  // In-memory backend.
+  PublicLedger() : PublicLedger(LedgerStorageConfig{}) {}
+  // Fresh (empty) logs on the configured backend; throws ProtocolError when
+  // a file backend directory already holds a ledger — recovery is Open().
+  explicit PublicLedger(const LedgerStorageConfig& storage);
+
+  // Recovers an existing ledger from its backend (file: crash-safe segment
+  // recovery per sub-log) and rebuilds all derived indices by streaming the
+  // logs. Corruption yields a localized, named failure.
+  static Outcome<PublicLedger> Open(const LedgerStorageConfig& storage);
+
+  PublicLedger(PublicLedger&&) = default;
+  PublicLedger& operator=(PublicLedger&&) = default;
+
   // --- Roster (electoral roll V, populated at setup) -----------------------
   void AddEligibleVoter(const std::string& voter_id);
   bool IsEligible(const std::string& voter_id) const;
@@ -99,27 +124,47 @@ class PublicLedger {
   uint64_t PostBallot(Bytes ballot_payload);
   std::vector<Bytes> AllBallots() const;
 
-  // Chunked, zero-copy iteration for the sharded tally pipeline: stages
-  // validate ballots shard by shard instead of materializing a copy of the
-  // whole ballot log (AllBallots copies every payload — fine for tests,
-  // wrong at the million-ballot target).
+  // Streaming, zero-copy iteration for the sharded tally pipeline: stages
+  // open one cursor per Executor::Shards range and stream ballots straight
+  // off the backing segments — at most one segment resident per cursor,
+  // instead of a materialized copy of the whole ballot log.
   size_t BallotCount() const { return ballot_log_.size(); }
-  const Bytes& BallotPayload(size_t index) const {
-    return ballot_log_.At(index).payload;
+  LedgerCursor BallotCursor(uint64_t begin = 0,
+                            uint64_t end = LedgerCursor::kEnd) const {
+    return ballot_log_.Scan(begin, end);
   }
 
   // --- Integrity -------------------------------------------------------------
-  // Verifies all three underlying hash chains.
+  // Verifies all underlying hash chains (streamed per segment).
   Status VerifyChains() const;
 
   // Raw log access (audits, tests).
+  const Ledger& roster_log() const { return roster_log_; }
   const Ledger& registration_log() const { return registration_log_; }
   const Ledger& envelope_log() const { return envelope_log_; }
   const Ledger& ballot_log() const { return ballot_log_; }
   Ledger& mutable_registration_log() { return registration_log_; }
 
  private:
+  // Streams all logs, validating topics/payloads and rebuilding the derived
+  // lookup state (roster set, registration index, envelope hashes, revealed
+  // challenges). Used by Open() and the persistence import.
+  Status RebuildDerivedState();
+
+  // The sub-logs as one table (storage subdirectory name + member), so the
+  // recovery paths — Open() and the persistence import — iterate the same
+  // list and a future sub-log cannot be added to one but not the other.
+  struct SubLogSpec {
+    const char* name;
+    Ledger PublicLedger::* member;
+  };
+  static std::span<const SubLogSpec> SubLogs();
+
+  friend Outcome<PublicLedger> ParsePublicLedger(std::span<const uint8_t> bytes,
+                                                 const LedgerStorageConfig& storage);
+
   std::set<std::string> eligible_;
+  Ledger roster_log_;
   Ledger registration_log_;
   Ledger envelope_log_;
   Ledger ballot_log_;

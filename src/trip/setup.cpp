@@ -67,7 +67,7 @@ void EnvelopeSupply::Add(std::vector<Envelope> envelopes) {
 }
 
 TripSystem TripSystem::Create(const TripSystemParams& params, Rng& rng) {
-  TripSystem system;
+  TripSystem system(params.storage);
   system.authority_ = ElectionAuthority::Create(params.authority_members, rng);
   system.mac_key_ = rng.RandomBytes(32);
 

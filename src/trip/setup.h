@@ -77,6 +77,10 @@ struct TripSystemParams {
   size_t envelopes_per_voter = 3;
   size_t booth_min_envelopes = 16;  // λ_E
   std::vector<std::string> roster;
+  // Storage backend for the public ledger (in-memory by default; point the
+  // file backend at a directory to run registration and tallying against a
+  // segmented on-disk log).
+  LedgerStorageConfig storage;
 };
 
 // A fully initialized TRIP registration system.
@@ -113,6 +117,8 @@ class TripSystem {
   const Bytes& shared_mac_key() const { return mac_key_; }
 
  private:
+  explicit TripSystem(const LedgerStorageConfig& storage) : ledger_(storage) {}
+
   ElectionAuthority authority_;
   PublicLedger ledger_;
   Bytes mac_key_;

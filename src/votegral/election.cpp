@@ -8,6 +8,7 @@ TripSystem MakeTrip(const ElectionConfig& config, Rng& rng) {
   TripSystemParams params;
   params.authority_members = config.authority_members;
   params.roster = config.roster;
+  params.storage = config.storage;
   return TripSystem::Create(params, rng);
 }
 

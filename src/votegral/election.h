@@ -28,6 +28,12 @@ struct ElectionConfig {
   // 1 = fully serial (the quickstart escape hatch). The transcript is
   // byte-identical at any setting — this only trades wall-clock time.
   size_t threads = 0;
+
+  // Ledger storage backend: in-memory by default, or the file-backed
+  // segmented log (set backend=kFile and a directory). The tally transcript
+  // is byte-identical for either backend — this only trades resident memory
+  // against segment I/O.
+  LedgerStorageConfig storage;
 };
 
 // A complete Votegral election instance.

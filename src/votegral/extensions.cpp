@@ -31,12 +31,17 @@ std::vector<HistoryEntry> VotingHistory::ForCredential(
 }
 
 Status VotingHistory::VerifyAgainstLedger(const PublicLedger& ledger) const {
+  // One cursor for the whole pass: history entries are usually clustered,
+  // so segment pins get reused across seeks.
+  LedgerCursor cursor = ledger.BallotCursor();
+  LedgerEntryView view;
   for (const HistoryEntry& entry : entries_) {
-    const Ledger& log = ledger.ballot_log();
-    if (entry.ledger_index >= log.size()) {
+    if (entry.ledger_index >= ledger.BallotCount()) {
       return Status::Error("history: recorded ballot index beyond ledger");
     }
-    auto hash = Sha256::Hash(log.At(entry.ledger_index).payload);
+    cursor.Seek(entry.ledger_index);
+    Require(cursor.Next(&view), "history: ballot cursor read failed");
+    auto hash = Sha256::Hash(view.payload);
     if (hash != entry.ballot_hash) {
       return Status::Error("history: ledger ballot differs from recorded cast");
     }
@@ -49,11 +54,13 @@ Outcome<HistoryDecryption> DecryptOwnVote(const ElectionAuthority& authority,
                                           const ActivatedCredential& credential,
                                           uint64_t ledger_index, Rng& rng) {
   using Out = Outcome<HistoryDecryption>;
-  const Ledger& log = ledger.ballot_log();
-  if (ledger_index >= log.size()) {
+  if (ledger_index >= ledger.BallotCount()) {
     return Out::Fail("history: no such ballot on the ledger");
   }
-  auto ballot = Ballot::Parse(log.At(ledger_index).payload);
+  LedgerCursor cursor = ledger.BallotCursor(ledger_index, ledger_index + 1);
+  LedgerEntryView entry_view;
+  Require(cursor.Next(&entry_view), "history: ballot cursor read failed");
+  auto ballot = Ballot::Parse(entry_view.payload);
   if (!ballot.has_value()) {
     return Out::Fail("history: ledger entry is not a ballot");
   }
@@ -150,8 +157,10 @@ std::vector<Ballot> ValidateWithTransfers(
   std::map<CompressedRistretto, Ballot> latest;
   std::map<CompressedRistretto, size_t> first_seen_order;
   size_t order = 0;
-  for (const Bytes& payload : ledger.AllBallots()) {
-    auto ballot = Ballot::Parse(payload);
+  LedgerCursor cursor = ledger.BallotCursor();
+  LedgerEntryView view;
+  while (cursor.Next(&view)) {
+    auto ballot = Ballot::Parse(view.payload);
     if (!ballot.has_value()) {
       ++discards->invalid_structure;
       continue;

@@ -14,21 +14,33 @@ std::vector<std::optional<Ballot>> ValidateBallots(
   const size_t n = ledger.BallotCount();
   std::vector<std::optional<Ballot>> validated(n);
   // Parse + two Schnorr verifications per ballot: the validate stage's
-  // per-ballot hot loop. Outcomes are written positionally and tallied
-  // sequentially afterwards, so discard counts never depend on scheduling.
+  // per-ballot hot loop. Each shard streams its ballot range straight off
+  // the backing segments through its own cursor (zero-copy views, at most
+  // one segment resident per shard), so the stage never materializes the
+  // ballot log — the property that lets a file-backed ledger larger than
+  // RAM tally in O(segment) memory. Shard boundaries come from
+  // Executor::Shards (data-size only) and outcomes are written positionally
+  // then tallied sequentially, so discard counts never depend on scheduling
+  // or on the storage backend.
   enum : uint8_t { kOk = 0, kBadStructure = 1, kBadSignature = 2 };
   std::vector<uint8_t> outcome(n, kOk);
-  executor.ParallelForEach(n, [&](size_t i) {
-    auto ballot = Ballot::Parse(ledger.BallotPayload(i));
-    if (!ballot.has_value()) {
-      outcome[i] = kBadStructure;
-      return;
+  auto shards = Executor::Shards(n, Executor::kRngShards);
+  executor.ParallelForEach(shards.size(), [&](size_t s) {
+    LedgerCursor cursor = ledger.BallotCursor(shards[s].first, shards[s].second);
+    LedgerEntryView view;
+    for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+      Require(cursor.Next(&view), "tally: ballot cursor ended before its shard");
+      auto ballot = Ballot::Parse(view.payload);
+      if (!ballot.has_value()) {
+        outcome[i] = kBadStructure;
+        continue;
+      }
+      if (!CheckBallot(*ballot, authorized_kiosks).ok()) {
+        outcome[i] = kBadSignature;
+        continue;
+      }
+      validated[i] = std::move(*ballot);
     }
-    if (!CheckBallot(*ballot, authorized_kiosks).ok()) {
-      outcome[i] = kBadSignature;
-      return;
-    }
-    validated[i] = std::move(*ballot);
   });
   for (uint8_t o : outcome) {
     if (o == kBadStructure) {

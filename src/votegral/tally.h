@@ -16,8 +16,11 @@
 //    produce the same election, bit for bit.
 //  * Intermediate shards are working state, released as soon as the next
 //    stage has consumed them; only what universal verification needs is
-//    retained in TallyTranscript. Ballots are read from the ledger in
-//    chunks (PublicLedger::BallotPayload) rather than copied wholesale.
+//    retained in TallyTranscript. Ballots are streamed off the ledger's
+//    storage backend per shard (PublicLedger::BallotCursor — zero-copy
+//    segment views, never a wholesale copy), so the validate stage works
+//    unchanged against the in-memory store or a file-backed segmented log
+//    larger than RAM.
 //
 // Everything needed for universal verification is collected in
 // TallyTranscript; see src/votegral/verifier.h.

@@ -1,0 +1,112 @@
+// Shared test helper: flattens every field of a tally transcript into one
+// SHA-256 digest so "byte-identical transcripts" — across thread counts
+// (test_parallel_tally) and across ledger storage backends
+// (test_ledger_store) — is a single comparison. Includes the wire caches:
+// producers must fill them identically under any scheduling.
+#ifndef TESTS_TRANSCRIPT_DIGEST_H_
+#define TESTS_TRANSCRIPT_DIGEST_H_
+
+#include <array>
+
+#include "src/crypto/sha256.h"
+#include "src/votegral/tally.h"
+
+namespace votegral {
+
+inline std::array<uint8_t, 32> DigestTranscript(const TallyOutput& output) {
+  Sha256 h;
+  auto hash_u64 = [&](uint64_t v) {
+    uint8_t buf[8];
+    StoreLe64(buf, v);
+    h.Update(buf);
+  };
+  auto hash_batch = [&](const MixBatch& batch) {
+    hash_u64(batch.size());
+    for (const MixItem& item : batch) {
+      for (const ElGamalCiphertext& ct : item.cts) {
+        h.Update(ct.Serialize());
+      }
+      hash_u64(item.wire.size());
+      h.Update(item.wire);
+    }
+  };
+  auto hash_proof = [&](const MixProof& proof) {
+    hash_u64(proof.pairs.size());
+    for (const RpcPairProof& pair : proof.pairs) {
+      hash_batch(pair.mid);
+      hash_batch(pair.out);
+      for (const RpcReveal& reveal : pair.reveals) {
+        h.Update({&reveal.side, 1});
+        hash_u64(reveal.source_or_dest);
+        for (const Scalar& r : reveal.randomness) {
+          h.Update(r.ToBytes());
+        }
+      }
+    }
+  };
+  auto hash_steps = [&](const std::vector<TaggingStep>& steps) {
+    hash_u64(steps.size());
+    for (const TaggingStep& step : steps) {
+      hash_u64(step.member_index);
+      for (const ElGamalCiphertext& ct : step.output) {
+        h.Update(ct.Serialize());
+      }
+      for (const DleqTranscript& proof : step.proofs) {
+        h.Update(proof.Serialize());
+      }
+    }
+  };
+  auto hash_shares = [&](const std::vector<std::vector<DecryptionShare>>& shares) {
+    hash_u64(shares.size());
+    for (const auto& per_ct : shares) {
+      for (const DecryptionShare& share : per_ct) {
+        hash_u64(share.member_index);
+        h.Update(share.share.Encode());
+        h.Update(share.proof.Serialize());
+      }
+    }
+  };
+
+  const TallyTranscript& t = output.transcript;
+  hash_u64(t.accepted_ballots.size());
+  for (const Ballot& ballot : t.accepted_ballots) {
+    h.Update(ballot.Serialize());
+  }
+  hash_batch(t.ballot_mix_input);
+  hash_batch(t.ballot_mix_output);
+  hash_proof(t.ballot_mix_proof);
+  hash_batch(t.roster_mix_input);
+  hash_batch(t.roster_mix_output);
+  hash_proof(t.roster_mix_proof);
+  hash_steps(t.ballot_tag_steps);
+  hash_steps(t.roster_tag_steps);
+  hash_shares(t.ballot_tag_shares);
+  hash_shares(t.roster_tag_shares);
+  for (const CompressedRistretto& tag : t.ballot_tags) {
+    h.Update(tag);
+  }
+  for (const CompressedRistretto& tag : t.roster_tags) {
+    h.Update(tag);
+  }
+  for (uint64_t v : t.counted_indices) {
+    hash_u64(v);
+  }
+  for (uint64_t v : t.counted_weights) {
+    hash_u64(v);
+  }
+  hash_shares(t.vote_shares);
+  for (const CompressedRistretto& point : t.vote_points) {
+    h.Update(point);
+  }
+  // Published result too: counts must agree, not just the transcript.
+  for (const auto& [name, count] : output.result.counts) {
+    h.Update(AsBytes(name));
+    hash_u64(count);
+  }
+  hash_u64(output.result.counted);
+  return h.Finalize();
+}
+
+}  // namespace votegral
+
+#endif  // TESTS_TRANSCRIPT_DIGEST_H_
