@@ -74,14 +74,19 @@ void SwissPostModel::VoteAll(Rng& rng) {
       total = total + ballot.contests[c];
     }
     ballot.plaintext_sum = chosen_sum;
+    // Wire-carrying statements: fill the caches once at proving time (the
+    // challenge hash pays the encodes either way) so every later hash of the
+    // same statement is SHA-only — the same migration as the tagging chain.
     DleqStatement statement = DleqStatement::MakePair(
         RistrettoPoint::Base(), total.c1, pk, total.c2 - chosen_sum);
+    statement.EnsureWire();
     ballot.exponentiation_proof = ProveDleqFs("swisspost/exp-proof", statement, r_total, rng);
     // Plaintext-equality proof (vote vs return-code preimage): modeled as a
     // second DLEQ over the card key.
     DleqStatement eq = DleqStatement::MakePair(
         RistrettoPoint::Base(), cards_[v].card_public, option_points_[0],
         cards_[v].card_secret * option_points_[0]);
+    eq.EnsureWire();
     ballot.plaintext_equality_proof =
         ProveDleqFs("swisspost/eq-proof", eq, cards_[v].card_secret, rng);
     ballots_.push_back(std::move(ballot));
@@ -98,6 +103,7 @@ void SwissPostModel::TallyAll(Rng& rng) {
     }
     DleqStatement statement = DleqStatement::MakePair(
         RistrettoPoint::Base(), total.c1, pk, total.c2 - ballot.plaintext_sum);
+    statement.EnsureWire();
     Require(VerifyDleqFs("swisspost/exp-proof", statement,
                          ballot.exponentiation_proof).ok(),
             "swisspost: exponentiation proof invalid");

@@ -23,6 +23,9 @@ void VoteAgainModel::RegisterAll(Rng& rng) {
 
 void VoteAgainModel::VoteAll(Rng& rng) {
   const RistrettoPoint& pk = authority_->public_key();
+  // The election key appears in every validity statement: encode it once for
+  // the whole registration pass (wire-carrying statement API).
+  const CompressedRistretto pk_wire = pk.Encode();
   RistrettoPoint candidate =
       RistrettoPoint::HashToGroup("voteagain/candidate", AsBytes("candidate-0"));
   ballots_.reserve(voters_);
@@ -37,6 +40,8 @@ void VoteAgainModel::VoteAll(Rng& rng) {
     DleqStatement statement =
         DleqStatement::MakePair(RistrettoPoint::Base(), ballot.encrypted_vote.c1, pk,
                                 ballot.encrypted_vote.c2 - candidate);
+    statement.base_wire = {RistrettoPoint::BaseWire(), pk_wire};
+    statement.public_wire = {statement.publics[0].Encode(), statement.publics[1].Encode()};
     ballot.validity_proof = ProveDleqFs("voteagain/validity", statement, r, rng);
     ballot.signature = voter_keys_[v].Sign(ballot.encrypted_vote.Serialize(), rng);
     ballots_.push_back(std::move(ballot));

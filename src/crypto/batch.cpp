@@ -38,17 +38,27 @@ Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) 
   // multiplication; the shared-doubling/bucket engine amortizes the group
   // work to a few additions per signature.
   //
-  // Entry preparation — point decode (one inverse sqrt per point) and
-  // challenge hashing — dominates at large n, so it fans out across the
-  // pool: every entry writes its two weighted terms at fixed positions and
-  // each worker shard accumulates a partial of the fixed-base coefficient,
-  // merged in shard order at the end. Weights are drawn from `rng` up front,
-  // sequentially, so the weight stream is independent of scheduling.
+  // Entry preparation splits into two pooled passes: the (pk, R) bytes of
+  // every entry go through one batched ristretto decode — the per-entry
+  // inverse-square-root cost, fanned out with fixed positions — and a second
+  // pass hashes challenges and writes the weighted terms, with each shard
+  // accumulating a partial of the fixed-base coefficient merged in shard
+  // order. Weights are drawn from `rng` up front, sequentially, so the
+  // weight stream is independent of scheduling.
   const size_t n = entries.size();
   std::vector<Scalar> weights(n);
   for (Scalar& w : weights) {
     w = RandomRlcWeight(rng);
   }
+
+  std::vector<CompressedRistretto> raw(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    raw[2 * i] = entries[i].public_key;
+    raw[2 * i + 1] = entries[i].signature.r_bytes;
+  }
+  std::vector<RistrettoPoint> decoded(2 * n);
+  std::vector<uint8_t> decode_ok(2 * n, 0);
+  BatchDecodePoints(raw, decoded, decode_ok);
 
   std::vector<Scalar> scalars(2 * n);
   std::vector<RistrettoPoint> points(2 * n);
@@ -59,9 +69,7 @@ Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) 
     Scalar sum = Scalar::Zero();
     for (size_t i = shards[s].first; i < shards[s].second; ++i) {
       const SchnorrBatchEntry& entry = entries[i];
-      auto pk = RistrettoPoint::Decode(entry.public_key);
-      auto r = RistrettoPoint::Decode(entry.signature.r_bytes);
-      if (!pk.has_value() || !r.has_value()) {
+      if (!decode_ok[2 * i] || !decode_ok[2 * i + 1]) {
         bad[i] = 1;
         continue;
       }
@@ -69,9 +77,9 @@ Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) 
                                           entry.message);
       sum = sum + weights[i] * entry.signature.s;
       scalars[2 * i] = -(weights[i] * challenge);
-      points[2 * i] = *pk;
+      points[2 * i] = decoded[2 * i];
       scalars[2 * i + 1] = -weights[i];
-      points[2 * i + 1] = *r;
+      points[2 * i + 1] = decoded[2 * i + 1];
     }
     return sum;
   });
@@ -105,11 +113,15 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
   // All pairs of all proofs are combined with independent weights into a
   // single multi-scalar multiplication that must evaluate to the identity.
   //
-  // The per-entry Fiat–Shamir challenge recomputation re-encodes every
-  // statement point (an inverse sqrt each) — the dominant non-MSM cost —
-  // so entries are processed in parallel, writing their weighted terms at
-  // offsets fixed by a prefix sum over pair counts. Weights are pre-drawn
-  // sequentially in pair order, matching the seed's stream.
+  // Wire-byte path (docs/TRANSCRIPTS.md §DLEQ): statements built by the
+  // caller carry producer-local encodings, and transcripts carry the
+  // prover's commit encodings — but the latter are attacker data, so before
+  // any cached byte may bind challenge bits, every present commit cache is
+  // decoded back and recompared against the commit points in one batched
+  // ristretto decode pass (the PR 2 MixItem rule; a stale or forged cache is
+  // a localized failure). Challenge recomputation is then SHA-only for fully
+  // cached entries; entries without caches fall back to encode-per-point,
+  // which also keeps the pre-wire framing benchable.
   const size_t n = entries.size();
   std::vector<size_t> offset(n + 1, 0);  // term offset (3 per pair)
   for (size_t i = 0; i < n; ++i) {
@@ -126,6 +138,51 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
     w = RandomRlcWeight(rng);
   }
 
+  // Commit-cache validation: gather every cached commit byte string (flat,
+  // entry order), decode them all in one pooled pass, recompare coset-aware.
+  {
+    std::vector<uint8_t> bad_cache(n, 0);
+    std::vector<CompressedRistretto> cache_bytes;
+    std::vector<std::pair<size_t, size_t>> cache_slot;  // flat slot -> (entry, commit index)
+    cache_bytes.reserve(total_pairs);
+    cache_slot.reserve(total_pairs);
+    for (size_t i = 0; i < n; ++i) {
+      const DleqTranscript& t = entries[i].transcript;
+      if (t.commit_wire.empty()) {
+        continue;  // cacheless entry: legal, hashes encode fresh below
+      }
+      if (t.commit_wire.size() != t.commits.size()) {
+        bad_cache[i] = 1;
+        continue;
+      }
+      for (size_t j = 0; j < t.commit_wire.size(); ++j) {
+        cache_bytes.push_back(t.commit_wire[j]);
+        cache_slot.emplace_back(i, j);
+      }
+    }
+    std::vector<RistrettoPoint> cache_points(cache_bytes.size());
+    std::vector<uint8_t> cache_ok(cache_bytes.size(), 0);
+    BatchDecodePoints(cache_bytes, cache_points, cache_ok);
+    // Per-slot flags, folded sequentially: two slots of one entry can land in
+    // different shards, so workers must never write the same entry byte.
+    std::vector<uint8_t> bad_slot(cache_bytes.size(), 0);
+    Executor::Current().ParallelForEach(cache_bytes.size(), [&](size_t k) {
+      auto [i, j] = cache_slot[k];
+      if (!cache_ok[k] || !(cache_points[k] == entries[i].transcript.commits[j])) {
+        bad_slot[k] = 1;
+      }
+    });
+    for (size_t k = 0; k < bad_slot.size(); ++k) {
+      if (bad_slot[k]) {
+        bad_cache[cache_slot[k].first] = 1;
+      }
+    }
+    if (Status s = FirstFailure(bad_cache, "batch-dleq: commit wire cache does not match commits");
+        !s.ok()) {
+      return s;
+    }
+  }
+
   std::vector<Scalar> scalars(3 * total_pairs);
   std::vector<RistrettoPoint> points(3 * total_pairs);
   std::vector<uint8_t> bad(n, 0);
@@ -133,8 +190,10 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
     const DleqBatchEntry& entry = entries[i];
     const DleqStatement& st = entry.statement;
     const DleqTranscript& t = entry.transcript;
-    // The Fiat–Shamir challenge must still bind per proof.
-    Scalar expected = DeriveFsChallenge(entry.domain, st, t.commits, entry.extra);
+    // The Fiat–Shamir challenge must still bind per proof. SHA-only when the
+    // caches (validated above) are complete.
+    Scalar expected =
+        DeriveFsChallenge(entry.domain, st, t.commits, t.commit_wire, entry.extra);
     if (expected != t.challenge) {
       bad[i] = 1;
       return;

@@ -46,7 +46,10 @@ struct SchnorrBatchEntry {
 // per-item path to locate it.
 Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng);
 
-// One Fiat–Shamir DLEQ verification instance.
+// One Fiat–Shamir DLEQ verification instance. Statements should carry their
+// producer-local wire caches (see src/crypto/dleq.h trust model) so challenge
+// recomputation is SHA-only; transcript commit caches are validated by
+// BatchVerifyDleq before use.
 struct DleqBatchEntry {
   std::string domain;
   DleqStatement statement;
@@ -55,7 +58,9 @@ struct DleqBatchEntry {
 };
 
 // Verifies all DLEQ proofs at once (challenge recomputation stays per-item;
-// the group equations are combined).
+// the group equations are combined). Present transcript commit caches are
+// decoded back and recompared in one batched pass before they may bind
+// challenge bits; a stale or forged cache is a localized per-entry failure.
 Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng);
 
 // Deterministic weight seed for auditor-reproducible BatchVerifyDleq calls:

@@ -18,8 +18,10 @@ ElectionAuthority ElectionAuthority::Create(size_t n, Rng& rng) {
     m.secret = Scalar::Random(rng);
     m.public_share = RistrettoPoint::MulBase(m.secret);
     // Proof of possession: sign the share encoding with the share's key.
+    // The encoding is retained as the member's wire cache.
+    m.public_share_wire = m.public_share.Encode();
     SchnorrKeyPair kp = SchnorrKeyPair::FromSecret(m.secret);
-    m.proof_of_possession = kp.Sign(m.public_share.Encode(), rng);
+    m.proof_of_possession = kp.Sign(m.public_share_wire, rng);
     authority.public_key_ = authority.public_key_ + m.public_share;
     authority.members_.push_back(std::move(m));
   }
@@ -28,8 +30,8 @@ ElectionAuthority ElectionAuthority::Create(size_t n, Rng& rng) {
 
 Status ElectionAuthority::VerifySetup() const {
   for (const auto& m : members_) {
-    auto pk_bytes = m.public_share.Encode();
-    Status status = SchnorrVerify(pk_bytes, pk_bytes, m.proof_of_possession);
+    Status status =
+        SchnorrVerify(m.public_share_wire, m.public_share_wire, m.proof_of_possession);
     if (!status.ok()) {
       return Status::Error("dkg: proof of possession invalid: " + status.reason());
     }
@@ -38,13 +40,20 @@ Status ElectionAuthority::VerifySetup() const {
 }
 
 DecryptionShare ElectionAuthority::ComputeShare(size_t i, const ElGamalCiphertext& ct,
-                                                Rng& rng) const {
+                                                Rng& rng,
+                                                const CompressedRistretto* c1_wire) const {
   const AuthorityMember& m = members_.at(i);
   DecryptionShare share;
   share.member_index = i;
   share.share = m.secret * ct.c1;
-  DleqStatement statement = DleqStatement::MakePair(RistrettoPoint::Base(), m.public_share,
-                                                    ct.c1, share.share);
+  // Statement DLEQ((B, X_i), (C1, S_i)), fully wire-backed: B and X_i from
+  // standing caches, C1 from the caller or one encode, S_i fresh (it was
+  // just computed; its encode is the cost the old path also paid inside the
+  // challenge hash).
+  DleqStatement statement = DleqStatement::MakePairWire(
+      RistrettoPoint::Base(), RistrettoPoint::BaseWire(), m.public_share,
+      m.public_share_wire, ct.c1, c1_wire != nullptr ? *c1_wire : ct.c1.Encode(),
+      share.share, share.share.Encode());
   share.proof = ProveDleqFs(kShareDomain, statement, m.secret, rng);
   return share;
 }
@@ -55,8 +64,9 @@ Status ElectionAuthority::VerifyShare(const ElGamalCiphertext& ct,
     return Status::Error("dkg: share from unknown member");
   }
   const AuthorityMember& m = members_[share.member_index];
-  DleqStatement statement = DleqStatement::MakePair(RistrettoPoint::Base(), m.public_share,
-                                                    ct.c1, share.share);
+  DleqStatement statement = DleqStatement::MakePairWire(
+      RistrettoPoint::Base(), RistrettoPoint::BaseWire(), m.public_share,
+      m.public_share_wire, ct.c1, ct.c1.Encode(), share.share, share.share.Encode());
   Status status = VerifyDleqFs(kShareDomain, statement, share.proof);
   if (!status.ok()) {
     return Status::Error("dkg: decryption share proof invalid: " + status.reason());

@@ -33,6 +33,11 @@ inline constexpr std::string_view kDecryptionShareDomain =
 struct AuthorityMember {
   Scalar secret;
   RistrettoPoint public_share;
+  // Canonical encoding of public_share, filled at Create (the DKG encodes it
+  // for the proof of possession anyway). Every decryption-share statement
+  // hashes X_i, so this one cache spares an inverse sqrt per share proved or
+  // verified against this member.
+  CompressedRistretto public_share_wire{};
   SchnorrSignature proof_of_possession;  // Schnorr signature of own share
 };
 
@@ -57,8 +62,13 @@ class ElectionAuthority {
   // Verifies every member's proof of possession against the collective key.
   Status VerifySetup() const;
 
-  // Member `i` produces its verifiable share for `ct`.
-  DecryptionShare ComputeShare(size_t i, const ElGamalCiphertext& ct, Rng& rng) const;
+  // Member `i` produces its verifiable share for `ct`. When the caller
+  // already holds C1's canonical bytes (tagging output wire, mix column
+  // wire), passing them via `c1_wire` makes the proof statement fully
+  // wire-backed; otherwise C1 is encoded here once. The proof bytes are
+  // identical either way.
+  DecryptionShare ComputeShare(size_t i, const ElGamalCiphertext& ct, Rng& rng,
+                               const CompressedRistretto* c1_wire = nullptr) const;
 
   // Anyone can check a share against the member's public share.
   Status VerifyShare(const ElGamalCiphertext& ct, const DecryptionShare& share) const;

@@ -1,10 +1,55 @@
 #include "src/crypto/dleq.h"
 
+#include <string>
+
 #include "src/common/bytes.h"
 #include "src/common/serde.h"
 #include "src/crypto/sha512.h"
 
 namespace votegral {
+
+namespace {
+
+// Hashes one statement/commit section: the cached bytes when the cache is
+// complete, a fresh canonical encoding otherwise. Both paths feed the hash
+// the exact same byte stream — the cache invariant wire[i] == Encode(p[i]) —
+// so proofs do not depend on which path ran.
+void HashSection(Sha512& h, std::span<const RistrettoPoint> points,
+                 std::span<const CompressedRistretto> wire) {
+  if (wire.size() == points.size()) {
+    for (const CompressedRistretto& bytes : wire) {
+      h.Update(bytes);
+    }
+    return;
+  }
+  for (const RistrettoPoint& point : points) {
+    h.Update(point.Encode());
+  }
+}
+
+// Decode-and-recompare of one cache section (the PR 2 MixItem rule): the
+// bytes are parsed back into a group element and compared coset-aware
+// against the claimed point, so a byte string can never bind challenge bits
+// for a point it does not encode.
+Status ValidateSection(std::span<const RistrettoPoint> points,
+                       std::span<const CompressedRistretto> wire, const char* what) {
+  if (wire.empty()) {
+    return Status::Ok();
+  }
+  if (wire.size() != points.size()) {
+    return Status::Error(std::string("dleq: ") + what + " wire cache size mismatch");
+  }
+  for (size_t i = 0; i < wire.size(); ++i) {
+    auto decoded = RistrettoPoint::Decode(wire[i]);
+    if (!decoded.has_value() || !(*decoded == points[i])) {
+      return Status::Error(std::string("dleq: ") + what +
+                           " wire cache does not match point at index " + std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 DleqStatement DleqStatement::MakePair(const RistrettoPoint& g1, const RistrettoPoint& p1,
                                       const RistrettoPoint& g2, const RistrettoPoint& p2) {
@@ -14,11 +59,56 @@ DleqStatement DleqStatement::MakePair(const RistrettoPoint& g1, const RistrettoP
   return s;
 }
 
+DleqStatement DleqStatement::MakePairWire(
+    const RistrettoPoint& g1, const CompressedRistretto& g1_wire, const RistrettoPoint& p1,
+    const CompressedRistretto& p1_wire, const RistrettoPoint& g2,
+    const CompressedRistretto& g2_wire, const RistrettoPoint& p2,
+    const CompressedRistretto& p2_wire) {
+  DleqStatement s;
+  s.bases = {g1, g2};
+  s.publics = {p1, p2};
+  s.base_wire = {g1_wire, g2_wire};
+  s.public_wire = {p1_wire, p2_wire};
+  return s;
+}
+
+void DleqStatement::EnsureWire() {
+  if (base_wire.size() != bases.size()) {
+    base_wire.resize(bases.size());
+    BatchEncodePoints(bases, base_wire);
+  }
+  if (public_wire.size() != publics.size()) {
+    public_wire.resize(publics.size());
+    BatchEncodePoints(publics, public_wire);
+  }
+}
+
+Status DleqStatement::ValidateWire() const {
+  if (Status s = ValidateSection(bases, base_wire, "base"); !s.ok()) {
+    return s;
+  }
+  return ValidateSection(publics, public_wire, "public");
+}
+
+void DleqTranscript::EnsureWire() {
+  if (commit_wire.size() != commits.size()) {
+    commit_wire.resize(commits.size());
+    BatchEncodePoints(commits, commit_wire);
+  }
+}
+
+Status DleqTranscript::ValidateWire() const {
+  return ValidateSection(commits, commit_wire, "commit");
+}
+
 Bytes DleqTranscript::Serialize() const {
+  // Byte-identical with or without the cache: wire[i] == commits[i].Encode()
+  // is the producer invariant, so the cache only spares the inverse sqrt.
+  const bool cached = commit_wire.size() == commits.size();
   ByteWriter w;
   w.U32(static_cast<uint32_t>(commits.size()));
-  for (const auto& c : commits) {
-    w.Fixed(c.Encode());
+  for (size_t i = 0; i < commits.size(); ++i) {
+    w.Fixed(cached ? commit_wire[i] : commits[i].Encode());
   }
   w.Fixed(challenge.ToBytes());
   w.Fixed(response.ToBytes());
@@ -34,12 +124,19 @@ std::optional<DleqTranscript> DleqTranscript::Parse(std::span<const uint8_t> byt
     }
     DleqTranscript t;
     t.commits.reserve(n);
+    t.commit_wire.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
-      auto point = RistrettoPoint::Decode(r.Fixed(32));
+      Bytes raw = r.Fixed(32);
+      auto point = RistrettoPoint::Decode(raw);
       if (!point.has_value()) {
         return std::nullopt;
       }
       t.commits.push_back(*point);
+      // Decode accepts only canonical encodings, so the consumed bytes ARE
+      // the commit's unique wire form — retain them as the cache.
+      CompressedRistretto wire;
+      std::copy(raw.begin(), raw.end(), wire.begin());
+      t.commit_wire.push_back(wire);
     }
     auto challenge = Scalar::FromCanonicalBytes(r.Fixed(32));
     auto response = Scalar::FromCanonicalBytes(r.Fixed(32));
@@ -60,14 +157,17 @@ DleqProver::DleqProver(DleqStatement statement, const Scalar& x, Rng& rng)
   Require(statement_.bases.size() == statement_.publics.size() && !statement_.bases.empty(),
           "DleqProver: malformed statement");
   commits_.reserve(statement_.bases.size());
+  commit_wire_.reserve(statement_.bases.size());
   for (const auto& base : statement_.bases) {
     commits_.push_back(y_ * base);
+    commit_wire_.push_back(commits_.back().Encode());
   }
 }
 
 DleqTranscript DleqProver::Respond(const Scalar& challenge) const {
   DleqTranscript t;
   t.commits = commits_;
+  t.commit_wire = commit_wire_;
   t.challenge = challenge;
   t.response = y_ - challenge * x_;
   return t;
@@ -80,10 +180,12 @@ DleqTranscript SimulateDleq(const DleqStatement& statement, const Scalar& challe
   t.challenge = challenge;
   t.response = Scalar::Random(rng);
   t.commits.reserve(statement.bases.size());
+  t.commit_wire.reserve(statement.bases.size());
   for (size_t i = 0; i < statement.bases.size(); ++i) {
     // Y_i = r*G_i + e*P_i makes the verification equation hold by
     // construction — without any witness.
     t.commits.push_back(t.response * statement.bases[i] + challenge * statement.publics[i]);
+    t.commit_wire.push_back(t.commits.back().Encode());
   }
   return t;
 }
@@ -108,19 +210,20 @@ Status VerifyDleqTranscript(const DleqStatement& statement, const DleqTranscript
 Scalar DeriveFsChallenge(std::string_view domain, const DleqStatement& statement,
                          std::span<const RistrettoPoint> commits,
                          std::span<const uint8_t> extra) {
+  return DeriveFsChallenge(domain, statement, commits, {}, extra);
+}
+
+Scalar DeriveFsChallenge(std::string_view domain, const DleqStatement& statement,
+                         std::span<const RistrettoPoint> commits,
+                         std::span<const CompressedRistretto> commit_wire,
+                         std::span<const uint8_t> extra) {
   Sha512 h;
   h.Update(AsBytes(domain));
   uint8_t sep = 0;
   h.Update({&sep, 1});
-  for (const auto& base : statement.bases) {
-    h.Update(base.Encode());
-  }
-  for (const auto& pub : statement.publics) {
-    h.Update(pub.Encode());
-  }
-  for (const auto& commit : commits) {
-    h.Update(commit.Encode());
-  }
+  HashSection(h, statement.bases, statement.base_wire);
+  HashSection(h, statement.publics, statement.public_wire);
+  HashSection(h, commits, commit_wire);
   h.Update(extra);
   return Scalar::FromBytesWide(h.Finalize());
 }
@@ -128,13 +231,20 @@ Scalar DeriveFsChallenge(std::string_view domain, const DleqStatement& statement
 DleqTranscript ProveDleqFs(std::string_view domain, const DleqStatement& statement,
                            const Scalar& x, Rng& rng, std::span<const uint8_t> extra) {
   DleqProver prover(statement, x, rng);
-  Scalar challenge = DeriveFsChallenge(domain, statement, prover.commits(), extra);
+  Scalar challenge =
+      DeriveFsChallenge(domain, statement, prover.commits(), prover.commit_wire(), extra);
   return prover.Respond(challenge);
 }
 
 Status VerifyDleqFs(std::string_view domain, const DleqStatement& statement,
                     const DleqTranscript& transcript, std::span<const uint8_t> extra) {
-  Scalar expected = DeriveFsChallenge(domain, statement, transcript.commits, extra);
+  // Attacker-cache rule: commit bytes may bind challenge bits only after
+  // they decode back to the claimed commit points.
+  if (Status s = transcript.ValidateWire(); !s.ok()) {
+    return s;
+  }
+  Scalar expected = DeriveFsChallenge(domain, statement, transcript.commits,
+                                      transcript.commit_wire, extra);
   if (expected != transcript.challenge) {
     return Status::Error("dleq-fs: challenge mismatch");
   }

@@ -1,5 +1,7 @@
 #include "src/crypto/elgamal.h"
 
+#include <algorithm>
+
 namespace votegral {
 
 ElGamalCiphertext ElGamalCiphertext::operator+(const ElGamalCiphertext& other) const {
@@ -23,6 +25,22 @@ Bytes ElGamalCiphertext::Serialize() const {
   auto a = c1.Encode();
   auto b = c2.Encode();
   return Concat({a, b});
+}
+
+std::array<uint8_t, 64> ElGamalCiphertext::Wire() const {
+  std::array<uint8_t, 64> wire;
+  auto a = c1.Encode();
+  auto b = c2.Encode();
+  std::copy(a.begin(), a.end(), wire.begin());
+  std::copy(b.begin(), b.end(), wire.begin() + 32);
+  return wire;
+}
+
+std::array<uint8_t, 32> ElGamalWireHalf(const ElGamalWire& wire, size_t half) {
+  std::array<uint8_t, 32> out;
+  std::copy(wire.begin() + static_cast<ptrdiff_t>(32 * half),
+            wire.begin() + static_cast<ptrdiff_t>(32 * (half + 1)), out.begin());
+  return out;
 }
 
 std::optional<ElGamalCiphertext> ElGamalCiphertext::Parse(std::span<const uint8_t> bytes) {

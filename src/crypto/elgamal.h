@@ -8,6 +8,7 @@
 #ifndef SRC_CRYPTO_ELGAMAL_H_
 #define SRC_CRYPTO_ELGAMAL_H_
 
+#include <array>
 #include <optional>
 #include <span>
 
@@ -37,7 +38,19 @@ struct ElGamalCiphertext {
   // 64-byte wire format: C1 || C2.
   Bytes Serialize() const;
   static std::optional<ElGamalCiphertext> Parse(std::span<const uint8_t> bytes);
+
+  // Serialize() as a fixed array (same bytes, no allocation) — the unit the
+  // wire-byte DLEQ layer threads between mix, tagging and decryption stages.
+  std::array<uint8_t, 64> Wire() const;
 };
+
+// Canonical 64-byte encoding of one ciphertext, as threaded through the
+// tagging chain and decryption-share statements (docs/TRANSCRIPTS.md).
+using ElGamalWire = std::array<uint8_t, 64>;
+
+// One component's 32-byte point encoding out of a ciphertext wire
+// (half 0 = C1, half 1 = C2). The single place the C1‖C2 layout is sliced.
+std::array<uint8_t, 32> ElGamalWireHalf(const ElGamalWire& wire, size_t half);
 
 // Encrypts the group element `message` under `pk` with explicit randomness.
 ElGamalCiphertext ElGamalEncrypt(const RistrettoPoint& pk, const RistrettoPoint& message,

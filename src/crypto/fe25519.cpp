@@ -341,4 +341,25 @@ SqrtRatioResult FeSqrtRatioM1(const Fe25519& u, const Fe25519& v) {
   return SqrtRatioResult{correct_sign_sqrt || flipped_sign_sqrt, r};
 }
 
+SqrtRatioResult FeInvSqrt(const Fe25519& v) {
+  // SQRT_RATIO_M1 with u = 1: r = v^3 * (v^7)^((p-5)/8), then the same
+  // fourth-root-of-unity correction and sign canonicalization.
+  Fe25519 v3 = FeMul(FeSquare(v), v);
+  Fe25519 v7 = FeMul(FeSquare(v3), v);
+  Fe25519 r = FeMul(v3, FePow2523(v7));
+  Fe25519 check = FeMul(v, FeSquare(r));
+
+  Fe25519 one = FeOne();
+  bool correct_sign_sqrt = FeEqual(check, one);
+  Fe25519 minus_one = FeNeg(one);
+  bool flipped_sign_sqrt = FeEqual(check, minus_one);
+  bool flipped_sign_sqrt_i = FeEqual(check, FeMul(minus_one, FeSqrtM1()));
+
+  Fe25519 r_prime = FeMul(r, FeSqrtM1());
+  r = FeSelect(r, r_prime, flipped_sign_sqrt || flipped_sign_sqrt_i);
+  r = FeAbs(r);
+
+  return SqrtRatioResult{correct_sign_sqrt || flipped_sign_sqrt, r};
+}
+
 }  // namespace votegral

@@ -80,6 +80,18 @@ struct SqrtRatioResult {
 };
 SqrtRatioResult FeSqrtRatioM1(const Fe25519& u, const Fe25519& v);
 
+// FeSqrtRatioM1 specialized to u = 1: (was_square, 1/sqrt(v)) — the form
+// every ristretto encode and decode actually needs. Identical outputs to
+// FeSqrtRatioM1(FeOne(), v) (including v = 0 -> (false, 0)) while skipping
+// the two u-multiplications of the general routine. The ~250-squaring
+// exponentiation inside is inherently per-input: it cannot be shared across
+// a batch the way Montgomery's trick shares inversions, because the
+// individual roots are not rational functions of the inputs and a combined
+// root (see docs/TRANSCRIPTS.md, "Why wire bytes instead of batched
+// roots") — which is exactly why the DLEQ layer caches encodings instead of
+// recomputing them.
+SqrtRatioResult FeInvSqrt(const Fe25519& v);
+
 // sqrt(-1) mod p (computed once at startup as 2^((p-1)/4)).
 const Fe25519& FeSqrtM1();
 

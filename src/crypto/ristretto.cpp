@@ -1,12 +1,20 @@
 #include "src/crypto/ristretto.h"
 
+#include <atomic>
+
 #include "src/common/bytes.h"
+#include "src/common/executor.h"
 #include "src/common/status.h"
 #include "src/crypto/sha512.h"
 
 namespace votegral {
 
 namespace {
+
+// Encode/Decode invocation counters. Relaxed is enough: tests and benches
+// only ever read deltas after the parallel region they measure has joined.
+std::atomic<uint64_t> g_encode_invocations{0};
+std::atomic<uint64_t> g_decode_invocations{0};
 
 // Derived curve constants, computed once at startup from first principles
 // rather than transcribed, so that a typo cannot silently corrupt the group.
@@ -68,6 +76,7 @@ const RistrettoPoint& RistrettoPoint::Base() {
 }
 
 std::optional<RistrettoPoint> RistrettoPoint::Decode(std::span<const uint8_t> bytes32) {
+  g_decode_invocations.fetch_add(1, std::memory_order_relaxed);
   if (bytes32.size() != 32 || !FeBytesAreCanonical(bytes32)) {
     return std::nullopt;
   }
@@ -85,7 +94,7 @@ std::optional<RistrettoPoint> RistrettoPoint::Decode(std::span<const uint8_t> by
   // v = -(d * u1^2) - u2^2
   Fe25519 v = FeSub(FeNeg(FeMul(c.d, FeSquare(u1))), u2_sqr);
 
-  SqrtRatioResult inv = FeSqrtRatioM1(FeOne(), FeMul(v, u2_sqr));
+  SqrtRatioResult inv = FeInvSqrt(FeMul(v, u2_sqr));
   if (!inv.was_square) {
     return std::nullopt;
   }
@@ -103,11 +112,14 @@ std::optional<RistrettoPoint> RistrettoPoint::Decode(std::span<const uint8_t> by
 }
 
 std::array<uint8_t, 32> RistrettoPoint::Encode() const {
+  g_encode_invocations.fetch_add(1, std::memory_order_relaxed);
   const RistrettoConstants& c = Consts();
 
   Fe25519 u1 = FeMul(FeAdd(z_, y_), FeSub(z_, y_));  // (Z+Y)(Z-Y)
   Fe25519 u2 = FeMul(x_, y_);
-  SqrtRatioResult inv = FeSqrtRatioM1(FeOne(), FeMul(u1, FeSquare(u2)));
+  // Every valid group element makes this input square-or-zero; was_square is
+  // deliberately ignored, matching the scalar SQRT_RATIO_M1 formulation.
+  SqrtRatioResult inv = FeInvSqrt(FeMul(u1, FeSquare(u2)));
   Fe25519 den1 = FeMul(inv.root, u1);
   Fe25519 den2 = FeMul(inv.root, u2);
   Fe25519 z_inv = FeMul(FeMul(den1, den2), t_);
@@ -275,6 +287,45 @@ RistrettoPoint RistrettoPoint::MulBaseSlow(const Scalar& s) { return s * Base();
 
 // DoubleScalarMulBase is defined in src/crypto/msm.cpp on top of the
 // multi-scalar multiplication engine (shared-doubling wNAF ladder).
+
+const std::array<uint8_t, 32>& RistrettoPoint::BaseWire() {
+  static const std::array<uint8_t, 32> kBaseWire = Base().Encode();
+  return kBaseWire;
+}
+
+void BatchEncodePoints(std::span<const RistrettoPoint> points,
+                       std::span<CompressedRistretto> out) {
+  Require(points.size() == out.size(), "BatchEncodePoints: size mismatch");
+  Executor::Current().ParallelForEach(points.size(),
+                                      [&](size_t i) { out[i] = points[i].Encode(); });
+}
+
+size_t BatchDecodePoints(std::span<const CompressedRistretto> bytes,
+                         std::span<RistrettoPoint> out, std::span<uint8_t> ok) {
+  Require(bytes.size() == out.size() && bytes.size() == ok.size(),
+          "BatchDecodePoints: size mismatch");
+  std::atomic<size_t> failures{0};
+  Executor::Current().ParallelForEach(bytes.size(), [&](size_t i) {
+    auto point = RistrettoPoint::Decode(bytes[i]);
+    if (point.has_value()) {
+      out[i] = *point;
+      ok[i] = 1;
+    } else {
+      out[i] = RistrettoPoint::Identity();
+      ok[i] = 0;
+      failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  return failures.load(std::memory_order_relaxed);
+}
+
+uint64_t RistrettoEncodeInvocations() {
+  return g_encode_invocations.load(std::memory_order_relaxed);
+}
+
+uint64_t RistrettoDecodeInvocations() {
+  return g_decode_invocations.load(std::memory_order_relaxed);
+}
 
 bool RistrettoPoint::operator==(const RistrettoPoint& other) const {
   // Ristretto equality: P == Q iff X1*Y2 == Y1*X2 or X1*X2 == Y1*Y2

@@ -40,6 +40,11 @@ class RistrettoPoint {
   // Canonical 32-byte encoding (RFC 9496 §4.3.2).
   std::array<uint8_t, 32> Encode() const;
 
+  // Canonical encoding of Base(), computed once at startup. The wire-byte
+  // DLEQ layer (src/crypto/dleq.h) hashes this constant instead of paying a
+  // fresh inverse square root for the generator in every statement.
+  static const std::array<uint8_t, 32>& BaseWire();
+
   // Maps 64 uniform bytes to a group element (two Elligator evaluations,
   // RFC 9496 §4.3.4). The basis of HashToGroup.
   static RistrettoPoint FromUniformBytes(std::span<const uint8_t> bytes64);
@@ -92,6 +97,37 @@ class RistrettoPoint {
 
 // Convenience alias used by protocol signatures.
 using CompressedRistretto = std::array<uint8_t, 32>;
+
+// --- Batched canonical encode/decode ---------------------------------------
+//
+// Both routines fan fixed-position shards out on Executor::Current() (the
+// pool bound by the enclosing protocol stage; serial under threads=1) and run
+// the specialized FeInvSqrt core per element. The inverse-square-root
+// exponentiation itself is inherently per-point — a Montgomery-style shared
+// tree recovers only the product of the roots, never the individual canonical
+// roots, and any "validation" built on a shared tree would accept the
+// encoding of -P for P (re-opening the challenge-grinding attack wire-cache
+// validation exists to stop; see docs/TRANSCRIPTS.md). The batched API
+// therefore amortizes scheduling and scaffolding, and the higher layers
+// amortize the roots themselves by caching encodings (src/crypto/dleq.h).
+
+// out[i] = points[i].Encode(). out.size() must equal points.size().
+void BatchEncodePoints(std::span<const RistrettoPoint> points,
+                       std::span<CompressedRistretto> out);
+
+// Decodes bytes[i] into out[i]; ok[i] = 1 on success, 0 on any rejection
+// (non-canonical field encoding, negative s, off-curve input). Returns the
+// number of failures. All spans must have equal sizes.
+size_t BatchDecodePoints(std::span<const CompressedRistretto> bytes,
+                         std::span<RistrettoPoint> out, std::span<uint8_t> ok);
+
+// Process-wide Encode()/Decode() invocation counters (relaxed atomics) — the
+// group-layer analogue of MerkleCommitmentTree::hash_invocations(). Tests
+// assert "challenge derivation is SHA-only" as a zero Encode delta across a
+// verification call instead of trusting comments; benches report the deltas
+// as evidence next to wall-clock numbers.
+uint64_t RistrettoEncodeInvocations();
+uint64_t RistrettoDecodeInvocations();
 
 }  // namespace votegral
 

@@ -112,8 +112,13 @@ ThresholdDecryptionShare ThresholdAuthority::ComputeShare(size_t index,
   ThresholdDecryptionShare out;
   out.index = index;
   out.partial = share.value * ct.c1;
+  // Wire-carrying statement: every point here is freshly computed or the
+  // generator, so the caches are one Encode each — the cost the challenge
+  // hash paid anyway, now paid once and retained through the proof.
   DleqStatement statement = DleqStatement::MakePair(
       RistrettoPoint::Base(), RistrettoPoint::MulBase(share.value), ct.c1, out.partial);
+  statement.base_wire = {RistrettoPoint::BaseWire(), statement.bases[1].Encode()};
+  statement.public_wire = {statement.publics[0].Encode(), statement.publics[1].Encode()};
   out.proof = ProveDleqFs(kThresholdShareDomain, statement, share.value, rng);
   return out;
 }
@@ -125,6 +130,8 @@ Status ThresholdAuthority::VerifyShare(const ElGamalCiphertext& ct,
   }
   DleqStatement statement = DleqStatement::MakePair(
       RistrettoPoint::Base(), ShareCommitment(share.index), ct.c1, share.partial);
+  statement.base_wire = {RistrettoPoint::BaseWire(), statement.bases[1].Encode()};
+  statement.public_wire = {statement.publics[0].Encode(), statement.publics[1].Encode()};
   return VerifyDleqFs(kThresholdShareDomain, statement, share.proof);
 }
 

@@ -123,12 +123,25 @@ class Ledger {
   const LedgerStore& store() const { return *store_; }
 
   // --- Deprecated index-poke accessors ---------------------------------------
+  //
+  // The cursor API (src/ledger/cursor.h) replaced random-access reads: it is
+  // the only path that bounds resident payload memory at O(segment size) on
+  // the file backend and that parallel consumers can shard deterministically.
+  // See docs/ARCHITECTURE.md ("Ledger: store / cursor / Merkle") for the
+  // contract these shims predate. Both shims remain only so out-of-tree
+  // callers get a compiler warning instead of a break; no in-tree caller
+  // remains.
 
-  // Materializes one entry (copies topic + payload out of its segment).
-  [[deprecated("stream with Ledger::Scan/ScanTopic cursors instead")]]
+  // Prefer `Ledger::Scan()` + `LedgerCursor::Seek(index)`: same entry, zero
+  // copies while the view's segment stays pinned. This shim materializes the
+  // entry (copies topic + payload out of its segment) on every call.
+  [[deprecated("stream with Ledger::Scan/ScanTopic cursors instead; see docs/ARCHITECTURE.md")]]
   LedgerEntry At(uint64_t index) const;
 
-  [[deprecated("use Ledger::TopicIndices (maintained at append) or ScanTopic")]]
+  // Prefer `Ledger::TopicIndices(topic)` (the append-maintained index, no
+  // scan, stable reference until the next Append) or `Ledger::ScanTopic` to
+  // stream the entries themselves. This shim copies the index vector.
+  [[deprecated("use Ledger::TopicIndices or ScanTopic; see docs/ARCHITECTURE.md")]]
   std::vector<uint64_t> IndicesWithTopic(std::string_view topic) const;
 
   // Test hook: mutates a stored payload in place, simulating a compromised

@@ -39,6 +39,7 @@ Outcome<PaperCredential> CredentialStealingKiosk::FinishRealCredential(const Env
   RistrettoPoint fake_x = c_pc.c2 - decoy_key.public_point();
   DleqStatement statement =
       DleqStatement::MakePair(RistrettoPoint::Base(), c_pc.c1, authority_pk_, fake_x);
+  statement.base_wire = {RistrettoPoint::BaseWire(), authority_pk_wire_};
   DleqTranscript transcript = SimulateDleq(statement, envelope.challenge, rng);
 
   PaperCredential credential;

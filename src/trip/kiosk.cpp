@@ -13,7 +13,28 @@ std::array<uint8_t, 16> ComputeCheckInMac(std::span<const uint8_t> mac_key,
 }
 
 Kiosk::Kiosk(SchnorrKeyPair key, Bytes mac_key, RistrettoPoint authority_pk)
-    : key_(std::move(key)), mac_key_(std::move(mac_key)), authority_pk_(authority_pk) {}
+    : key_(std::move(key)),
+      mac_key_(std::move(mac_key)),
+      authority_pk_(authority_pk),
+      authority_pk_wire_(authority_pk.Encode()) {}
+
+namespace {
+
+// The statement underlying every TRIP credential proof, real or fake:
+// C1 = g^x ∧ X = A^x, i.e. DLEQ((B, A_pk), (C1, X)). The base section —
+// generator and authority key — is backed by standing wire caches; the
+// publics are per-session points the interactive protocol never hashes, so
+// their cache section stays empty (the sections are independent).
+DleqStatement CredentialStatement(const RistrettoPoint& authority_pk,
+                                  const CompressedRistretto& authority_pk_wire,
+                                  const RistrettoPoint& c1, const RistrettoPoint& big_x) {
+  DleqStatement statement =
+      DleqStatement::MakePair(RistrettoPoint::Base(), c1, authority_pk, big_x);
+  statement.base_wire = {RistrettoPoint::BaseWire(), authority_pk_wire};
+  return statement;
+}
+
+}  // namespace
 
 Status Kiosk::StartSession(const CheckInTicket& ticket) {
   if (in_session_) {
@@ -80,8 +101,8 @@ Outcome<PrintedCommit> Kiosk::BeginRealCredential(Rng& rng) {
 
   // Sound Σ-protocol: fix the commitment *now*, before any challenge exists.
   RistrettoPoint big_x = pending->public_credential.c2 - pending->credential_key.public_point();
-  DleqStatement statement = DleqStatement::MakePair(
-      RistrettoPoint::Base(), pending->public_credential.c1, authority_pk_, big_x);
+  DleqStatement statement = CredentialStatement(authority_pk_, authority_pk_wire_,
+                                                pending->public_credential.c1, big_x);
   pending->prover = std::make_unique<DleqProver>(statement, x, rng);
 
   pending->commit.voter_id = voter_id_;
@@ -158,9 +179,8 @@ Outcome<PaperCredential> Kiosk::CreateFakeCredential(const Envelope& envelope, R
   // the (false) statement reads "c_pc encrypts c̃_pk".
   SchnorrKeyPair fake_key = SchnorrKeyPair::Generate(rng);
   RistrettoPoint fake_x = session_public_credential_.c2 - fake_key.public_point();
-  DleqStatement statement =
-      DleqStatement::MakePair(RistrettoPoint::Base(), session_public_credential_.c1,
-                              authority_pk_, fake_x);
+  DleqStatement statement = CredentialStatement(authority_pk_, authority_pk_wire_,
+                                                session_public_credential_.c1, fake_x);
 
   // Unsound order: the challenge is already known, so simulate (Fig. 9b).
   DleqTranscript transcript = SimulateDleq(statement, envelope.challenge, rng);

@@ -87,6 +87,10 @@ class Kiosk {
   SchnorrKeyPair key_;
   Bytes mac_key_;
   RistrettoPoint authority_pk_;
+  // Canonical encoding of authority_pk_, computed once at construction: the
+  // kiosk builds one DLEQ statement over (B, A_pk) per credential, and the
+  // wire-carrying statement API takes these standing bytes for free.
+  CompressedRistretto authority_pk_wire_{};
 
   // Session state.
   bool in_session_ = false;

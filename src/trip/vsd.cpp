@@ -5,7 +5,9 @@
 namespace votegral {
 
 Vsd::Vsd(RistrettoPoint authority_pk, std::set<CompressedRistretto> trusted_printer_keys)
-    : authority_pk_(authority_pk), trusted_printer_keys_(std::move(trusted_printer_keys)) {}
+    : authority_pk_(authority_pk),
+      authority_pk_wire_(authority_pk.Encode()),
+      trusted_printer_keys_(std::move(trusted_printer_keys)) {}
 
 Outcome<ActivatedCredential> Vsd::Activate(const PaperCredential& credential,
                                            PublicLedger& ledger) {
@@ -42,10 +44,14 @@ Outcome<ActivatedCredential> Vsd::Activate(const PaperCredential& credential,
   }
 
   // (lines 6-8) Derive X = C2 - c_pk and verify the proof transcript:
-  // Y1 == g^r · C1^e  and  Y2 == A^r · X^e.
+  // Y1 == g^r · C1^e  and  Y2 == A^r · X^e. The statement's base section is
+  // backed by the VSD's standing wire caches (generator + authority key);
+  // the transcript is reassembled from receipt segments, so it carries no
+  // commit cache (the interactive check below never hashes the commits).
   RistrettoPoint big_x = commit.public_credential.c2 - credential_pk_point;
   DleqStatement statement = DleqStatement::MakePair(
       RistrettoPoint::Base(), commit.public_credential.c1, authority_pk_, big_x);
+  statement.base_wire = {RistrettoPoint::BaseWire(), authority_pk_wire_};
   DleqTranscript transcript;
   transcript.commits = {commit.commit_y1, commit.commit_y2};
   transcript.challenge = envelope.challenge;

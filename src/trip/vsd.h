@@ -63,6 +63,9 @@ class Vsd {
 
  private:
   RistrettoPoint authority_pk_;
+  // Standing wire cache for authority_pk_ (encoded once at construction);
+  // backs the base section of every activation-check DLEQ statement.
+  CompressedRistretto authority_pk_wire_{};
   std::set<CompressedRistretto> trusted_printer_keys_;
   std::vector<ActivatedCredential> credentials_;
   std::map<std::string, size_t> acknowledged_events_;

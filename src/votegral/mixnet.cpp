@@ -94,6 +94,22 @@ std::vector<ElGamalCiphertext> BatchColumn(const MixBatch& batch, size_t column)
   return out;
 }
 
+std::vector<ElGamalWire> BatchColumnWire(const MixBatch& batch, size_t column) {
+  std::vector<ElGamalWire> out;
+  out.reserve(batch.size());
+  for (const MixItem& item : batch) {
+    Require(column < item.cts.size(), "mixnet: column out of range");
+    if (!item.HasWire()) {
+      return {};
+    }
+    ElGamalWire wire;
+    std::copy(item.wire.begin() + static_cast<ptrdiff_t>(64 * column),
+              item.wire.begin() + static_cast<ptrdiff_t>(64 * (column + 1)), wire.begin());
+    out.push_back(wire);
+  }
+  return out;
+}
+
 MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng,
                             Executor& executor) {
   const size_t n = input.size();

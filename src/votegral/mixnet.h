@@ -82,6 +82,14 @@ void EnsureWireCache(MixBatch& batch, Executor& executor);
 // verifier hand mix outputs to the tagging stage this way).
 std::vector<ElGamalCiphertext> BatchColumn(const MixBatch& batch, size_t column);
 
+// The wire-byte companion of BatchColumn: the 64-byte cache slice of one
+// column for every item, so the tagging chain's DLEQ statements can hash the
+// mix batch's canonical bytes instead of re-encoding the points. Returns an
+// empty vector when any item lacks a cache (callers fall back to encoding).
+// Trust follows the cache: tally threads its own producer caches, the
+// verifier only threads batches whose caches VerifyRpcMixCascade validated.
+std::vector<ElGamalWire> BatchColumnWire(const MixBatch& batch, size_t column);
+
 // An opened re-encryption link for one middle-layer item.
 struct RpcReveal {
   // Side 0: links mid[index_in_mid] to pair input in[source_or_dest].

@@ -1,5 +1,7 @@
 #include "src/votegral/tagging.h"
 
+#include <algorithm>
+
 #include "src/crypto/batch.h"
 #include "src/crypto/drbg.h"
 
@@ -15,6 +17,22 @@ DleqStatement TagStatement(const ElGamalCiphertext& input, const ElGamalCipherte
   DleqStatement statement;
   statement.bases = {RistrettoPoint::Base(), input.c1, input.c2};
   statement.publics = {commitment, output.c1, output.c2};
+  return statement;
+}
+
+// Wire-carrying statement: same points, plus the canonical bytes every
+// challenge hash would otherwise recompute (one inverse sqrt per point).
+// Callers vouch for the bytes (producer-local trust, src/crypto/dleq.h).
+DleqStatement TagStatementWire(const ElGamalCiphertext& input, const ElGamalWire& input_wire,
+                               const ElGamalCiphertext& output,
+                               const ElGamalWire& output_wire,
+                               const RistrettoPoint& commitment,
+                               const CompressedRistretto& commitment_wire) {
+  DleqStatement statement = TagStatement(input, output, commitment);
+  statement.base_wire = {RistrettoPoint::BaseWire(), ElGamalWireHalf(input_wire, 0),
+                         ElGamalWireHalf(input_wire, 1)};
+  statement.public_wire = {commitment_wire, ElGamalWireHalf(output_wire, 0),
+                           ElGamalWireHalf(output_wire, 1)};
   return statement;
 }
 
@@ -34,13 +52,20 @@ TaggingService TaggingService::Create(size_t members, Rng& rng) {
 }
 
 TaggingStep TaggingService::Apply(size_t member, const std::vector<ElGamalCiphertext>& input,
-                                  Rng& rng, Executor& executor) const {
+                                  Rng& rng, Executor& executor,
+                                  std::span<const ElGamalWire> input_wire) const {
   const Scalar& z = secrets_.at(member);
+  Require(input_wire.empty() || input_wire.size() == input.size(),
+          "tagging: input wire size mismatch");
   Executor::Scope scope(executor);
   TaggingStep step;
   step.member_index = member;
   step.output.resize(input.size());
   step.proofs.resize(input.size());
+  step.output_wire.resize(input.size());
+  // The commitment appears in every statement of the step: encode it once
+  // here instead of once per ciphertext inside the challenge hash.
+  const CompressedRistretto commitment_wire = commitments_[member].Encode();
   // Each ciphertext costs two exponentiations plus a 3-element proof (three
   // more scalar multiplications): the per-ballot hot loop of the tagging
   // stage. Shards are fixed by input size; nonces come from forked streams.
@@ -50,9 +75,18 @@ TaggingStep TaggingService::Apply(size_t member, const std::vector<ElGamalCipher
     ChaChaRng child(seeds[s]);
     for (size_t i = shards[s].first; i < shards[s].second; ++i) {
       ElGamalCiphertext out = input[i].ExponentiateBy(z);
+      // Output bytes are encoded here, once, while the points are hot; the
+      // proof hashes them now and the step retains them for the next
+      // member's input statements and the decrypt stage.
+      ElGamalWire out_wire = out.Wire();
+      ElGamalWire in_wire = input_wire.empty() ? input[i].Wire() : input_wire[i];
       step.proofs[i] = ProveDleqFs(
-          kTagDomain, TagStatement(input[i], out, commitments_[member]), z, child);
+          kTagDomain,
+          TagStatementWire(input[i], in_wire, out, out_wire, commitments_[member],
+                           commitment_wire),
+          z, child);
       step.output[i] = out;
+      step.output_wire[i] = out_wire;
     }
   });
   return step;
@@ -82,13 +116,15 @@ Status TaggingService::VerifyStep(const TaggingStep& step,
 
 std::vector<ElGamalCiphertext> TaggingService::ApplyAll(
     const std::vector<ElGamalCiphertext>& input, std::vector<TaggingStep>* steps, Rng& rng,
-    Executor& executor) const {
+    Executor& executor, std::span<const ElGamalWire> input_wire) const {
   Require(steps != nullptr, "tagging: steps output required");
   steps->clear();
   std::vector<ElGamalCiphertext> current = input;
+  std::vector<ElGamalWire> current_wire(input_wire.begin(), input_wire.end());
   for (size_t member = 0; member < secrets_.size(); ++member) {
-    TaggingStep step = Apply(member, current, rng, executor);
+    TaggingStep step = Apply(member, current, rng, executor, current_wire);
     current = step.output;
+    current_wire = step.output_wire;  // each step feeds the next one's statements
     steps->push_back(std::move(step));
   }
   return current;
@@ -97,15 +133,14 @@ std::vector<ElGamalCiphertext> TaggingService::ApplyAll(
 Status TaggingService::VerifyChain(const std::vector<ElGamalCiphertext>& input,
                                    const std::vector<TaggingStep>& steps,
                                    const std::vector<RistrettoPoint>& commitments,
-                                   Executor& executor) {
+                                   Executor& executor,
+                                   std::span<const ElGamalWire> input_wire) {
   if (steps.size() != commitments.size()) {
     return Status::Error("tagging: step count does not match committee size");
   }
   Executor::Scope scope(executor);  // the batched MSM below follows this pool
-  // Structural pass, then every proof of every step into one DLEQ batch.
+  // Structural pass.
   const std::vector<ElGamalCiphertext>* current = &input;
-  std::vector<DleqBatchEntry> batch;
-  batch.reserve(steps.size() * input.size());
   for (size_t i = 0; i < steps.size(); ++i) {
     if (steps[i].member_index != i) {
       return Status::Error("tagging: steps out of order");
@@ -114,14 +149,88 @@ Status TaggingService::VerifyChain(const std::vector<ElGamalCiphertext>& input,
         steps[i].proofs.size() != current->size()) {
       return Status::Error("tagging: step size mismatch");
     }
+    current = &steps[i].output;
+  }
+
+  // Wire pass: produce per-step ciphertext bytes the statement caches can
+  // trust. Steps carrying output_wire are attacker data — decode every
+  // cached point back and recompare in one pooled pass (the MixItem rule);
+  // a mismatch is a localized failure. Cacheless steps (and a cacheless
+  // chain input) are encoded fresh — once per chain, where the pre-wire
+  // verifier paid one encode per point per challenge hash.
+  const size_t n = input.size();
+  std::vector<ElGamalWire> fresh_input_wire;
+  std::span<const ElGamalWire> in_wire = input_wire;
+  if (in_wire.size() != n) {
+    fresh_input_wire.resize(n);
+    executor.ParallelForEach(n, [&](size_t j) { fresh_input_wire[j] = input[j].Wire(); });
+    in_wire = fresh_input_wire;
+  }
+  std::vector<std::vector<ElGamalWire>> fresh_step_wire(steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].HasWire()) {
+      continue;
+    }
+    fresh_step_wire[i].resize(n);
+    executor.ParallelForEach(
+        n, [&, i](size_t j) { fresh_step_wire[i][j] = steps[i].output[j].Wire(); });
+  }
+  {
+    // Flat decode of every cached component (2 points per ciphertext).
+    std::vector<CompressedRistretto> cache_bytes;
+    std::vector<std::pair<size_t, size_t>> cache_slot;  // (step, item)
+    for (size_t i = 0; i < steps.size(); ++i) {
+      if (!steps[i].HasWire()) {
+        continue;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        cache_bytes.push_back(ElGamalWireHalf(steps[i].output_wire[j], 0));
+        cache_bytes.push_back(ElGamalWireHalf(steps[i].output_wire[j], 1));
+        cache_slot.emplace_back(i, j);
+      }
+    }
+    std::vector<RistrettoPoint> cache_points(cache_bytes.size());
+    std::vector<uint8_t> cache_ok(cache_bytes.size(), 0);
+    BatchDecodePoints(cache_bytes, cache_points, cache_ok);
+    std::vector<uint8_t> bad(cache_slot.size(), 0);
+    executor.ParallelForEach(cache_slot.size(), [&](size_t k) {
+      auto [i, j] = cache_slot[k];
+      const ElGamalCiphertext& ct = steps[i].output[j];
+      if (!cache_ok[2 * k] || !cache_ok[2 * k + 1] ||
+          !(cache_points[2 * k] == ct.c1) || !(cache_points[2 * k + 1] == ct.c2)) {
+        bad[k] = 1;
+      }
+    });
+    if (auto k = FirstMarked(bad); k.has_value()) {
+      auto [i, j] = cache_slot[*k];
+      return Status::Error("tagging: step " + std::to_string(i) +
+                           " output wire cache does not match ciphertexts at index " +
+                           std::to_string(j));
+    }
+  }
+
+  // Every proof of every step into one DLEQ batch over wire-backed
+  // statements: challenge recomputation is SHA-only.
+  std::vector<DleqBatchEntry> batch;
+  batch.reserve(steps.size() * n);
+  current = &input;
+  std::span<const ElGamalWire> current_wire = in_wire;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const CompressedRistretto commitment_wire = commitments[i].Encode();
+    std::span<const ElGamalWire> step_wire =
+        steps[i].HasWire() ? std::span<const ElGamalWire>(steps[i].output_wire)
+                           : std::span<const ElGamalWire>(fresh_step_wire[i]);
     for (size_t j = 0; j < current->size(); ++j) {
       DleqBatchEntry entry;
       entry.domain = std::string(kTagDomain);
-      entry.statement = TagStatement((*current)[j], steps[i].output[j], commitments[i]);
+      entry.statement =
+          TagStatementWire((*current)[j], current_wire[j], steps[i].output[j], step_wire[j],
+                           commitments[i], commitment_wire);
       entry.transcript = steps[i].proofs[j];
       batch.push_back(std::move(entry));
     }
     current = &steps[i].output;
+    current_wire = step_wire;
   }
   ChaChaRng weights(DleqBatchWeightSeed(kChainWeightDomain, batch));
   if (BatchVerifyDleq(batch, weights).ok()) {

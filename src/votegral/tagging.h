@@ -35,6 +35,15 @@ struct TaggingStep {
   size_t member_index = 0;
   std::vector<ElGamalCiphertext> output;
   std::vector<DleqTranscript> proofs;  // one per ciphertext
+
+  // Canonical wire bytes of `output`, filled by the prover in the same
+  // parallel pass that computed the points (each proof's challenge hashes
+  // them anyway, so they are free to retain). Attacker data on the verify
+  // side: VerifyChain decodes and recompares them before they may enter any
+  // statement cache — exactly the MixItem rule. Empty on legacy transcripts.
+  std::vector<ElGamalWire> output_wire;
+
+  bool HasWire() const { return !output.empty() && output_wire.size() == output.size(); }
 };
 
 // The tagging committee. In deployment these secrets live on the same
@@ -50,8 +59,16 @@ class TaggingService {
   // Member `i` exponentiates every ciphertext by z_i and proves it.
   // Ciphertexts fan out across the executor; proof nonces come from forked
   // per-shard streams, so the step is reproducible at any thread count.
+  //
+  // `input_wire`, when non-empty, must be the canonical bytes of `input`
+  // from a source the caller produced or validated (previous step's
+  // output_wire, a validated mix column); the proof statements then hash
+  // those bytes instead of re-encoding the input points. The produced step
+  // carries output_wire either way, and the transcript is byte-identical
+  // with or without the threading.
   TaggingStep Apply(size_t member, const std::vector<ElGamalCiphertext>& input, Rng& rng,
-                    Executor& executor = Executor::Global()) const;
+                    Executor& executor = Executor::Global(),
+                    std::span<const ElGamalWire> input_wire = {}) const;
 
   // Verifies one member's step against its input and commitment, proof by
   // proof (the localization path; names the first bad index).
@@ -60,20 +77,30 @@ class TaggingService {
                            const RistrettoPoint& commitment,
                            Executor& executor = Executor::Global());
 
-  // Runs all members sequentially, collecting each step. Returns the final
+  // Runs all members sequentially, collecting each step and threading each
+  // step's wire bytes into the next statement's cache. Returns the final
   // tagged ciphertexts.
   std::vector<ElGamalCiphertext> ApplyAll(const std::vector<ElGamalCiphertext>& input,
                                           std::vector<TaggingStep>* steps, Rng& rng,
-                                          Executor& executor = Executor::Global()) const;
+                                          Executor& executor = Executor::Global(),
+                                          std::span<const ElGamalWire> input_wire = {}) const;
 
   // Verifies a full chain of steps (step i's input is step i-1's output).
   // All steps' proofs are checked as one batched MSM with deterministic
   // weights; on rejection the per-step path re-runs to name the offending
   // member and index.
+  //
+  // Wire handling: every step's output_wire (attacker data) is decoded and
+  // recompared before it backs any statement cache — a stale cache is a
+  // localized failure; steps without caches are encoded fresh, once per
+  // chain instead of once per proof. `input_wire` optionally supplies
+  // already-validated bytes for the chain input (the verifier threads the
+  // mix column caches VerifyRpcMixCascade checked).
   static Status VerifyChain(const std::vector<ElGamalCiphertext>& input,
                             const std::vector<TaggingStep>& steps,
                             const std::vector<RistrettoPoint>& commitments,
-                            Executor& executor = Executor::Global());
+                            Executor& executor = Executor::Global(),
+                            std::span<const ElGamalWire> input_wire = {});
 
   // Test helper: the combined exponent Πz_t.
   Scalar CombinedExponent() const;

@@ -105,13 +105,16 @@ void Release(T& container) {
 // every ciphertext, fanned out over fixed shards with forked DRBG streams
 // for the proof nonces. Returns the canonical encodings of the combined
 // plaintexts; appends one self-check DLEQ entry per share, in (ciphertext,
-// member) order, for the release gate.
+// member) order, for the release gate. `cts_wire`, when non-empty, supplies
+// the producer's canonical bytes for `cts` (tagging output wire, mix column
+// wire) so the share statements are wire-backed without re-encoding C1.
 std::vector<CompressedRistretto> DecryptBatchWithShares(
     const ElectionAuthority& authority, const std::vector<ElGamalCiphertext>& cts, Rng& rng,
     Executor& executor, std::vector<std::vector<DecryptionShare>>* shares_out,
-    std::vector<DleqBatchEntry>* self_check) {
+    std::vector<DleqBatchEntry>* self_check, std::span<const ElGamalWire> cts_wire = {}) {
   const size_t n = cts.size();
   const size_t members = authority.size();
+  Require(cts_wire.empty() || cts_wire.size() == n, "tally: cts wire size mismatch");
   shares_out->assign(n, {});
   std::vector<CompressedRistretto> encoded(n);
   const size_t check_base = self_check->size();
@@ -123,14 +126,17 @@ std::vector<CompressedRistretto> DecryptBatchWithShares(
     for (size_t i = shards[s].first; i < shards[s].second; ++i) {
       std::vector<DecryptionShare>& shares = (*shares_out)[i];
       shares.reserve(members);
+      const CompressedRistretto c1_wire =
+          cts_wire.empty() ? cts[i].c1.Encode() : ElGamalWireHalf(cts_wire[i], 0);
       for (size_t m = 0; m < members; ++m) {
-        shares.push_back(authority.ComputeShare(m, cts[i], child));
+        shares.push_back(authority.ComputeShare(m, cts[i], child, &c1_wire));
         const DecryptionShare& share = shares.back();
         DleqBatchEntry entry;
         entry.domain = std::string(kDecryptionShareDomain);
-        entry.statement = DleqStatement::MakePair(RistrettoPoint::Base(),
-                                                  authority.member(m).public_share,
-                                                  cts[i].c1, share.share);
+        entry.statement = DleqStatement::MakePairWire(
+            RistrettoPoint::Base(), RistrettoPoint::BaseWire(),
+            authority.member(m).public_share, authority.member(m).public_share_wire,
+            cts[i].c1, c1_wire, share.share, share.share.Encode());
         entry.transcript = share.proof;
         (*self_check)[check_base + i * members + m] = std::move(entry);
       }
@@ -197,14 +203,28 @@ void StageMix(const TallyService& service, const PublicLedger& ledger, const Can
 void StageTag(const TallyService& service, const PublicLedger&, const CandidateList&,
               const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
-  state.ballot_tagged = service.tagging().ApplyAll(state.ballot_credentials,
-                                                   &t.ballot_tag_steps, rng,
-                                                   service.executor());
+  // Thread the mix outputs' wire caches (filled at shuffle time) into the
+  // first tagging step's statements; each step then feeds the next, and the
+  // final step's bytes back the decrypt stage. The transcript bytes do not
+  // depend on this threading — only the encode count does.
+  state.ballot_tagged = service.tagging().ApplyAll(
+      state.ballot_credentials, &t.ballot_tag_steps, rng, service.executor(),
+      BatchColumnWire(t.ballot_mix_output, 1));
   Release(state.ballot_credentials);
-  state.roster_tagged = service.tagging().ApplyAll(state.roster_credentials,
-                                                   &t.roster_tag_steps, rng,
-                                                   service.executor());
+  state.roster_tagged = service.tagging().ApplyAll(
+      state.roster_credentials, &t.roster_tag_steps, rng, service.executor(),
+      BatchColumnWire(t.roster_mix_output, 0));
   Release(state.roster_credentials);
+}
+
+// The canonical bytes of a tagged ciphertext list: the last step's
+// output_wire, read straight from the transcript (no copy; empty span when
+// there are no steps or no caches).
+std::span<const ElGamalWire> TaggedWire(const std::vector<TaggingStep>& steps) {
+  if (steps.empty() || !steps.back().HasWire()) {
+    return {};
+  }
+  return steps.back().output_wire;
 }
 
 void StageDecryptTags(const TallyService& service, const PublicLedger&, const CandidateList&,
@@ -214,14 +234,16 @@ void StageDecryptTags(const TallyService& service, const PublicLedger&, const Ca
   // Roster side first (the stream order auditors replay), then ballots.
   t.roster_tags = DecryptBatchWithShares(service.authority(), state.roster_tagged, rng,
                                          service.executor(), &t.roster_tag_shares,
-                                         &state.share_self_check);
+                                         &state.share_self_check,
+                                         TaggedWire(t.roster_tag_steps));
   Release(state.roster_tagged);
   for (const CompressedRistretto& tag : t.roster_tags) {
     state.roster_tag_counts[tag] += 1;
   }
   t.ballot_tags = DecryptBatchWithShares(service.authority(), state.ballot_tagged, rng,
                                          service.executor(), &t.ballot_tag_shares,
-                                         &state.share_self_check);
+                                         &state.share_self_check,
+                                         TaggedWire(t.ballot_tag_steps));
   Release(state.ballot_tagged);
 }
 
@@ -262,9 +284,19 @@ void StageDecryptVotes(const TallyService& service, const PublicLedger&,
   for (uint64_t index : t.counted_indices) {
     counted_votes.push_back(t.ballot_mix_output[index].cts.at(0));
   }
+  // Vote ciphertexts are mix outputs: their wire caches (filled at shuffle
+  // time) back the decryption-share statements directly.
+  std::vector<ElGamalWire> counted_wire = BatchColumnWire(t.ballot_mix_output, 0);
+  std::vector<ElGamalWire> counted_votes_wire;
+  if (counted_wire.size() == t.ballot_mix_output.size()) {
+    counted_votes_wire.reserve(t.counted_indices.size());
+    for (uint64_t index : t.counted_indices) {
+      counted_votes_wire.push_back(counted_wire[index]);
+    }
+  }
   t.vote_points = DecryptBatchWithShares(service.authority(), counted_votes, rng,
                                          service.executor(), &t.vote_shares,
-                                         &state.share_self_check);
+                                         &state.share_self_check, counted_votes_wire);
   for (size_t c = 0; c < t.counted_indices.size(); ++c) {
     uint64_t weight = t.counted_weights[c];
     auto candidate = candidates.IndexOfEncoding(t.vote_points[c]);

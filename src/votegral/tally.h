@@ -113,7 +113,10 @@ struct TallyPipelineState {
   // mix -> tag: the credential ciphertext columns of the mixed batches.
   std::vector<ElGamalCiphertext> ballot_credentials;
   std::vector<ElGamalCiphertext> roster_credentials;
-  // tag -> decrypt-tags: the fully tagged ciphertext lists.
+  // tag -> decrypt-tags: the fully tagged ciphertext lists. Their canonical
+  // wire bytes are NOT duplicated here: the decrypt stage reads the last
+  // tagging step's output_wire straight out of the transcript, which stays
+  // alive for the whole pipeline.
   std::vector<ElGamalCiphertext> ballot_tagged;
   std::vector<ElGamalCiphertext> roster_tagged;
   // decrypt-tags -> join: roster tag multiset.

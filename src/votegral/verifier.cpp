@@ -1,5 +1,7 @@
 #include "src/votegral/verifier.h"
 
+#include <algorithm>
+
 #include "src/crypto/batch.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/sha512.h"
@@ -42,15 +44,29 @@ constexpr std::string_view kShareWeightDomain = "votegral/verifier/share-batch-w
 // check stays reproducible for auditors while remaining unpredictable to
 // whoever produced the transcript. On rejection the per-item path re-runs
 // to name the offending share.
+//
+// Wire bytes: the verifier backs every statement with bytes it produced or
+// already validated — B and the member commitments from standing caches
+// (encoded once per call, not once per share), C1 from `cts_wire` when the
+// caller threads validated bytes (mix caches checked by VerifyRpcMixCascade,
+// tagging wires checked by VerifyChain) or one fresh encode otherwise, and
+// the share point itself encoded once. The proofs' own commit caches are
+// attacker data; BatchVerifyDleq decodes and recompares them before hashing.
 Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
                            const std::vector<std::vector<DecryptionShare>>& shares,
                            const VerifierParams& params, Executor& executor,
                            std::vector<CompressedRistretto>* out,
-                           const std::string& what) {
+                           const std::string& what,
+                           std::span<const ElGamalWire> cts_wire = {}) {
   if (shares.size() != cts.size()) {
     return Status::Error("verifier: " + what + ": share list size mismatch");
   }
+  if (cts_wire.size() != cts.size()) {
+    cts_wire = {};
+  }
   const size_t members = params.authority_shares.size();
+  std::vector<CompressedRistretto> member_wire(members);
+  BatchEncodePoints(params.authority_shares, member_wire);
   std::vector<DleqBatchEntry> batch(cts.size() * members);
   std::vector<CompressedRistretto> decrypted(cts.size());
   std::vector<uint8_t> bad_count(cts.size(), 0);
@@ -60,6 +76,8 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
       bad_count[i] = 1;
       return;
     }
+    const CompressedRistretto c1_wire =
+        cts_wire.empty() ? cts[i].c1.Encode() : ElGamalWireHalf(cts_wire[i], 0);
     std::vector<bool> seen(members, false);
     for (size_t m = 0; m < members; ++m) {
       const DecryptionShare& share = shares[i][m];
@@ -70,10 +88,10 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
       seen[share.member_index] = true;
       DleqBatchEntry entry;
       entry.domain = std::string(kDecryptionShareDomain);
-      entry.statement =
-          DleqStatement::MakePair(RistrettoPoint::Base(),
-                                  params.authority_shares[share.member_index], cts[i].c1,
-                                  share.share);
+      entry.statement = DleqStatement::MakePairWire(
+          RistrettoPoint::Base(), RistrettoPoint::BaseWire(),
+          params.authority_shares[share.member_index], member_wire[share.member_index],
+          cts[i].c1, c1_wire, share.share, share.share.Encode());
       entry.transcript = share.proof;
       batch[i * members + m] = std::move(entry);
     }
@@ -220,34 +238,53 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
   }
 
   // Tag stage replay: both chains, each one batched MSM over every step's
-  // Chaum–Pedersen proofs.
+  // Chaum–Pedersen proofs. The mix columns' wire caches were validated by
+  // VerifyRpcMixCascade above, so they may back the chain-input statements;
+  // each step's own output_wire is validated inside VerifyChain before use.
   std::vector<ElGamalCiphertext> ballot_credentials = BatchColumn(t.ballot_mix_output, 1);
   std::vector<ElGamalCiphertext> roster_credentials = BatchColumn(t.roster_mix_output, 0);
+  std::vector<ElGamalWire> ballot_credentials_wire = BatchColumnWire(t.ballot_mix_output, 1);
+  std::vector<ElGamalWire> roster_credentials_wire = BatchColumnWire(t.roster_mix_output, 0);
   if (Status s = TaggingService::VerifyChain(ballot_credentials, t.ballot_tag_steps,
-                                             params.tagging_commitments, executor);
+                                             params.tagging_commitments, executor,
+                                             ballot_credentials_wire);
       !s.ok()) {
     return Status::Error("verifier: ballot tagging: " + s.reason());
   }
   if (Status s = TaggingService::VerifyChain(roster_credentials, t.roster_tag_steps,
-                                             params.tagging_commitments, executor);
+                                             params.tagging_commitments, executor,
+                                             roster_credentials_wire);
       !s.ok()) {
     return Status::Error("verifier: roster tagging: " + s.reason());
   }
 
-  // Decrypt-tags replay.
+  // Decrypt-tags replay. The tagged lists' bytes are the last tagging step's
+  // output_wire — validated by VerifyChain just above (or the validated mix
+  // column when there are no steps).
   const std::vector<ElGamalCiphertext>& ballot_tagged =
       t.ballot_tag_steps.empty() ? ballot_credentials : t.ballot_tag_steps.back().output;
   const std::vector<ElGamalCiphertext>& roster_tagged =
       t.roster_tag_steps.empty() ? roster_credentials : t.roster_tag_steps.back().output;
+  auto tagged_wire = [](const std::vector<TaggingStep>& steps,
+                        const std::vector<ElGamalWire>& column_wire)
+      -> std::span<const ElGamalWire> {
+    if (steps.empty()) {
+      return column_wire;
+    }
+    return steps.back().HasWire() ? std::span<const ElGamalWire>(steps.back().output_wire)
+                                  : std::span<const ElGamalWire>{};
+  };
   std::vector<CompressedRistretto> ballot_tags;
   std::vector<CompressedRistretto> roster_tags;
   if (Status s = VerifyAndDecryptAll(ballot_tagged, t.ballot_tag_shares, params, executor,
-                                     &ballot_tags, "ballot tags");
+                                     &ballot_tags, "ballot tags",
+                                     tagged_wire(t.ballot_tag_steps, ballot_credentials_wire));
       !s.ok()) {
     return s;
   }
   if (Status s = VerifyAndDecryptAll(roster_tagged, t.roster_tag_shares, params, executor,
-                                     &roster_tags, "roster tags");
+                                     &roster_tags, "roster tags",
+                                     tagged_wire(t.roster_tag_steps, roster_credentials_wire));
       !s.ok()) {
     return s;
   }
@@ -276,14 +313,23 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
     return Status::Error("verifier: counted ballot set differs from published");
   }
 
-  // Decrypt-votes replay and final counts.
+  // Decrypt-votes replay and final counts. Vote ciphertexts are mix outputs,
+  // so their (cascade-validated) wire caches back the share statements.
   std::vector<ElGamalCiphertext> counted_votes;
   for (uint64_t index : t.counted_indices) {
     counted_votes.push_back(t.ballot_mix_output.at(index).cts.at(0));
   }
+  std::vector<ElGamalWire> vote_column_wire = BatchColumnWire(t.ballot_mix_output, 0);
+  std::vector<ElGamalWire> counted_votes_wire;
+  if (vote_column_wire.size() == t.ballot_mix_output.size()) {
+    counted_votes_wire.reserve(t.counted_indices.size());
+    for (uint64_t index : t.counted_indices) {
+      counted_votes_wire.push_back(vote_column_wire.at(index));
+    }
+  }
   std::vector<CompressedRistretto> vote_points;
   if (Status s = VerifyAndDecryptAll(counted_votes, t.vote_shares, params, executor,
-                                     &vote_points, "votes");
+                                     &vote_points, "votes", counted_votes_wire);
       !s.ok()) {
     return s;
   }

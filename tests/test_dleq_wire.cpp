@@ -1,0 +1,227 @@
+// Tests for the wire-byte DLEQ transcript layer (docs/TRANSCRIPTS.md §DLEQ):
+//  * the cached-bytes and encode-per-point challenge paths agree bit for bit,
+//  * with complete caches, verification performs ZERO point encodings —
+//    pinned by the ristretto invocation counters, not by comments,
+//  * a forged or stale commit wire cache is rejected with a localized
+//    failure (the PR 2 MixItem rule), never silently hashed,
+//  * Serialize/Parse round-trip the cache without changing the wire format.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/crypto/batch.h"
+#include "src/crypto/dkg.h"
+#include "src/crypto/dleq.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/elgamal.h"
+
+namespace votegral {
+namespace {
+
+DleqStatement TrueStatement(const Scalar& x, Rng& rng) {
+  RistrettoPoint g1 = RistrettoPoint::Base();
+  RistrettoPoint g2 = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64));
+  return DleqStatement::MakePair(g1, x * g1, g2, x * g2);
+}
+
+// One fully wire-backed FS proof over a fresh true statement.
+struct WireProof {
+  DleqStatement statement;
+  DleqTranscript transcript;
+};
+
+WireProof MakeWireProof(std::string_view domain, Rng& rng) {
+  Scalar x = Scalar::Random(rng);
+  WireProof p;
+  p.statement = TrueStatement(x, rng);
+  p.statement.EnsureWire();
+  p.transcript = ProveDleqFs(domain, p.statement, x, rng);
+  return p;
+}
+
+TEST(DleqWire, WireAndLegacyChallengePathsAgree) {
+  ChaChaRng rng(90);
+  Scalar x = Scalar::Random(rng);
+  DleqStatement cached = TrueStatement(x, rng);
+  cached.EnsureWire();
+  DleqStatement bare = cached;
+  bare.base_wire.clear();
+  bare.public_wire.clear();
+
+  DleqProver prover(cached, x, rng);
+  Scalar with_wire = DeriveFsChallenge("test/wire", cached, prover.commits(),
+                                       prover.commit_wire(), {});
+  Scalar legacy = DeriveFsChallenge("test/wire", bare, prover.commits(), {});
+  EXPECT_EQ(with_wire, legacy);
+
+  // And a proof made over the cached statement verifies against the bare one
+  // (same bytes hashed either way).
+  DleqTranscript t = ProveDleqFs("test/wire", cached, x, rng);
+  EXPECT_TRUE(VerifyDleqFs("test/wire", bare, t).ok());
+}
+
+TEST(DleqWire, EnsureWireAndValidateWireRoundTrip) {
+  ChaChaRng rng(91);
+  WireProof p = MakeWireProof("test/roundtrip", rng);
+  EXPECT_TRUE(p.statement.HasWire());
+  EXPECT_TRUE(p.transcript.HasWire());
+  EXPECT_TRUE(p.statement.ValidateWire().ok());
+  EXPECT_TRUE(p.transcript.ValidateWire().ok());
+  // A statement cache that stops matching its point is named precisely.
+  DleqStatement bad = p.statement;
+  bad.public_wire[1] = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64)).Encode();
+  Status s = bad.ValidateWire();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.reason().find("public wire cache does not match point at index 1"),
+            std::string::npos)
+      << s.reason();
+}
+
+TEST(DleqWire, VerifyPerformsZeroEncodesWithCompleteCaches) {
+  ChaChaRng rng(92);
+  WireProof p = MakeWireProof("test/zero-encode", rng);
+  uint64_t enc0 = RistrettoEncodeInvocations();
+  uint64_t dec0 = RistrettoDecodeInvocations();
+  EXPECT_TRUE(VerifyDleqFs("test/zero-encode", p.statement, p.transcript).ok());
+  // Challenge derivation is SHA-only; the only group<->bytes work left is
+  // the attacker-cache validation, one decode per commit.
+  EXPECT_EQ(RistrettoEncodeInvocations() - enc0, 0u);
+  EXPECT_EQ(RistrettoDecodeInvocations() - dec0, p.transcript.commits.size());
+}
+
+TEST(DleqWire, BatchVerifyPerformsZeroEncodesWithCompleteCaches) {
+  ChaChaRng rng(93);
+  std::vector<DleqBatchEntry> entries;
+  size_t commits = 0;
+  for (int i = 0; i < 16; ++i) {
+    WireProof p = MakeWireProof("test/batch-zero", rng);
+    DleqBatchEntry entry;
+    entry.domain = "test/batch-zero";
+    entry.statement = std::move(p.statement);
+    entry.transcript = std::move(p.transcript);
+    commits += entry.transcript.commits.size();
+    entries.push_back(std::move(entry));
+  }
+  uint64_t enc0 = RistrettoEncodeInvocations();
+  uint64_t dec0 = RistrettoDecodeInvocations();
+  EXPECT_TRUE(BatchVerifyDleq(entries, rng).ok());
+  EXPECT_EQ(RistrettoEncodeInvocations() - enc0, 0u);
+  EXPECT_EQ(RistrettoDecodeInvocations() - dec0, commits);
+}
+
+TEST(DleqWire, CachelessEntriesStillVerifyViaEncodeFallback) {
+  ChaChaRng rng(94);
+  std::vector<DleqBatchEntry> entries;
+  for (int i = 0; i < 4; ++i) {
+    WireProof p = MakeWireProof("test/fallback", rng);
+    DleqBatchEntry entry;
+    entry.domain = "test/fallback";
+    entry.statement = std::move(p.statement);
+    entry.transcript = std::move(p.transcript);
+    // Strip every cache: the pre-wire framing must keep verifying (it is
+    // also the path the fig_dleq_fs bench measures as the baseline).
+    entry.statement.base_wire.clear();
+    entry.statement.public_wire.clear();
+    entry.transcript.commit_wire.clear();
+    entries.push_back(std::move(entry));
+  }
+  uint64_t enc0 = RistrettoEncodeInvocations();
+  EXPECT_TRUE(BatchVerifyDleq(entries, rng).ok());
+  EXPECT_GT(RistrettoEncodeInvocations() - enc0, 0u);  // fallback really encodes
+}
+
+TEST(DleqWire, ForgedCommitWireRejectedAndLocalized) {
+  ChaChaRng rng(95);
+  WireProof p = MakeWireProof("test/forged", rng);
+  // A *valid* encoding of the wrong point: the classic grinding vector — the
+  // hashed bytes decouple from the checked commit unless validation bites.
+  DleqTranscript forged = p.transcript;
+  forged.commit_wire[0] = RistrettoPoint::FromUniformBytes(rng.RandomBytes(64)).Encode();
+  Status s = VerifyDleqFs("test/forged", p.statement, forged);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.reason().find("commit wire cache does not match point at index 0"),
+            std::string::npos)
+      << s.reason();
+  // Undecodable cache bytes are rejected the same way.
+  DleqTranscript garbage = p.transcript;
+  garbage.commit_wire[1].fill(0xff);
+  EXPECT_FALSE(VerifyDleqFs("test/forged", p.statement, garbage).ok());
+}
+
+TEST(DleqWire, BatchRejectsForgedCacheAtExactEntry) {
+  ChaChaRng rng(96);
+  std::vector<DleqBatchEntry> entries;
+  for (int i = 0; i < 6; ++i) {
+    WireProof p = MakeWireProof("test/batch-forged", rng);
+    DleqBatchEntry entry;
+    entry.domain = "test/batch-forged";
+    entry.statement = std::move(p.statement);
+    entry.transcript = std::move(p.transcript);
+    entries.push_back(std::move(entry));
+  }
+  // Stale-cache tamper at entry 3: swap the commit point, keep the cache —
+  // the same shape as PR 2's mixnet stale-wire case.
+  entries[3].transcript.commits[0] =
+      entries[3].transcript.commits[0] + RistrettoPoint::Base();
+  Status s = BatchVerifyDleq(entries, rng);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.reason().find("commit wire cache does not match commits at entry 3"),
+            std::string::npos)
+      << s.reason();
+}
+
+TEST(DleqWire, SerializeIsByteIdenticalWithAndWithoutCache) {
+  ChaChaRng rng(97);
+  WireProof p = MakeWireProof("test/serde", rng);
+  DleqTranscript stripped = p.transcript;
+  stripped.commit_wire.clear();
+  EXPECT_EQ(HexEncode(p.transcript.Serialize()), HexEncode(stripped.Serialize()));
+}
+
+TEST(DleqWire, ParseFillsTheCommitCacheFromTheWire) {
+  ChaChaRng rng(98);
+  WireProof p = MakeWireProof("test/parse", rng);
+  auto parsed = DleqTranscript::Parse(p.transcript.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->HasWire());
+  EXPECT_TRUE(parsed->ValidateWire().ok());
+  for (size_t i = 0; i < parsed->commit_wire.size(); ++i) {
+    EXPECT_EQ(HexEncode(parsed->commit_wire[i]), HexEncode(p.transcript.commit_wire[i]));
+  }
+  // A parsed proof verifies with zero encodes against a cached statement.
+  uint64_t enc0 = RistrettoEncodeInvocations();
+  EXPECT_TRUE(VerifyDleqFs("test/parse", p.statement, *parsed).ok());
+  EXPECT_EQ(RistrettoEncodeInvocations() - enc0, 0u);
+}
+
+TEST(DleqWire, SimulatedTranscriptsCarryTheSameCacheShape) {
+  // Fake credentials must stay byte-indistinguishable: simulated transcripts
+  // carry commit caches exactly like sound ones.
+  ChaChaRng rng(99);
+  Scalar x = Scalar::Random(rng);
+  DleqStatement st = TrueStatement(x, rng);
+  DleqTranscript sim = SimulateDleq(st, Scalar::Random(rng), rng);
+  ASSERT_TRUE(sim.HasWire());
+  EXPECT_TRUE(sim.ValidateWire().ok());
+  for (size_t i = 0; i < sim.commits.size(); ++i) {
+    EXPECT_EQ(HexEncode(sim.commit_wire[i]), HexEncode(sim.commits[i].Encode()));
+  }
+}
+
+TEST(DleqWire, AuthorityShareProofsAreWireBackedEndToEnd) {
+  // The DKG caller migration: ComputeShare's proof verifies with zero
+  // encodes when the verifier supplies a wire-backed statement, here via
+  // VerifyShare's own standing caches plus fresh C1/share encodes.
+  ChaChaRng rng(100);
+  auto authority = ElectionAuthority::Create(3, rng);
+  ElGamalCiphertext ct =
+      ElGamalEncrypt(authority.public_key(), RistrettoPoint::Base(), rng);
+  CompressedRistretto c1_wire = ct.c1.Encode();
+  DecryptionShare share = authority.ComputeShare(1, ct, rng, &c1_wire);
+  EXPECT_TRUE(share.proof.HasWire());
+  EXPECT_TRUE(authority.VerifyShare(ct, share).ok());
+}
+
+}  // namespace
+}  // namespace votegral

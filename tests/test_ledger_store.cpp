@@ -292,7 +292,7 @@ TalliedRun RunElection(const LedgerStorageConfig& storage, size_t threads) {
   ChaChaRng tally_rng(0x5709A6F);
   TallyOutput output = election.Tally(tally_rng);
   TalliedRun run;
-  run.digest = DigestTranscript(output);
+  run.digest = DigestTranscriptWithWire(output);  // protocol bytes + wire caches
   run.verified = election.Verify(output).ok();
   return run;
 }

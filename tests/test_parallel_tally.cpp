@@ -4,6 +4,7 @@
 // link or share to the exact pair/index.
 #include <gtest/gtest.h>
 
+#include "src/common/bytes.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/sha256.h"
 #include "src/votegral/election.h"
@@ -16,7 +17,8 @@ namespace {
 // seeded, so the ledger is identical across calls), tallies and verifies it
 // on an executor with the given thread count.
 struct TalliedElection {
-  std::array<uint8_t, 32> digest;
+  std::array<uint8_t, 32> digest;       // extended: protocol bytes + wire caches
+  std::array<uint8_t, 32> protocol_digest;  // pre-wire field set (golden-pinned)
   bool verified = false;
   TallyResult result;
 };
@@ -42,11 +44,18 @@ TalliedElection RunElection(size_t threads) {
   ChaChaRng tally_rng(0x7A11E8);
   TallyOutput output = election.Tally(tally_rng);
   TalliedElection out;
-  out.digest = DigestTranscript(output);
+  out.digest = DigestTranscriptWithWire(output);
+  out.protocol_digest = DigestTranscript(output);
   out.verified = election.Verify(output).ok();
   out.result = output.result;
   return out;
 }
+
+// The protocol-byte digest of this fixed election, captured on the seed
+// immediately BEFORE the wire-byte DLEQ change: carrying cached encodings
+// through statements and transcripts must not move a single transcript byte.
+constexpr const char* kPreWireGoldenDigestHex =
+    "262d90190d8e305a0e0349ad4f6e77d80837691723f84fcf9208bc3e1c6edb3f";
 
 TEST(ParallelTally, TranscriptByteIdenticalAcrossThreadCounts) {
   TalliedElection serial = RunElection(1);
@@ -63,6 +72,14 @@ TEST(ParallelTally, TranscriptByteIdenticalAcrossThreadCounts) {
     EXPECT_EQ(parallel.verified, serial.verified) << "threads=" << threads;
     EXPECT_EQ(parallel.result.counts, serial.result.counts) << "threads=" << threads;
   }
+}
+
+TEST(ParallelTally, TranscriptByteIdenticalToPreWireSeed) {
+  // Every protocol byte — proofs, ciphertexts, tags, shares, mix wire — must
+  // equal the pre-wire-byte-DLEQ output: the wire caches are a transport for
+  // bytes the transcript already contained, never new protocol state.
+  TalliedElection serial = RunElection(1);
+  EXPECT_EQ(HexEncode(serial.protocol_digest), kPreWireGoldenDigestHex);
 }
 
 // A full election fixture the localization tests tamper with.
@@ -129,14 +146,37 @@ TEST(ParallelVerifier, CorruptedTaggingProofLocalized) {
   Fixture f;
   TallyOutput bad = f.output;
   ASSERT_FALSE(bad.transcript.roster_tag_steps.empty());
-  // Swap one tagging output ciphertext for another: that item's proof no
-  // longer verifies; the batched chain check falls back per-item.
+  // Swap one tagging output ciphertext for another — wire caches included,
+  // so the caches stay internally consistent and it is the *proofs* that no
+  // longer verify; the batched chain check falls back per-item. (Swapping
+  // points alone is caught earlier, as a stale wire cache — see
+  // CorruptedTaggingWireCacheLocalized.)
   auto& step = bad.transcript.roster_tag_steps[0];
   ASSERT_GT(step.output.size(), 1u);
   std::swap(step.output[0], step.output[1]);
+  ASSERT_TRUE(step.HasWire());
+  std::swap(step.output_wire[0], step.output_wire[1]);
   Status status = f.election.Verify(bad);
   ASSERT_FALSE(status.ok());
   EXPECT_NE(status.reason().find("tagging: proof 0 invalid"), std::string::npos)
+      << status.reason();
+}
+
+TEST(ParallelVerifier, CorruptedTaggingWireCacheLocalized) {
+  Fixture f;
+  // Substitute a tagging output ciphertext without refreshing its wire
+  // cache: the chain verifier must refuse to let the cached bytes back the
+  // next statement's hash (same rule as the mixnet's stale-cache case).
+  TallyOutput bad = f.output;
+  ASSERT_FALSE(bad.transcript.roster_tag_steps.empty());
+  auto& step = bad.transcript.roster_tag_steps[0];
+  ASSERT_GT(step.output.size(), 1u);
+  ASSERT_TRUE(step.HasWire());
+  std::swap(step.output[0], step.output[1]);  // points move, caches do not
+  Status status = f.election.Verify(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.reason().find("step 0 output wire cache does not match ciphertexts"),
+            std::string::npos)
       << status.reason();
 }
 

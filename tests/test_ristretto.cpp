@@ -2,6 +2,9 @@
 // encoding invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/common/bytes.h"
 #include "src/crypto/drbg.h"
 #include "src/crypto/ristretto.h"
@@ -200,6 +203,95 @@ INSTANTIATE_TEST_SUITE_P(SmallPairs, RistrettoMulConsistency,
                          ::testing::Values(std::pair{2, 3}, std::pair{5, 7}, std::pair{1, 255},
                                            std::pair{16, 16}, std::pair{255, 255},
                                            std::pair{0, 9}, std::pair{13, 1}));
+
+TEST(RistrettoBatch, BatchEncodeMatchesSingleOnRandomAndEdgePoints) {
+  ChaChaRng rng(50);
+  std::vector<RistrettoPoint> points;
+  points.push_back(RistrettoPoint::Identity());  // u1 = u2 = 0 inside Encode
+  points.push_back(RistrettoPoint::Base());
+  points.push_back(RistrettoPoint::Base().Double());
+  points.push_back(-RistrettoPoint::Base());
+  for (int i = 0; i < 60; ++i) {
+    points.push_back(RandomPoint(rng));
+  }
+  std::vector<CompressedRistretto> batch(points.size());
+  BatchEncodePoints(points, batch);
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(HexEncode(batch[i]), HexEncode(points[i].Encode())) << "index " << i;
+  }
+}
+
+TEST(RistrettoBatch, BatchDecodeMatchesSingleIncludingRejects) {
+  ChaChaRng rng(51);
+  std::vector<CompressedRistretto> inputs;
+  auto push = [&](std::span<const uint8_t> b) {
+    CompressedRistretto c{};
+    std::copy(b.begin(), b.end(), c.begin());
+    inputs.push_back(c);
+  };
+  // Valid edge encodings.
+  push(RistrettoPoint::Identity().Encode());
+  push(RistrettoPoint::Base().Encode());
+  // Known rejects: s >= p (non-canonical field encoding)...
+  push(HexDecode("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"));
+  // ...negative s...
+  {
+    auto neg = RistrettoPoint::Base().Encode();
+    neg[0] ^= 1;
+    push(neg);
+  }
+  // ...and p - 1 (canonical, non-negative, but not on the group).
+  push(HexDecode("ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"));
+  // Random mix of valid and invalid candidates.
+  for (int i = 0; i < 40; ++i) {
+    Bytes b = rng.RandomBytes(32);
+    b[31] &= 0x7f;
+    b[0] &= 0xfe;
+    push(b);
+  }
+  for (int i = 0; i < 10; ++i) {
+    push(RandomPoint(rng).Encode());
+  }
+
+  std::vector<RistrettoPoint> decoded(inputs.size());
+  std::vector<uint8_t> ok(inputs.size(), 0xcc);
+  size_t failures = BatchDecodePoints(inputs, decoded, ok);
+
+  size_t expected_failures = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto single = RistrettoPoint::Decode(inputs[i]);
+    EXPECT_EQ(ok[i] == 1, single.has_value()) << "index " << i;
+    if (single.has_value()) {
+      EXPECT_TRUE(decoded[i] == *single) << "index " << i;
+    } else {
+      ++expected_failures;
+      EXPECT_TRUE(decoded[i].IsIdentity()) << "index " << i;  // defined placeholder
+    }
+  }
+  EXPECT_EQ(failures, expected_failures);
+  EXPECT_FALSE(RistrettoPoint::Decode(inputs[2]).has_value());  // s >= p really rejects
+  EXPECT_FALSE(RistrettoPoint::Decode(inputs[3]).has_value());  // negative s
+  EXPECT_FALSE(RistrettoPoint::Decode(inputs[4]).has_value());  // off-group
+}
+
+TEST(RistrettoBatch, BaseWireIsTheBasepointEncoding) {
+  EXPECT_EQ(HexEncode(RistrettoPoint::BaseWire()),
+            "e2f2ae0a6abc4e71a884a961c500515f58e30b6aa582dd8db6a65945e08d2d76");
+}
+
+TEST(RistrettoBatch, InvocationCountersTrackEncodeAndDecode) {
+  ChaChaRng rng(52);
+  std::vector<RistrettoPoint> points(8, RandomPoint(rng));
+  std::vector<CompressedRistretto> wire(points.size());
+  uint64_t enc0 = RistrettoEncodeInvocations();
+  BatchEncodePoints(points, wire);
+  EXPECT_EQ(RistrettoEncodeInvocations() - enc0, points.size());
+  std::vector<RistrettoPoint> back(points.size());
+  std::vector<uint8_t> ok(points.size(), 0);
+  uint64_t dec0 = RistrettoDecodeInvocations();
+  BatchDecodePoints(wire, back, ok);
+  EXPECT_EQ(RistrettoDecodeInvocations() - dec0, points.size());
+}
 
 }  // namespace
 }  // namespace votegral

@@ -3,6 +3,13 @@
 // (test_parallel_tally) and across ledger storage backends
 // (test_ledger_store) — is a single comparison. Includes the wire caches:
 // producers must fill them identically under any scheduling.
+//
+// DigestTranscript covers exactly the pre-wire-byte-DLEQ field set, so its
+// value for the fixed test election is pinned by a golden constant
+// (test_parallel_tally's TranscriptByteIdenticalToPreWireSeed).
+// DigestTranscriptWithWire additionally folds in the wire caches introduced
+// by the wire-byte DLEQ PR (tagging output wires, DLEQ commit wires); the
+// cross-thread and cross-backend identity tests compare that one.
 #ifndef TESTS_TRANSCRIPT_DIGEST_H_
 #define TESTS_TRANSCRIPT_DIGEST_H_
 
@@ -104,6 +111,47 @@ inline std::array<uint8_t, 32> DigestTranscript(const TallyOutput& output) {
     hash_u64(count);
   }
   hash_u64(output.result.counted);
+  return h.Finalize();
+}
+
+inline std::array<uint8_t, 32> DigestTranscriptWithWire(const TallyOutput& output) {
+  Sha256 h;
+  h.Update(DigestTranscript(output));
+  auto hash_u64 = [&](uint64_t v) {
+    uint8_t buf[8];
+    StoreLe64(buf, v);
+    h.Update(buf);
+  };
+  auto hash_proof_wire = [&](const DleqTranscript& proof) {
+    hash_u64(proof.commit_wire.size());
+    for (const CompressedRistretto& wire : proof.commit_wire) {
+      h.Update(wire);
+    }
+  };
+  auto hash_steps_wire = [&](const std::vector<TaggingStep>& steps) {
+    for (const TaggingStep& step : steps) {
+      hash_u64(step.output_wire.size());
+      for (const ElGamalWire& wire : step.output_wire) {
+        h.Update(wire);
+      }
+      for (const DleqTranscript& proof : step.proofs) {
+        hash_proof_wire(proof);
+      }
+    }
+  };
+  auto hash_shares_wire = [&](const std::vector<std::vector<DecryptionShare>>& shares) {
+    for (const auto& per_ct : shares) {
+      for (const DecryptionShare& share : per_ct) {
+        hash_proof_wire(share.proof);
+      }
+    }
+  };
+  const TallyTranscript& t = output.transcript;
+  hash_steps_wire(t.ballot_tag_steps);
+  hash_steps_wire(t.roster_tag_steps);
+  hash_shares_wire(t.ballot_tag_shares);
+  hash_shares_wire(t.roster_tag_shares);
+  hash_shares_wire(t.vote_shares);
   return h.Finalize();
 }
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (no third-party deps).
+
+Scans docs/*.md, README.md and ROADMAP.md for markdown links and fails when a
+relative target does not exist. External links (http/https/mailto) are
+ignored; pure-anchor links and anchors on existing files are checked against
+a GitHub-style slug of the target file's headings.
+
+Usage: check_doc_links.py [repo_root]
+Exit status: 0 when every link resolves, 1 otherwise (broken links listed).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading anchor: lowercase, drop punctuation, then map
+    each space to a dash (runs are NOT collapsed — 'a / b' -> 'a--b')."""
+    slug = heading.strip().lower()
+    # Drop markdown emphasis/code markers before slugging.
+    slug = re.sub(r"[`*]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            cache[path] = set()
+            return cache[path]
+        cache[path] = {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+    return cache[path]
+
+
+def check_file(md: Path, root: Path, anchor_cache: dict) -> list:
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                broken.append((md, target, "target does not exist"))
+                continue
+            if anchor and resolved.suffix == ".md":
+                if slugify(anchor) not in anchors_of(resolved, anchor_cache):
+                    broken.append((md, target, "anchor not found"))
+        elif anchor:  # same-file anchor
+            if slugify(anchor) not in anchors_of(md, anchor_cache):
+                broken.append((md, target, "anchor not found"))
+    return broken
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    files = sorted((root / "docs").glob("*.md"))
+    for name in ("README.md", "ROADMAP.md"):
+        candidate = root / name
+        if candidate.exists():
+            files.append(candidate)
+    if not files:
+        print("check_doc_links: no markdown files found under", root)
+        return 1
+    anchor_cache = {}
+    broken = []
+    for md in files:
+        broken.extend(check_file(md, root, anchor_cache))
+    for md, target, reason in broken:
+        print(f"BROKEN {md.relative_to(root)}: ({target}) — {reason}")
+    checked = len(files)
+    if broken:
+        print(f"check_doc_links: {len(broken)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"check_doc_links: OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
