@@ -257,7 +257,7 @@ void RunParallelTallySweep() {
     ChaChaRng tally_rng(0x5CA1AB1F);  // same stream every run: transcripts must match
     WallTimer tally_timer;
     TallyOutput output =
-        service.Run(trip.ledger(), candidates, trip.authorized_kiosks(), tally_rng);
+        std::move(*service.Run(trip.ledger(), candidates, trip.authorized_kiosks(), tally_rng));
     double tally_s = tally_timer.Seconds();
     WallTimer verify_timer;
     Status verified = VerifyElection(trip.ledger(), vparams, candidates, output, executor);

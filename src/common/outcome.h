@@ -21,20 +21,40 @@ struct Outcome {
   static Outcome Fail(std::string reason) {
     return Outcome{Status::Error(std::move(reason)), std::nullopt};
   }
+  static Outcome Fail(StatusCode code, std::string reason) {
+    return Outcome{Status::Error(code, std::move(reason)), std::nullopt};
+  }
+  static Outcome Fail(Status failed) {
+    if (failed.ok()) {
+      throw ProtocolError("Outcome::Fail: status is OK");
+    }
+    return Outcome{std::move(failed), std::nullopt};
+  }
 
   bool ok() const { return status.ok(); }
 
-  // Value access; misuse (access on failure) is a programming error.
+  // Value access; misuse (access on failure) is a programming error. The
+  // thrown diagnostic carries the underlying failure so a crashed caller
+  // reports *why* the outcome failed, not just that it was dereferenced.
   T& operator*() {
-    Require(value.has_value(), "Outcome: dereference of failed outcome");
+    RequireHasValue();
     return *value;
   }
   const T& operator*() const {
-    Require(value.has_value(), "Outcome: dereference of failed outcome");
+    RequireHasValue();
     return *value;
   }
   T* operator->() { return &**this; }
   const T* operator->() const { return &**this; }
+
+ private:
+  void RequireHasValue() const {
+    if (!value.has_value()) {
+      throw ProtocolError("Outcome: dereference of failed outcome: [" +
+                          std::string(StatusCodeName(status.code())) + "] " +
+                          status.reason());
+    }
+  }
 };
 
 }  // namespace votegral

@@ -8,6 +8,7 @@
 #ifndef SRC_COMMON_STATUS_H_
 #define SRC_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -28,33 +29,84 @@ inline void Require(bool condition, const char* message) {
   }
 }
 
+// Stable failure category. The reason string localizes a failure ("which
+// authority, which segment, which proof"); the code classifies it, so tests
+// and retry/degradation logic branch on the class instead of string-matching:
+//  * kFailed        — uncategorized failure (the pre-StatusCode default).
+//  * kInvalidProof  — a cryptographic check rejected (forged/corrupt proof,
+//                     bad signature, stale wire cache, hash mismatch caught
+//                     by a proof-style check).
+//  * kUnavailable   — a required party or resource is down (crashed
+//                     authority, fewer than t live trustees, missing file).
+//  * kTimeout       — a deadline elapsed before a response arrived.
+//  * kCorrupted     — stored or transported data failed an integrity check
+//                     (torn sealed segment, chain break, malformed frame).
+//  * kExhausted     — a bounded retry/attempt budget ran out.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kFailed,
+  kInvalidProof,
+  kUnavailable,
+  kTimeout,
+  kCorrupted,
+  kExhausted,
+};
+
+// Stable lowercase name ("ok", "invalid_proof", ...) for logs and tests.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kFailed: return "failed";
+    case StatusCode::kInvalidProof: return "invalid_proof";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kCorrupted: return "corrupted";
+    case StatusCode::kExhausted: return "exhausted";
+  }
+  return "unknown";
+}
+
 // Result of a fallible operation that callers must inspect.
 //
-// A Status is either OK or a failure carrying a human-readable reason. The
-// reason strings are stable enough to assert on in tests ("which check
-// rejected this credential?") and are surfaced to voters/auditors by the
-// examples.
+// A Status is either OK or a failure carrying a category code and a
+// human-readable reason. The reason strings are stable enough to assert on
+// in tests ("which check rejected this credential?") and are surfaced to
+// voters/auditors by the examples; the code is what degradation logic and
+// tests branch on.
 class Status {
  public:
   // Successful status.
-  static Status Ok() { return Status(true, ""); }
+  static Status Ok() { return Status(StatusCode::kOk, ""); }
 
   // Failed status with a reason. `reason` should name the check that failed,
-  // e.g. "activation: kiosk commit signature invalid".
-  static Status Error(std::string reason) { return Status(false, std::move(reason)); }
+  // e.g. "activation: kiosk commit signature invalid". Uncategorized
+  // (StatusCode::kFailed); prefer the two-argument overload in new code.
+  static Status Error(std::string reason) {
+    return Status(StatusCode::kFailed, std::move(reason));
+  }
 
-  bool ok() const { return ok_; }
+  // Failed status with an explicit category. `code` must not be kOk.
+  static Status Error(StatusCode code, std::string reason) {
+    if (code == StatusCode::kOk) {
+      throw ProtocolError("Status::Error: kOk is not a failure code");
+    }
+    return Status(code, std::move(reason));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& reason() const { return reason_; }
 
-  explicit operator bool() const { return ok_; }
+  explicit operator bool() const { return ok(); }
 
   // Returns the first failure among `this` and `other` (error short-circuit).
-  Status And(const Status& other) const { return ok_ ? other : *this; }
+  Status And(const Status& other) const { return ok() ? other : *this; }
 
  private:
-  Status(bool ok, std::string reason) : ok_(ok), reason_(std::move(reason)) {}
+  Status(StatusCode code, std::string reason)
+      : code_(code), reason_(std::move(reason)) {}
 
-  bool ok_;
+  StatusCode code_;
   std::string reason_;
 };
 

@@ -8,6 +8,18 @@
 // A_pk = ΣX_i. A ciphertext (C1, C2) is decrypted by combining verifiable
 // partial decryptions S_i = x_i*C1, each carrying a Chaum–Pedersen proof of
 // consistency with X_i.
+//
+// CreateThreshold additionally offers the t-of-n degradation mode (the
+// paper's threshold trust assumption made operational): a dealerless
+// sum-of-dealers Shamir DKG in which each member deals a degree-(t-1)
+// polynomial, member j's key becomes x_j = Σ_i f_i(j+1), the Feldman
+// commitment vectors sum coefficient-wise, and A_pk = C_0. Per-member share
+// proofs are *identical* to the additive mode (DLEQ((B, X_j), (C1, x_j*C1))
+// under the same domain), so the wire format and verifier code path do not
+// fork; only CombineShares changes — any ≥ t distinct verified shares are
+// Lagrange-recombined over the evaluation points (member_index + 1), which
+// is what lets the tally proceed when up to n−t authorities crash, stall or
+// return forged shares.
 #ifndef SRC_CRYPTO_DKG_H_
 #define SRC_CRYPTO_DKG_H_
 
@@ -20,6 +32,7 @@
 #include "src/crypto/dleq.h"
 #include "src/crypto/elgamal.h"
 #include "src/crypto/schnorr.h"
+#include "src/crypto/shamir.h"
 
 namespace votegral {
 
@@ -51,15 +64,30 @@ struct DecryptionShare {
 // The distributed election authority A = {A_1, ..., A_n}.
 class ElectionAuthority {
  public:
-  // Runs the DKG among `n` members.
+  // Runs the additive n-of-n DKG among `n` members (threshold() == n, and
+  // CombineShares requires every member: the seed configuration).
   static ElectionAuthority Create(size_t n, Rng& rng);
+
+  // Runs the dealerless sum-of-dealers Shamir DKG: any `threshold` of `n`
+  // members can decrypt; fewer learn nothing. 1 <= threshold <= n.
+  static ElectionAuthority CreateThreshold(size_t threshold, size_t n, Rng& rng);
 
   // The collective public key A_pk = sum of public shares.
   const RistrettoPoint& public_key() const { return public_key_; }
   size_t size() const { return members_.size(); }
   const AuthorityMember& member(size_t i) const { return members_.at(i); }
 
-  // Verifies every member's proof of possession against the collective key.
+  // Shares needed to decrypt: n for the additive mode, t for CreateThreshold.
+  size_t threshold() const { return threshold_; }
+  // True when shares recombine with Lagrange weights (CreateThreshold) rather
+  // than a plain sum.
+  bool is_threshold() const { return shamir_mode_; }
+  // Summed Feldman commitments (threshold mode only; empty for additive).
+  // Public: lets the verifier re-derive every member's share commitment.
+  const FeldmanCommitments& feldman_commitments() const { return feldman_; }
+
+  // Verifies every member's proof of possession against the collective key,
+  // and in threshold mode each public share against the Feldman commitments.
   Status VerifySetup() const;
 
   // Member `i` produces its verifiable share for `ct`. When the caller
@@ -73,8 +101,13 @@ class ElectionAuthority {
   // Anyone can check a share against the member's public share.
   Status VerifyShare(const ElGamalCiphertext& ct, const DecryptionShare& share) const;
 
-  // Combines all n shares: M = C2 - sum_i S_i. Requires exactly one share
-  // per member (n-of-n).
+  // Combines verified shares into the decryption M. Additive mode: requires
+  // exactly one share per member (n-of-n), M = C2 - Σ S_i. Threshold mode:
+  // requires >= threshold() distinct shares (any valid subset — callers
+  // exclude faulty authorities first), M = C2 - Σ λ_j S_j with Lagrange
+  // weights over the participating members' evaluation points. Misuse (too
+  // few / duplicate shares) throws; share *validity* is the caller's check
+  // (VerifyShare) — combining never inspects proofs.
   RistrettoPoint CombineShares(const ElGamalCiphertext& ct,
                                const std::vector<DecryptionShare>& shares) const;
 
@@ -87,6 +120,9 @@ class ElectionAuthority {
  private:
   std::vector<AuthorityMember> members_;
   RistrettoPoint public_key_;
+  size_t threshold_ = 0;
+  bool shamir_mode_ = false;
+  FeldmanCommitments feldman_;  // summed dealer commitments (threshold mode)
 };
 
 }  // namespace votegral

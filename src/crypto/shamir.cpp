@@ -6,8 +6,10 @@ namespace {
 
 constexpr std::string_view kThresholdShareDomain = "votegral/threshold/decryption-share/v1";
 
+}  // namespace
+
 // Evaluates sum_j x^j * points[j] (Horner over the group).
-RistrettoPoint EvalCommitments(const FeldmanCommitments& commitments, size_t x) {
+RistrettoPoint EvalFeldman(const FeldmanCommitments& commitments, size_t x) {
   Scalar x_scalar = Scalar::FromU64(static_cast<uint64_t>(x));
   RistrettoPoint acc;  // identity
   for (size_t j = commitments.size(); j-- > 0;) {
@@ -15,8 +17,6 @@ RistrettoPoint EvalCommitments(const FeldmanCommitments& commitments, size_t x) 
   }
   return acc;
 }
-
-}  // namespace
 
 std::vector<ShamirShare> ShamirSplit(const Scalar& secret, size_t threshold, size_t n,
                                      Rng& rng, FeldmanCommitments* commitments) {
@@ -50,7 +50,7 @@ Status VerifyShamirShare(const ShamirShare& share, const FeldmanCommitments& com
   if (share.index == 0 || commitments.empty()) {
     return Status::Error("shamir: malformed share or commitments");
   }
-  RistrettoPoint expected = EvalCommitments(commitments, share.index);
+  RistrettoPoint expected = EvalFeldman(commitments, share.index);
   if (!(RistrettoPoint::MulBase(share.value) == expected)) {
     return Status::Error("shamir: share does not match Feldman commitments");
   }
@@ -101,7 +101,7 @@ ThresholdAuthority ThresholdAuthority::Create(size_t threshold, size_t n, Rng& r
 }
 
 RistrettoPoint ThresholdAuthority::ShareCommitment(size_t index) const {
-  return EvalCommitments(commitments_, index);
+  return EvalFeldman(commitments_, index);
 }
 
 ThresholdDecryptionShare ThresholdAuthority::ComputeShare(size_t index,

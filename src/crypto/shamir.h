@@ -40,6 +40,13 @@ std::vector<ShamirShare> ShamirSplit(const Scalar& secret, size_t threshold, siz
 // Verifies one share against the commitments: f(i)*B == sum_j i^j * C_j.
 Status VerifyShamirShare(const ShamirShare& share, const FeldmanCommitments& commitments);
 
+// Evaluates the committed polynomial in the exponent at x:
+// sum_j x^j * C_j = f(x) * B. Public: anyone holding the commitments can
+// derive any participant's share commitment (the dealerless DKG and the
+// universal verifier both use this to check shares of excluded-authority
+// subsets).
+RistrettoPoint EvalFeldman(const FeldmanCommitments& commitments, size_t x);
+
 // Lagrange coefficient λ_i(0) for interpolating f(0) from the given
 // x-coordinates. `indices` must be distinct and contain `index`.
 Scalar LagrangeAtZero(const std::vector<size_t>& indices, size_t index);

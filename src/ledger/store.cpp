@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "src/common/faults.h"
 #include "src/common/serde.h"
 
 namespace votegral {
@@ -13,9 +14,17 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// Segment file header: magic, segment number, first entry index, capacity.
-constexpr char kSegmentMagic[8] = {'V', 'G', 'L', 'S', 'E', 'G', '0', '1'};
-constexpr size_t kSegmentHeaderBytes = sizeof(kSegmentMagic) + 8 + 8 + 4;
+// Segment file header: magic, segment number, first entry index, capacity,
+// flags. v02 added the flags word (bit 0 = sealed) so a segment carries its
+// own durability state: frames are flushed as they append, and sealing
+// rewrites the completed segment — sealed flag set — to a temp file followed
+// by an atomic rename, so a crash mid-seal leaves either the old unsealed
+// file (recovery re-seals it) or the new sealed one, never a half-updated
+// header over live frames.
+constexpr char kSegmentMagic[8] = {'V', 'G', 'L', 'S', 'E', 'G', '0', '2'};
+constexpr size_t kSegmentHeaderBytes = sizeof(kSegmentMagic) + 8 + 8 + 4 + 4;
+constexpr uint32_t kSegmentSealedFlag = 1u << 0;
+constexpr const char* kSealTempSuffix = ".tmp";
 
 std::string SegmentFileName(uint64_t segment) {
   char name[32];
@@ -25,13 +34,14 @@ std::string SegmentFileName(uint64_t segment) {
 }
 
 Bytes EncodeSegmentHeader(uint64_t segment, uint64_t first_index,
-                          uint32_t segment_entries) {
+                          uint32_t segment_entries, uint32_t flags) {
   Bytes out;
   out.insert(out.end(), kSegmentMagic, kSegmentMagic + sizeof(kSegmentMagic));
   out.resize(kSegmentHeaderBytes);
   StoreLe64(out.data() + 8, segment);
   StoreLe64(out.data() + 16, first_index);
   StoreLe32(out.data() + 24, segment_entries);
+  StoreLe32(out.data() + 28, flags);
   return out;
 }
 
@@ -235,12 +245,29 @@ Outcome<std::unique_ptr<FileLedgerStore>> FileLedgerStore::Open(
 Status FileLedgerStore::RecoverFromDisk() {
   // Enumerate segment files; numbering must be contiguous from zero — a gap
   // means a segment file went missing and the chain cannot be replayed.
+  // Stray seal temp files (a crash between writing `<seg>.tmp` and the
+  // atomic rename) are discarded first: the live, unsealed file is still the
+  // source of truth and gets re-sealed below.
   std::vector<uint64_t> present;
+  std::vector<fs::path> stale_temps;
   for (const fs::directory_entry& entry : fs::directory_iterator(directory_)) {
+    const std::string name = entry.path().filename().string();
     uint64_t segment = 0;
-    if (ParseSegmentFileName(entry.path().filename().string(), &segment)) {
+    if (ParseSegmentFileName(name, &segment)) {
       present.push_back(segment);
+    } else if (name.size() > 4 && name.compare(name.size() - 4, 4, kSealTempSuffix) == 0 &&
+               ParseSegmentFileName(name.substr(0, name.size() - 4), &segment)) {
+      stale_temps.push_back(entry.path());
     }
+  }
+  for (const fs::path& temp : stale_temps) {
+    std::error_code rm_ec;
+    fs::remove(temp, rm_ec);
+    if (rm_ec) {
+      return Status::Error("ledger store: cannot remove stale seal temp " +
+                           temp.string() + ": " + rm_ec.message());
+    }
+    recovery_stats_.removed_seal_temp = true;
   }
   std::sort(present.begin(), present.end());
   for (size_t s = 0; s < present.size(); ++s) {
@@ -252,6 +279,7 @@ Status FileLedgerStore::RecoverFromDisk() {
 
   LedgerHash prev = {};
   uint64_t expected_index = 0;
+  bool tail_sealed = false;
   for (size_t s = 0; s < present.size(); ++s) {
     const bool last = (s + 1 == present.size());
     const std::string path = SegmentPath(s);
@@ -295,6 +323,16 @@ Status FileLedgerStore::RecoverFromDisk() {
     const uint64_t header_segment = LoadLe64(bytes->data() + 8);
     const uint64_t header_first = LoadLe64(bytes->data() + 16);
     const uint32_t header_capacity = LoadLe32(bytes->data() + 24);
+    const uint32_t header_flags = LoadLe32(bytes->data() + 28);
+    const bool sealed = (header_flags & kSegmentSealedFlag) != 0;
+    if ((header_flags & ~kSegmentSealedFlag) != 0) {
+      return Status::Error("ledger store: segment " + std::to_string(s) +
+                           ": unknown header flags (" + path + ")");
+    }
+    if (!sealed && !last) {
+      return Status::Error("ledger store: segment " + std::to_string(s) +
+                           ": unsealed segment is not the log tail (" + path + ")");
+    }
     if (s == 0) {
       // The on-disk log's geometry wins over the caller's, but it must
       // satisfy the same power-of-two invariant the caller's value did.
@@ -318,9 +356,9 @@ Status FileLedgerStore::RecoverFromDisk() {
       LedgerEntryView view;
       int parsed = ParseFrameView(*bytes, &offset, &view);
       if (parsed == 0) {
-        // Torn tail frame: recoverable only at the very end of the log (a
-        // crash mid-append); anywhere else it is corruption.
-        if (!last) {
+        // Torn tail frame: recoverable only in the unsealed tail segment (a
+        // crash mid-append); inside a sealed segment it is corruption.
+        if (sealed) {
           return fail(in_segment, "torn entry frame inside a sealed segment");
         }
         std::error_code trunc_ec;
@@ -357,17 +395,25 @@ Status FileLedgerStore::RecoverFromDisk() {
         active_.push_back(view.Materialize());
       }
     }
-    if (!last && in_segment != segment_entries_) {
+    if (sealed && in_segment != segment_entries_) {
       return Status::Error("ledger store: segment " + std::to_string(s) +
                            ": sealed segment holds " + std::to_string(in_segment) +
                            " entries, expected " + std::to_string(segment_entries_) + " (" +
                            path + ")");
     }
+    if (last) {
+      tail_sealed = sealed;
+    }
   }
   size_ = expected_index;
   recovery_stats_.recovered_entries = size_;
-  if (!active_.empty() && active_.size() == segment_entries_) {
-    active_.clear();  // last segment is full, i.e. sealed
+  if (tail_sealed) {
+    active_.clear();  // tail segment is complete and committed
+  } else if (!active_.empty() && active_.size() == segment_entries_) {
+    // The tail is full but its seal never committed (crash after the last
+    // frame flush, before the atomic rename). Finish the seal now.
+    SealActiveSegment();
+    recovery_stats_.resealed_tail = true;
   }
   active_first_ = (size_ / segment_entries_) * segment_entries_;
   return Status::Ok();
@@ -381,8 +427,10 @@ void FileLedgerStore::OpenActiveStream() {
   Require(static_cast<bool>(active_out_),
           "ledger store: cannot open active segment for append");
   if (fresh) {
+    // New segments open unsealed (flags = 0); the sealed flag is only ever
+    // committed by the atomic rename in SealActiveSegment.
     Bytes header = EncodeSegmentHeader(segment, size_,
-                                       static_cast<uint32_t>(segment_entries_));
+                                       static_cast<uint32_t>(segment_entries_), 0);
     active_out_.write(reinterpret_cast<const char*>(header.data()),
                       static_cast<std::streamsize>(header.size()));
   }
@@ -395,6 +443,26 @@ uint64_t FileLedgerStore::Append(const LedgerEntry& entry) {
   }
   Bytes frame;
   AppendEntryFrame(&frame, entry);
+  const uint64_t segment = size_ / segment_entries_;
+  const FaultDecision fault = ProbeFaultPoint(faults::kLedgerAppend, segment, entry.index);
+  if (fault.kind == FaultKind::kCrash) {
+    // Torn write: only a prefix of the frame reaches disk before the
+    // process "dies". Recovery truncates it away and the tally resumes
+    // from the previous entry.
+    active_out_.write(reinterpret_cast<const char*>(frame.data()),
+                      static_cast<std::streamsize>(frame.size() / 2));
+    active_out_.flush();
+    active_out_.close();
+    throw InjectedCrash("ledger store: crash injected at " +
+                        std::string(faults::kLedgerAppend) + " (entry " +
+                        std::to_string(entry.index) + ")");
+  }
+  if (fault.kind == FaultKind::kCorrupt) {
+    // Silent media corruption: the frame lands on disk with a flipped byte
+    // while the in-memory copy stays intact. Caught by the hash chain on
+    // the next recovery, not by this process.
+    frame.back() ^= 0x01;
+  }
   active_out_.write(reinterpret_cast<const char*>(frame.data()),
                     static_cast<std::streamsize>(frame.size()));
   active_out_.flush();
@@ -402,12 +470,58 @@ uint64_t FileLedgerStore::Append(const LedgerEntry& entry) {
   active_.push_back(entry);
   ++size_;
   if (active_.size() == segment_entries_) {
-    // Seal: the segment file is complete; its entries now live on disk only.
-    active_out_.close();
-    active_.clear();
-    active_first_ = size_;
+    SealActiveSegment();
   }
   return entry.index;
+}
+
+void FileLedgerStore::SealActiveSegment() {
+  Require(!active_.empty() && active_.size() == segment_entries_,
+          "ledger store: seal of a non-full segment");
+  const uint64_t first_index = active_.front().index;
+  const uint64_t segment = first_index / segment_entries_;
+  if (active_out_.is_open()) {
+    active_out_.flush();  // every frame is on disk before the seal starts
+    active_out_.close();
+  }
+  // Build the sealed image and commit it with write-to-temp + atomic rename:
+  // a crash at any point leaves either the old unsealed file (re-sealed on
+  // the next open) or the complete sealed one — never a live file with a
+  // half-updated header.
+  Bytes image = EncodeSegmentHeader(segment, first_index,
+                                    static_cast<uint32_t>(segment_entries_),
+                                    kSegmentSealedFlag);
+  for (const LedgerEntry& entry : active_) {
+    AppendEntryFrame(&image, entry);
+  }
+  const std::string path = SegmentPath(segment);
+  const std::string temp = path + kSealTempSuffix;
+  const FaultDecision fault = ProbeFaultPoint(faults::kLedgerSeal, segment, first_index);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    Require(static_cast<bool>(out), "ledger store: cannot open seal temp file");
+    if (fault.kind == FaultKind::kCrash) {
+      // Partial seal: the temp file is half-written when the process
+      // "dies". The live segment file is untouched (still unsealed, full);
+      // recovery discards the temp and finishes the seal.
+      out.write(reinterpret_cast<const char*>(image.data()),
+                static_cast<std::streamsize>(image.size() / 2));
+      out.flush();
+      out.close();
+      throw InjectedCrash("ledger store: crash injected at " +
+                          std::string(faults::kLedgerSeal) + " (segment " +
+                          std::to_string(segment) + ")");
+    }
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    out.flush();
+    Require(static_cast<bool>(out), "ledger store: seal temp write failed");
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  Require(!ec, "ledger store: atomic seal rename failed");
+  active_.clear();
+  active_first_ = size_;
 }
 
 PinnedSegment FileLedgerStore::Pin(uint64_t segment) const {

@@ -16,10 +16,15 @@
 //    length-prefixed frame carrying (index, topic, payload, prev_hash,
 //    entry_hash). Appends write through; sealed segments are dropped from
 //    memory and re-read on Pin(), so resident payload memory is O(segment),
-//    not O(ledger). Open() recovers crash-safely: a torn frame at the tail
-//    of the *last* segment is truncated away; any damage to a sealed
-//    segment (bit flip, short file, missing file) is reported as a
-//    localized, named failure instead of being silently dropped.
+//    not O(ledger). Frames are flushed as they append; a completed segment
+//    is sealed by rewriting it (sealed header flag set) to a temp file and
+//    atomically renaming it over the live one. Open() recovers crash-safely:
+//    a torn frame at the tail of the *last* segment is truncated away, a
+//    torn seal (stray temp file, full-but-unsealed tail) is repaired; any
+//    damage to a sealed segment (bit flip, short file, missing file) is
+//    reported as a localized, named failure instead of being silently
+//    dropped. The append and seal paths carry faults::kLedgerAppend /
+//    faults::kLedgerSeal fault points for crash-recovery drills.
 //
 // Thread-safety contract: concurrent Pin()/read from any number of threads
 // is safe; Append() must not run concurrently with reads (the protocol
@@ -172,6 +177,11 @@ class FileLedgerStore final : public LedgerStore {
     bool truncated_tail = false;  // a torn tail frame was cut off on open
     uint64_t dropped_bytes = 0;   // bytes removed by that truncation
     uint64_t recovered_entries = 0;
+    // Crash-during-seal repairs: a leftover seg-*.log.tmp from an
+    // interrupted atomic seal was discarded, and/or a full-but-unsealed
+    // last segment (the seal never committed) was re-sealed on open.
+    bool removed_seal_temp = false;
+    bool resealed_tail = false;
   };
 
   // Opens (creating the directory if needed) and recovers the log: every
@@ -202,6 +212,10 @@ class FileLedgerStore final : public LedgerStore {
 
   Status RecoverFromDisk();
   void OpenActiveStream();
+  // Atomically seals the (full) active segment: writes the complete segment
+  // image — sealed flag set — to `<path>.tmp`, flushes, then renames over
+  // the live file. Carries the faults::kLedgerSeal fault point.
+  void SealActiveSegment();
 
   std::string directory_;
   size_t segment_entries_;

@@ -68,7 +68,11 @@ void EnvelopeSupply::Add(std::vector<Envelope> envelopes) {
 
 TripSystem TripSystem::Create(const TripSystemParams& params, Rng& rng) {
   TripSystem system(params.storage);
-  system.authority_ = ElectionAuthority::Create(params.authority_members, rng);
+  system.authority_ =
+      params.authority_threshold == 0
+          ? ElectionAuthority::Create(params.authority_members, rng)
+          : ElectionAuthority::CreateThreshold(params.authority_threshold,
+                                               params.authority_members, rng);
   system.mac_key_ = rng.RandomBytes(32);
 
   for (const std::string& voter : params.roster) {

@@ -69,6 +69,9 @@ class EnvelopeSupply {
 // n_E > c·|V| + λ_E·|K| — see §E.2).
 struct TripSystemParams {
   size_t authority_members = 4;
+  // 0 = additive n-of-n DKG (seed behaviour); t >= 1 = dealerless Shamir
+  // DKG with decryption threshold t (see ElectionAuthority::CreateThreshold).
+  size_t authority_threshold = 0;
   size_t kiosks = 1;
   size_t officials = 1;
   size_t envelope_printers = 1;

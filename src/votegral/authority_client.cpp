@@ -1,0 +1,99 @@
+#include "src/votegral/authority_client.h"
+
+namespace votegral {
+
+namespace {
+
+// Folds the retry attempt into the fault-schedule key so each attempt draws
+// an independent decision (a timed-out request may succeed on retry).
+uint64_t AttemptKey(uint64_t ct_key, size_t attempt) {
+  return (ct_key << 8) | static_cast<uint64_t>(attempt & 0xFF);
+}
+
+}  // namespace
+
+AuthorityClient::AuthorityClient(const ElectionAuthority& authority, RetryPolicy policy)
+    : authority_(authority), policy_(policy) {
+  Require(policy_.max_attempts >= 1, "AuthorityClient: need at least one attempt");
+}
+
+Outcome<DecryptionShare> AuthorityClient::RequestShare(
+    size_t member, const ElGamalCiphertext& ct, Rng& rng, uint64_t ct_key,
+    const CompressedRistretto* c1_wire, ShareRequestReport* report) const {
+  VirtualClock clock;  // per-request simulated budget; never sleeps
+  ShareRequestReport local;
+  ShareRequestReport& rep = report != nullptr ? *report : local;
+  rep.member_index = member;
+
+  const std::string who = "authority " + std::to_string(member);
+  const std::string point(faults::kAuthorityComputeShare);
+  auto fail = [&](StatusCode code, std::string reason) {
+    rep.status = Status::Error(code, std::move(reason));
+    rep.sim_seconds = clock.Seconds();
+    return Outcome<DecryptionShare>::Fail(rep.status);
+  };
+  auto deadline_spent = [&] {
+    return clock.Seconds() * 1000.0 >= static_cast<double>(policy_.deadline_ms);
+  };
+
+  for (size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    rep.attempts = attempt + 1;
+    const FaultDecision fault =
+        ProbeFaultPoint(faults::kAuthorityComputeShare, member,
+                        AttemptKey(ct_key, attempt));
+
+    if (fault.kind == FaultKind::kCrash) {
+      // Permanent by construction (the schedule drops the operation key for
+      // crashes), so retrying is pointless: blame and move on.
+      return fail(StatusCode::kUnavailable, who + ": crash injected at " + point);
+    }
+
+    if (fault.kind == FaultKind::kTimeout) {
+      clock.Advance(static_cast<double>(policy_.request_timeout_ms) * 1e-3);
+      if (deadline_spent()) {
+        return fail(StatusCode::kTimeout, who + ": deadline exceeded at " + point);
+      }
+      // Deterministic exponential backoff before the next attempt.
+      clock.Advance(static_cast<double>(policy_.base_backoff_ms << attempt) * 1e-3);
+      if (deadline_spent()) {
+        return fail(StatusCode::kTimeout, who + ": deadline exceeded at " + point);
+      }
+      continue;
+    }
+
+    if (fault.kind == FaultKind::kDelay) {
+      clock.Advance(static_cast<double>(fault.delay_ms) * 1e-3);
+      if (deadline_spent()) {
+        return fail(StatusCode::kTimeout,
+                    who + ": delayed response missed deadline at " + point);
+      }
+      // Late but within budget: the response still arrives below.
+    }
+
+    DecryptionShare share = authority_.ComputeShare(member, ct, rng, c1_wire);
+    if (fault.kind == FaultKind::kCorrupt) {
+      // A Byzantine member returns a well-formed but wrong partial: the DLEQ
+      // statement no longer matches its proof.
+      share.share = share.share + RistrettoPoint::Base();
+    }
+
+    // Arrival verification, enabled exactly when faults can occur. No-fault
+    // runs keep the single batched self-check at the release gate instead of
+    // paying per-share verification twice.
+    if (FaultInjector::Armed()) {
+      if (Status ok = authority_.VerifyShare(ct, share); !ok.ok()) {
+        // A forged response is exclusion-worthy evidence, not a transient
+        // failure: no retry.
+        return fail(StatusCode::kInvalidProof,
+                    who + ": share rejected on arrival at " + point + ": " + ok.reason());
+      }
+    }
+
+    rep.status = Status::Ok();
+    rep.sim_seconds = clock.Seconds();
+    return Outcome<DecryptionShare>::Ok(std::move(share));
+  }
+  return fail(StatusCode::kExhausted, who + ": retry budget exhausted at " + point);
+}
+
+}  // namespace votegral

@@ -7,6 +7,7 @@ namespace {
 TripSystem MakeTrip(const ElectionConfig& config, Rng& rng) {
   TripSystemParams params;
   params.authority_members = config.authority_members;
+  params.authority_threshold = config.authority_threshold;
   params.roster = config.roster;
   params.storage = config.storage;
   return TripSystem::Create(params, rng);
@@ -49,7 +50,15 @@ Status Election::Cast(const ActivatedCredential& credential, const std::string& 
 }
 
 TallyOutput Election::Tally(Rng& rng) const {
-  TallyService service(trip_.authority(), tagging_, config_.mix_pairs, executor());
+  // Dereferencing a failed Outcome throws ProtocolError carrying the coded
+  // reason — the old abort-on-failure contract, now with localized blame.
+  Outcome<TallyOutput> outcome = TryTally(rng);
+  return std::move(*outcome);
+}
+
+Outcome<TallyOutput> Election::TryTally(Rng& rng) const {
+  TallyService service(trip_.authority(), tagging_, config_.mix_pairs, executor(),
+                       config_.retry_policy);
   return service.Run(trip_.ledger(), candidates_, trip_.authorized_kiosks(), rng);
 }
 
@@ -63,6 +72,8 @@ VerifierParams Election::verifier_params() const {
   for (size_t i = 0; i < trip_.authority().size(); ++i) {
     params.authority_shares.push_back(trip_.authority().member(i).public_share);
   }
+  params.authority_threshold =
+      trip_.authority().is_threshold() ? trip_.authority().threshold() : 0;
   params.tagging_commitments = tagging_.commitments();
   params.authorized_kiosks = trip_.authorized_kiosks();
   params.authorized_officials = trip_.authorized_officials();

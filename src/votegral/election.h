@@ -20,8 +20,17 @@ struct ElectionConfig {
   std::vector<std::string> roster;
   std::vector<std::string> candidates;
   size_t authority_members = 4;
+  // 0 = additive n-of-n DKG (the seed configuration; one failed member
+  // aborts the tally). t in [1, authority_members] = dealerless Shamir DKG:
+  // the tally degrades gracefully, succeeding with any t honest-and-live
+  // members and naming the excluded ones.
+  size_t authority_threshold = 0;
   size_t tagging_members = 4;
   size_t mix_pairs = 2;  // 4 shufflers, matching the paper's experiments
+
+  // Retry/deadline policy the tally's AuthorityClient uses when collecting
+  // decryption shares (simulated time; see docs/ROBUSTNESS.md).
+  RetryPolicy retry_policy;
 
   // Worker threads for the tally pipeline and the universal verifier.
   // 0 = share the process-wide pool (sized from hardware_concurrency);
@@ -55,7 +64,15 @@ class Election {
   Status Cast(const ActivatedCredential& credential, const std::string& candidate, Rng& rng);
 
   // Runs the tally pipeline, producing the result and its transcript.
+  // Throws ProtocolError (carrying the coded reason) if the tally cannot
+  // complete — the convenience form for callers that treat failure as fatal.
   TallyOutput Tally(Rng& rng) const;
+
+  // Like Tally, but failure is a value: fewer than threshold live
+  // authorities, or a faulted mix/tag stage, yields a coded localized
+  // Status instead of a throw. Fault-tolerance tests and degradation-aware
+  // callers use this form.
+  Outcome<TallyOutput> TryTally(Rng& rng) const;
 
   // Universal verification of a published tally against the ledger.
   Status Verify(const TallyOutput& output) const;

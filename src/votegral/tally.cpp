@@ -89,8 +89,9 @@ std::vector<Ballot> ValidateAndDeduplicate(
 }
 
 TallyService::TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
-                           size_t mix_pairs, Executor& executor)
-    : authority_(authority), tagging_(tagging), mix_pairs_(mix_pairs), executor_(executor) {}
+                           size_t mix_pairs, Executor& executor, RetryPolicy retry_policy)
+    : authority_(authority), tagging_(tagging), mix_pairs_(mix_pairs), executor_(executor),
+      retry_policy_(retry_policy) {}
 
 namespace {
 
@@ -101,36 +102,77 @@ void Release(T& container) {
   T().swap(container);
 }
 
-// Decrypt-stage workhorse: every authority member's verifiable share for
-// every ciphertext, fanned out over fixed shards with forked DRBG streams
-// for the proof nonces. Returns the canonical encodings of the combined
-// plaintexts; appends one self-check DLEQ entry per share, in (ciphertext,
-// member) order, for the release gate. `cts_wire`, when non-empty, supplies
-// the producer's canonical bytes for `cts` (tagging output wire, mix column
-// wire) so the share statements are wire-backed without re-encoding C1.
-std::vector<CompressedRistretto> DecryptBatchWithShares(
-    const ElectionAuthority& authority, const std::vector<ElGamalCiphertext>& cts, Rng& rng,
-    Executor& executor, std::vector<std::vector<DecryptionShare>>* shares_out,
-    std::vector<DleqBatchEntry>* self_check, std::span<const ElGamalWire> cts_wire = {}) {
+// Epoch tags distinguishing the three decrypt batches in the per-run fault
+// schedule: a ciphertext's fault key is (epoch << 32) | index, unique across
+// the whole run regardless of batch sizes.
+enum : uint64_t {
+  kEpochRosterTags = 1,
+  kEpochBallotTags = 2,
+  kEpochVotes = 3,
+};
+
+// Decrypt-stage workhorse: collects every live authority member's verifiable
+// share for every ciphertext *through the retrying AuthorityClient*, fanned
+// out over fixed shards with forked DRBG streams for the proof nonces.
+//
+// Degradation: members whose request fails (crash / deadline / corrupt
+// response / exhausted retries) are excluded from that ciphertext's share
+// set with their coded report merged into `blame` (first failure in
+// ciphertext order per member). Decryption then recombines over the
+// surviving subset — any >= threshold() shares in Shamir mode, all members
+// in additive mode — and the whole batch fails kUnavailable the moment some
+// ciphertext cannot reach the threshold, never combining below it.
+//
+// Writes the canonical encodings of the combined plaintexts into
+// `encoded_out`; appends one self-check DLEQ entry per collected share, in
+// (ciphertext, member) order, for the release gate. `cts_wire`, when
+// non-empty, supplies the producer's canonical bytes for `cts` (tagging
+// output wire, mix column wire) so the share statements are wire-backed
+// without re-encoding C1.
+Status DecryptBatchWithShares(
+    const TallyService& service, const char* what,
+    const std::vector<ElGamalCiphertext>& cts, Rng& rng, uint64_t epoch,
+    std::vector<std::vector<DecryptionShare>>* shares_out,
+    std::vector<CompressedRistretto>* encoded_out,
+    std::vector<DleqBatchEntry>* self_check, std::map<size_t, Status>* blame,
+    std::span<const ElGamalWire> cts_wire = {}) {
+  const ElectionAuthority& authority = service.authority();
   const size_t n = cts.size();
   const size_t members = authority.size();
+  const size_t need = authority.threshold();
   Require(cts_wire.empty() || cts_wire.size() == n, "tally: cts wire size mismatch");
+  const AuthorityClient client(authority, service.retry_policy());
   shares_out->assign(n, {});
-  std::vector<CompressedRistretto> encoded(n);
+  encoded_out->assign(n, CompressedRistretto{});
   const size_t check_base = self_check->size();
   self_check->resize(check_base + n * members);
+  // Failure capture, only live when a fault plan is armed (nothing can fail
+  // otherwise). Reports are written positionally and merged sequentially
+  // below, so blame never depends on shard scheduling.
+  const bool armed = FaultInjector::Armed();
+  std::vector<std::vector<ShareRequestReport>> failed(armed ? n : 0);
+  std::vector<uint8_t> short_of_threshold(n, 0);
   auto shards = Executor::Shards(n, Executor::kRngShards);
   auto seeds = ForkRngSeeds(rng, shards.size());
-  executor.ParallelForEach(shards.size(), [&](size_t s) {
+  service.executor().ParallelForEach(shards.size(), [&](size_t s) {
     ChaChaRng child(seeds[s]);
     for (size_t i = shards[s].first; i < shards[s].second; ++i) {
       std::vector<DecryptionShare>& shares = (*shares_out)[i];
       shares.reserve(members);
       const CompressedRistretto c1_wire =
           cts_wire.empty() ? cts[i].c1.Encode() : ElGamalWireHalf(cts_wire[i], 0);
+      const uint64_t ct_key = (epoch << 32) | static_cast<uint64_t>(i);
       for (size_t m = 0; m < members; ++m) {
-        shares.push_back(authority.ComputeShare(m, cts[i], child, &c1_wire));
-        const DecryptionShare& share = shares.back();
+        ShareRequestReport report;
+        Outcome<DecryptionShare> requested =
+            client.RequestShare(m, cts[i], child, ct_key, &c1_wire, &report);
+        if (!requested.ok()) {
+          if (armed) {
+            failed[i].push_back(std::move(report));
+          }
+          continue;
+        }
+        const DecryptionShare& share = *requested;
         DleqBatchEntry entry;
         entry.domain = std::string(kDecryptionShareDomain);
         entry.statement = DleqStatement::MakePairWire(
@@ -139,32 +181,94 @@ std::vector<CompressedRistretto> DecryptBatchWithShares(
             cts[i].c1, c1_wire, share.share, share.share.Encode());
         entry.transcript = share.proof;
         (*self_check)[check_base + i * members + m] = std::move(entry);
+        shares.push_back(std::move(*requested));
       }
-      encoded[i] = authority.CombineShares(cts[i], shares).Encode();
+      if (shares.size() < need) {
+        short_of_threshold[i] = 1;
+        continue;
+      }
+      (*encoded_out)[i] = authority.CombineShares(cts[i], shares).Encode();
     }
   });
-  return encoded;
+  // Sequential, index-ordered merges keep blame and failure localization
+  // deterministic at any thread count.
+  for (size_t i = 0; i < failed.size(); ++i) {
+    for (const ShareRequestReport& report : failed[i]) {
+      blame->emplace(report.member_index, report.status);
+    }
+  }
+  if (armed) {
+    // Compact this batch's self-check region: excluded members leave empty
+    // positional slots that the release-gate batch verifier must not see.
+    auto begin = self_check->begin() + static_cast<ptrdiff_t>(check_base);
+    self_check->erase(
+        std::remove_if(begin, self_check->end(),
+                       [](const DleqBatchEntry& e) { return e.domain.empty(); }),
+        self_check->end());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (short_of_threshold[i] != 0) {
+      return Status::Error(
+          StatusCode::kUnavailable,
+          std::string(what) + ": only " + std::to_string((*shares_out)[i].size()) +
+              " of " + std::to_string(members) + " authority shares for ciphertext " +
+              std::to_string(i) + " (threshold " + std::to_string(need) + ")");
+    }
+  }
+  return Status::Ok();
 }
 
-void StageValidate(const TallyService& service, const PublicLedger& ledger,
-                   const CandidateList&, const std::set<CompressedRistretto>& kiosks, Rng&,
-                   TallyPipelineState& state) {
+// Stage-level fault points (mix.shuffle, tag.apply): the whole sub-batch
+// operation either runs cleanly or fails with a coded, localized status —
+// the mix cascade and tagging chain have no per-item degradation story (a
+// missing shuffler breaks the cascade), so injected faults surface as stage
+// failures. An injected delay only models latency and does not fail the
+// stage; an injected corruption is reported as caught (the cascade's proof
+// checks would reject a tampered batch).
+Status ProbeStageFault(std::string_view point, uint64_t scope, const char* what) {
+  const FaultDecision fault = ProbeFaultPoint(point, scope, 0);
+  switch (fault.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kDelay:
+      return Status::Ok();
+    case FaultKind::kCrash:
+      return Status::Error(StatusCode::kUnavailable,
+                           std::string(what) + ": crash injected at " + std::string(point));
+    case FaultKind::kTimeout:
+      return Status::Error(StatusCode::kTimeout,
+                           std::string(what) + ": timeout injected at " + std::string(point));
+    case FaultKind::kCorrupt:
+      return Status::Error(StatusCode::kCorrupted,
+                           std::string(what) + ": output integrity check failed at " +
+                               std::string(point));
+  }
+  return Status::Ok();
+}
+
+Status StageValidate(const TallyService& service, const PublicLedger& ledger,
+                     const CandidateList&, const std::set<CompressedRistretto>& kiosks, Rng&,
+                     TallyPipelineState& state) {
   state.validated_ballots =
       ValidateBallots(ledger, kiosks, &state.output.result.discards, service.executor());
+  return Status::Ok();
 }
 
-void StageDedup(const TallyService&, const PublicLedger&, const CandidateList&,
-                const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
+Status StageDedup(const TallyService&, const PublicLedger&, const CandidateList&,
+                  const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
   state.output.transcript.accepted_ballots =
       DeduplicateBallots(state.validated_ballots, &state.output.result.discards);
   Release(state.validated_ballots);
+  return Status::Ok();
 }
 
-void StageMix(const TallyService& service, const PublicLedger& ledger, const CandidateList&,
-              const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
+Status StageMix(const TallyService& service, const PublicLedger& ledger, const CandidateList&,
+                const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
   Executor& executor = service.executor();
 
+  if (Status fault = ProbeStageFault(faults::kMixShuffle, 0, "ballot mix"); !fault.ok()) {
+    return fault;
+  }
   // Ballot batch: [Enc(vote), Enc(c_pk)]; wire caches are filled in the
   // same parallel pass that decodes the credential points, so every later
   // hash of these batches is SHA-only.
@@ -183,6 +287,9 @@ void StageMix(const TallyService& service, const PublicLedger& ledger, const Can
                                          executor);
 
   // Roster batch: [c_pc].
+  if (Status fault = ProbeStageFault(faults::kMixShuffle, 1, "roster mix"); !fault.ok()) {
+    return fault;
+  }
   std::vector<RegistrationRecord> roster = ledger.ActiveRegistrations();
   t.roster_mix_input.resize(roster.size());
   executor.ParallelForEach(roster.size(), [&](size_t i) {
@@ -198,11 +305,15 @@ void StageMix(const TallyService& service, const PublicLedger& ledger, const Can
   // Hand the credential columns to the tag stage.
   state.ballot_credentials = BatchColumn(t.ballot_mix_output, 1);
   state.roster_credentials = BatchColumn(t.roster_mix_output, 0);
+  return Status::Ok();
 }
 
-void StageTag(const TallyService& service, const PublicLedger&, const CandidateList&,
-              const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
+Status StageTag(const TallyService& service, const PublicLedger&, const CandidateList&,
+                const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
+  if (Status fault = ProbeStageFault(faults::kTagApply, 0, "ballot tagging"); !fault.ok()) {
+    return fault;
+  }
   // Thread the mix outputs' wire caches (filled at shuffle time) into the
   // first tagging step's statements; each step then feeds the next, and the
   // final step's bytes back the decrypt stage. The transcript bytes do not
@@ -211,10 +322,14 @@ void StageTag(const TallyService& service, const PublicLedger&, const CandidateL
       state.ballot_credentials, &t.ballot_tag_steps, rng, service.executor(),
       BatchColumnWire(t.ballot_mix_output, 1));
   Release(state.ballot_credentials);
+  if (Status fault = ProbeStageFault(faults::kTagApply, 1, "roster tagging"); !fault.ok()) {
+    return fault;
+  }
   state.roster_tagged = service.tagging().ApplyAll(
       state.roster_credentials, &t.roster_tag_steps, rng, service.executor(),
       BatchColumnWire(t.roster_mix_output, 0));
   Release(state.roster_credentials);
+  return Status::Ok();
 }
 
 // The canonical bytes of a tagged ciphertext list: the last step's
@@ -227,28 +342,36 @@ std::span<const ElGamalWire> TaggedWire(const std::vector<TaggingStep>& steps) {
   return steps.back().output_wire;
 }
 
-void StageDecryptTags(const TallyService& service, const PublicLedger&, const CandidateList&,
-                      const std::set<CompressedRistretto>&, Rng& rng,
-                      TallyPipelineState& state) {
+Status StageDecryptTags(const TallyService& service, const PublicLedger&, const CandidateList&,
+                        const std::set<CompressedRistretto>&, Rng& rng,
+                        TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
   // Roster side first (the stream order auditors replay), then ballots.
-  t.roster_tags = DecryptBatchWithShares(service.authority(), state.roster_tagged, rng,
-                                         service.executor(), &t.roster_tag_shares,
-                                         &state.share_self_check,
+  Status status = DecryptBatchWithShares(service, "roster tags", state.roster_tagged, rng,
+                                         kEpochRosterTags, &t.roster_tag_shares,
+                                         &t.roster_tags, &state.share_self_check,
+                                         &state.authority_blame,
                                          TaggedWire(t.roster_tag_steps));
+  if (!status.ok()) {
+    return status;
+  }
   Release(state.roster_tagged);
   for (const CompressedRistretto& tag : t.roster_tags) {
     state.roster_tag_counts[tag] += 1;
   }
-  t.ballot_tags = DecryptBatchWithShares(service.authority(), state.ballot_tagged, rng,
-                                         service.executor(), &t.ballot_tag_shares,
-                                         &state.share_self_check,
-                                         TaggedWire(t.ballot_tag_steps));
+  status = DecryptBatchWithShares(service, "ballot tags", state.ballot_tagged, rng,
+                                  kEpochBallotTags, &t.ballot_tag_shares, &t.ballot_tags,
+                                  &state.share_self_check, &state.authority_blame,
+                                  TaggedWire(t.ballot_tag_steps));
+  if (!status.ok()) {
+    return status;
+  }
   Release(state.ballot_tagged);
+  return Status::Ok();
 }
 
-void StageJoin(const TallyService&, const PublicLedger&, const CandidateList&,
-               const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
+Status StageJoin(const TallyService&, const PublicLedger&, const CandidateList&,
+                 const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
   TallyResult& result = state.output.result;
   // Hash-join ballot tags against the roster tag multiset: at most one
@@ -271,12 +394,13 @@ void StageJoin(const TallyService&, const PublicLedger&, const CandidateList&,
     it->second = 0;  // consume all matching registrations at once
   }
   Release(state.roster_tag_counts);
+  return Status::Ok();
 }
 
-void StageDecryptVotes(const TallyService& service, const PublicLedger&,
-                       const CandidateList& candidates,
-                       const std::set<CompressedRistretto>&, Rng& rng,
-                       TallyPipelineState& state) {
+Status StageDecryptVotes(const TallyService& service, const PublicLedger&,
+                         const CandidateList& candidates,
+                         const std::set<CompressedRistretto>&, Rng& rng,
+                         TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
   TallyResult& result = state.output.result;
   std::vector<ElGamalCiphertext> counted_votes;
@@ -294,9 +418,13 @@ void StageDecryptVotes(const TallyService& service, const PublicLedger&,
       counted_votes_wire.push_back(counted_wire[index]);
     }
   }
-  t.vote_points = DecryptBatchWithShares(service.authority(), counted_votes, rng,
-                                         service.executor(), &t.vote_shares,
-                                         &state.share_self_check, counted_votes_wire);
+  Status status = DecryptBatchWithShares(service, "votes", counted_votes, rng, kEpochVotes,
+                                         &t.vote_shares, &t.vote_points,
+                                         &state.share_self_check, &state.authority_blame,
+                                         counted_votes_wire);
+  if (!status.ok()) {
+    return status;
+  }
   for (size_t c = 0; c < t.counted_indices.size(); ++c) {
     uint64_t weight = t.counted_weights[c];
     auto candidate = candidates.IndexOfEncoding(t.vote_points[c]);
@@ -307,17 +435,21 @@ void StageDecryptVotes(const TallyService& service, const PublicLedger&,
     result.counts[candidates.name(*candidate)] += weight;
     result.counted += weight;
   }
+  return Status::Ok();
 }
 
-void StageReleaseGate(const TallyService&, const PublicLedger&, const CandidateList&,
-                      const std::set<CompressedRistretto>&, Rng& rng,
-                      TallyPipelineState& state) {
+Status StageReleaseGate(const TallyService&, const PublicLedger&, const CandidateList&,
+                        const std::set<CompressedRistretto>&, Rng& rng,
+                        TallyPipelineState& state) {
   // Release gate: all decryption-share proofs produced above must verify as
   // one batch. A failure here is an internal fault, not a verification
-  // result, hence Require rather than a Status.
+  // result, hence Require rather than a Status — corrupted responses never
+  // reach this batch (they are rejected on arrival and their members
+  // excluded), so a failure here means *we* produced a bad proof.
   Require(BatchVerifyDleq(state.share_self_check, rng).ok(),
           "tally: produced decryption share failed batched self-check");
   Release(state.share_self_check);
+  return Status::Ok();
 }
 
 constexpr TallyService::Stage kPipeline[] = {
@@ -335,18 +467,26 @@ constexpr TallyService::Stage kPipeline[] = {
 
 std::span<const TallyService::Stage> TallyService::Pipeline() { return kPipeline; }
 
-TallyOutput TallyService::Run(const PublicLedger& ledger, const CandidateList& candidates,
-                              const std::set<CompressedRistretto>& authorized_kiosks,
-                              Rng& rng) const {
+Outcome<TallyOutput> TallyService::Run(const PublicLedger& ledger,
+                                       const CandidateList& candidates,
+                                       const std::set<CompressedRistretto>& authorized_kiosks,
+                                       Rng& rng) const {
   Executor::Scope scope(executor_);  // nested crypto kernels follow this pool
   TallyPipelineState state;
   for (size_t i = 0; i < candidates.size(); ++i) {
     state.output.result.counts[candidates.name(i)] = 0;
   }
   for (const Stage& stage : Pipeline()) {
-    stage.run(*this, ledger, candidates, authorized_kiosks, rng, state);
+    Status status = stage.run(*this, ledger, candidates, authorized_kiosks, rng, state);
+    if (!status.ok()) {
+      return Outcome<TallyOutput>::Fail(
+          Status::Error(status.code(), std::string(stage.name) + " stage: " + status.reason()));
+    }
   }
-  return std::move(state.output);
+  for (const auto& [member, status] : state.authority_blame) {
+    state.output.excluded_authorities.push_back(AuthorityBlame{member, status});
+  }
+  return Outcome<TallyOutput>::Ok(std::move(state.output));
 }
 
 }  // namespace votegral

@@ -35,10 +35,12 @@
 #include <vector>
 
 #include "src/common/executor.h"
+#include "src/common/faults.h"
 #include "src/common/outcome.h"
 #include "src/crypto/batch.h"
 #include "src/crypto/dkg.h"
 #include "src/ledger/subledgers.h"
+#include "src/votegral/authority_client.h"
 #include "src/votegral/ballot.h"
 #include "src/votegral/mixnet.h"
 #include "src/votegral/tagging.h"
@@ -96,9 +98,25 @@ struct TallyTranscript {
   std::vector<CompressedRistretto> vote_points;
 };
 
+// Localized blame for an authority member excluded from the tally: the
+// coded status names the member, the fault point and the failure class
+// (unavailable / timeout / invalid_proof / exhausted). Recorded once per
+// member with the first failure observed in ciphertext order, so the record
+// is deterministic at any thread count.
+struct AuthorityBlame {
+  size_t member_index = 0;
+  Status status = Status::Ok();
+};
+
 struct TallyOutput {
   TallyResult result;
   TallyTranscript transcript;
+  // Members the decrypt stages excluded under t-of-n degradation (empty on
+  // the happy path, and always empty in additive n-of-n mode — there a
+  // single failed member fails the whole tally instead). Not part of the
+  // transcript digest: the transcript itself records participation via each
+  // share's member_index.
+  std::vector<AuthorityBlame> excluded_authorities;
 };
 
 // Mutable state threaded through the stage pipeline: the output under
@@ -123,6 +141,9 @@ struct TallyPipelineState {
   std::map<CompressedRistretto, uint64_t> roster_tag_counts;
   // Accumulated self-check batch for the release gate.
   std::vector<DleqBatchEntry> share_self_check;
+  // Degradation bookkeeping: member -> first coded failure (ciphertext
+  // order), folded into TallyOutput::excluded_authorities at the end.
+  std::map<size_t, Status> authority_blame;
 };
 
 // The tally service: runs the pipeline with the authority's and tagging
@@ -132,19 +153,25 @@ struct TallyPipelineState {
 class TallyService {
  public:
   TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
-               size_t mix_pairs = 2, Executor& executor = Executor::Global());
+               size_t mix_pairs = 2, Executor& executor = Executor::Global(),
+               RetryPolicy retry_policy = RetryPolicy());
 
   // Runs the staged pipeline over the ledger's ballots and active roster.
-  TallyOutput Run(const PublicLedger& ledger, const CandidateList& candidates,
-                  const std::set<CompressedRistretto>& authorized_kiosks, Rng& rng) const;
+  // Fails (coded, localized — never a wrong result) when fewer than
+  // threshold() authorities deliver valid shares for some ciphertext, or
+  // when a mix/tag stage faults; succeeds with any honest-and-live t-subset,
+  // naming the excluded members in TallyOutput::excluded_authorities.
+  Outcome<TallyOutput> Run(const PublicLedger& ledger, const CandidateList& candidates,
+                           const std::set<CompressedRistretto>& authorized_kiosks,
+                           Rng& rng) const;
 
   // One named step of the pipeline; stages run in order, each fanning its
-  // per-chunk work out on the executor. Exposed for tests and for the
-  // stage-latency benchmarks.
+  // per-chunk work out on the executor, and the first stage failure aborts
+  // the run. Exposed for tests and for the stage-latency benchmarks.
   struct Stage {
     const char* name;
-    void (*run)(const TallyService&, const PublicLedger&, const CandidateList&,
-                const std::set<CompressedRistretto>&, Rng&, TallyPipelineState&);
+    Status (*run)(const TallyService&, const PublicLedger&, const CandidateList&,
+                  const std::set<CompressedRistretto>&, Rng&, TallyPipelineState&);
   };
   static std::span<const Stage> Pipeline();
 
@@ -152,12 +179,14 @@ class TallyService {
   const TaggingService& tagging() const { return tagging_; }
   size_t mix_pairs() const { return mix_pairs_; }
   Executor& executor() const { return executor_; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
 
  private:
   const ElectionAuthority& authority_;
   const TaggingService& tagging_;
   size_t mix_pairs_;
   Executor& executor_;
+  RetryPolicy retry_policy_;
 };
 
 // Validate stage, phase 1 (shared with the universal verifier): parses and

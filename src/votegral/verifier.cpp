@@ -28,6 +28,21 @@ RistrettoPoint CombineSharesPublic(const ElGamalCiphertext& ct,
   return ct.c2 - sum;
 }
 
+RistrettoPoint CombineSharesPublicThreshold(const ElGamalCiphertext& ct,
+                                            const std::vector<DecryptionShare>& shares) {
+  Require(!shares.empty(), "verifier: no shares to combine");
+  std::vector<size_t> points;
+  points.reserve(shares.size());
+  for (const DecryptionShare& share : shares) {
+    points.push_back(share.member_index + 1);
+  }
+  RistrettoPoint blinding;  // Σ λ_j * S_j = F(0) * C1
+  for (const DecryptionShare& share : shares) {
+    blinding = blinding + LagrangeAtZero(points, share.member_index + 1) * share.share;
+  }
+  return ct.c2 - blinding;
+}
+
 namespace {
 
 constexpr std::string_view kShareWeightDomain = "votegral/verifier/share-batch-weights/v2";
@@ -65,6 +80,11 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
     cts_wire = {};
   }
   const size_t members = params.authority_shares.size();
+  // Additive mode demands the full member set per ciphertext; threshold mode
+  // accepts each ciphertext's recorded participant subset of >= t distinct
+  // members (what the tally produced under degradation).
+  const bool threshold_mode = params.authority_threshold != 0;
+  const size_t need = threshold_mode ? params.authority_threshold : members;
   std::vector<CompressedRistretto> member_wire(members);
   BatchEncodePoints(params.authority_shares, member_wire);
   std::vector<DleqBatchEntry> batch(cts.size() * members);
@@ -72,14 +92,15 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
   std::vector<uint8_t> bad_count(cts.size(), 0);
   std::vector<uint8_t> bad_member(cts.size(), 0);
   executor.ParallelForEach(cts.size(), [&](size_t i) {
-    if (shares[i].size() != members) {
+    const size_t count = shares[i].size();
+    if (threshold_mode ? (count < need || count > members) : (count != members)) {
       bad_count[i] = 1;
       return;
     }
     const CompressedRistretto c1_wire =
         cts_wire.empty() ? cts[i].c1.Encode() : ElGamalWireHalf(cts_wire[i], 0);
     std::vector<bool> seen(members, false);
-    for (size_t m = 0; m < members; ++m) {
+    for (size_t m = 0; m < count; ++m) {
       const DecryptionShare& share = shares[i][m];
       if (share.member_index >= members || seen[share.member_index]) {
         bad_member[i] = 1;
@@ -95,7 +116,9 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
       entry.transcript = share.proof;
       batch[i * members + m] = std::move(entry);
     }
-    decrypted[i] = CombineSharesPublic(cts[i], shares[i], members).Encode();
+    decrypted[i] = threshold_mode
+                       ? CombineSharesPublicThreshold(cts[i], shares[i]).Encode()
+                       : CombineSharesPublic(cts[i], shares[i], members).Encode();
   });
   if (auto i = FirstMarked(bad_count); i.has_value()) {
     return Status::Error("verifier: " + what + ": wrong share count at " +
@@ -106,6 +129,13 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
   }
   *out = std::move(decrypted);
 
+  if (threshold_mode) {
+    // Sub-full participant subsets leave empty positional slots; compact
+    // sequentially (stable order) before deriving the batch weights.
+    batch.erase(std::remove_if(batch.begin(), batch.end(),
+                               [](const DleqBatchEntry& e) { return e.domain.empty(); }),
+                batch.end());
+  }
   ChaChaRng weights(DleqBatchWeightSeed(kShareWeightDomain, batch));
   if (BatchVerifyDleq(batch, weights).ok()) {
     return Status::Ok();

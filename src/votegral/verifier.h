@@ -28,6 +28,13 @@ namespace votegral {
 struct VerifierParams {
   RistrettoPoint authority_pk;
   std::vector<RistrettoPoint> authority_shares;   // members' public shares
+  // 0 = additive n-of-n authority: every ciphertext must carry exactly one
+  // share per member. t >= 1 = Shamir threshold authority: each ciphertext's
+  // recorded participant subset is accepted when it holds >= t distinct,
+  // individually proven shares (Lagrange recombination) — the verifier
+  // checks the transcript that *was* produced under degradation, while any
+  // forged share in the subset still rejects.
+  size_t authority_threshold = 0;
   std::vector<RistrettoPoint> tagging_commitments;  // Z_t commitments
   std::set<CompressedRistretto> authorized_kiosks;
   std::set<CompressedRistretto> authorized_officials;
@@ -44,10 +51,18 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
 Status VerifyShareAgainstCommitment(const RistrettoPoint& member_share_commitment,
                                     const ElGamalCiphertext& ct, const DecryptionShare& share);
 
-// Combines decryption shares publicly (after verifying each).
+// Combines decryption shares publicly (after verifying each): additive
+// n-of-n (exactly `expected_members` shares, plain sum).
 RistrettoPoint CombineSharesPublic(const ElGamalCiphertext& ct,
                                    const std::vector<DecryptionShare>& shares,
                                    size_t expected_members);
+
+// Threshold variant: Lagrange-recombines any recorded participant subset
+// over the members' evaluation points (member_index + 1). The caller must
+// have checked distinctness and the >= t count; each share's proof is
+// verified separately.
+RistrettoPoint CombineSharesPublicThreshold(const ElGamalCiphertext& ct,
+                                            const std::vector<DecryptionShare>& shares);
 
 }  // namespace votegral
 
