@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string_view>
 #include <thread>
 
 #include "src/baselines/civitas.h"
@@ -134,14 +135,7 @@ void RunFig5b() {
 // tallied and verified at 1/2/4/8 threads. Emits BENCH_tally_parallel.json
 // and checks that every thread count produces the byte-identical transcript
 // (the reproducibility contract of the forked-DRBG sharding).
-void RunParallelTallySweep() {
-  size_t ballots = 4096;
-  if (const char* env = std::getenv("VOTEGRAL_TALLY_SWEEP_N")) {
-    long parsed = std::atol(env);
-    if (parsed > 0) {
-      ballots = static_cast<size_t>(parsed);
-    }
-  }
+void RunParallelTallySweep(size_t ballots) {
 
   // Build one election through the real TRIP pipeline (serial, seeded):
   // the sweep below re-tallies the same ledger at each thread count.
@@ -316,9 +310,29 @@ void RunParallelTallySweep() {
 }  // namespace
 }  // namespace votegral
 
-int main() {
+int main(int argc, char** argv) {
+  // Sweep size precedence: --ballots N > VOTEGRAL_BENCH_BALLOTS >
+  // VOTEGRAL_TALLY_SWEEP_N (legacy) > 4096. CI pins the size explicitly so
+  // artifact runs are comparable across machines.
+  size_t ballots = 4096;
+  for (const char* env : {"VOTEGRAL_TALLY_SWEEP_N", "VOTEGRAL_BENCH_BALLOTS"}) {
+    if (const char* value = std::getenv(env)) {
+      long parsed = std::atol(value);
+      if (parsed > 0) {
+        ballots = static_cast<size_t>(parsed);
+      }
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--ballots" && i + 1 < argc) {
+      long parsed = std::atol(argv[++i]);
+      if (parsed > 0) {
+        ballots = static_cast<size_t>(parsed);
+      }
+    }
+  }
   votegral::RunFig5b();
   votegral::RunMixVerifyMsmAblation();
-  votegral::RunParallelTallySweep();
+  votegral::RunParallelTallySweep(ballots);
   return 0;
 }

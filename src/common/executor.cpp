@@ -1,7 +1,6 @@
 #include "src/common/executor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <exception>
 
@@ -11,9 +10,16 @@ namespace votegral {
 
 namespace {
 
-// Innermost Scope-bound executor on this thread (set while chunk bodies run
-// on pool threads, too, so nested kernels inherit the right pool).
+// Innermost Scope-bound executor on this thread (set while chunk bodies and
+// graph nodes run on pool threads, too, so nested kernels inherit the right
+// pool).
 thread_local Executor* tls_current_executor = nullptr;
+
+// The deque slot this thread owns, valid while tls_worker_pool matches the
+// executor being asked. Workers of other pools and external threads share
+// slot 0 of whichever pool they submit to.
+thread_local Executor* tls_worker_pool = nullptr;
+thread_local size_t tls_worker_slot = 0;
 
 }  // namespace
 
@@ -40,21 +46,114 @@ Executor::Executor(size_t threads) {
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   thread_count_ = threads;
+  deques_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
   workers_.reserve(threads - 1);
   for (size_t i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Worker i owns deque slot i + 1; slot 0 belongs to submitters.
+    workers_.emplace_back([this, slot = i + 1] { WorkerLoop(slot); });
   }
 }
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_release);
   }
-  queue_cv_.notify_all();
+  sleep_cv_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
   }
+}
+
+size_t Executor::HomeSlot() const {
+  return tls_worker_pool == this ? tls_worker_slot : 0;
+}
+
+void Executor::PushItem(WorkItem item) {
+  Require(!stopping_.load(std::memory_order_acquire), "executor: submit after shutdown");
+  const size_t slot = HomeSlot();
+  uint64_t depth;
+  {
+    std::lock_guard<std::mutex> lock(deques_[slot]->mutex);
+    // LIFO push: nested work lands at the owner's hot end; thieves take the
+    // back, which holds the oldest (outermost, coarsest) items.
+    deques_[slot]->items.push_front(std::move(item));
+    depth = deques_[slot]->items.size();
+  }
+  uint64_t seen = stat_max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !stat_max_depth_.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  NotifyAll();
+}
+
+std::optional<Executor::WorkItem> Executor::TryAcquire(size_t slot) {
+  {
+    std::lock_guard<std::mutex> lock(deques_[slot]->mutex);
+    if (!deques_[slot]->items.empty()) {
+      WorkItem item = std::move(deques_[slot]->items.front());
+      deques_[slot]->items.pop_front();
+      pending_.fetch_sub(1, std::memory_order_release);
+      return item;
+    }
+  }
+  // Steal sweep: round-robin from the next slot, taking the back (FIFO).
+  for (size_t k = 1; k < deques_.size(); ++k) {
+    size_t victim = (slot + k) % deques_.size();
+    std::lock_guard<std::mutex> lock(deques_[victim]->mutex);
+    if (!deques_[victim]->items.empty()) {
+      WorkItem item = std::move(deques_[victim]->items.back());
+      deques_[victim]->items.pop_back();
+      pending_.fetch_sub(1, std::memory_order_release);
+      stat_steals_.fetch_add(1, std::memory_order_relaxed);
+      return item;
+    }
+  }
+  if (deques_.size() > 1) {
+    stat_steal_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::nullopt;
+}
+
+void Executor::Execute(WorkItem& item) {
+  stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+  if (item.job != nullptr) {
+    // Chunk runner: claim chunks of the shared job until it is exhausted.
+    while (RunOneChunk(*item.job)) {
+    }
+    return;
+  }
+  item.task();
+}
+
+bool Executor::HelpOnce() {
+  std::optional<WorkItem> item = TryAcquire(HomeSlot());
+  if (!item.has_value()) {
+    return false;
+  }
+  Execute(*item);
+  return true;
+}
+
+void Executor::NotifyAll() {
+  // The empty critical section orders this notify after any concurrent
+  // sleeper's predicate check, so a wakeup cannot be lost between a
+  // predicate miss and the wait.
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_all();
+}
+
+ExecutorStats Executor::Stats() const {
+  ExecutorStats stats;
+  stats.tasks_executed = stat_tasks_.load(std::memory_order_relaxed);
+  stats.steals = stat_steals_.load(std::memory_order_relaxed);
+  stats.steal_failures = stat_steal_failures_.load(std::memory_order_relaxed);
+  stats.max_queue_depth = stat_max_depth_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 bool Executor::RunOneChunk(Job& job) {
@@ -91,33 +190,30 @@ bool Executor::RunOneChunk(Job& job) {
     }
   }
   if (became_done) {
-    // Submitters park on the owner's queue condition (so they can also be
-    // woken to help with new jobs); completion must signal it.
-    job.owner->queue_cv_.notify_all();
+    // Submitters park on the pool's sleep condition (so they can also be
+    // woken to help with new work); completion must signal it.
+    job.owner->NotifyAll();
   }
   return true;
 }
 
-void Executor::WorkerLoop() {
+void Executor::WorkerLoop(size_t slot) {
+  tls_worker_pool = this;
+  tls_worker_slot = slot;
   for (;;) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) {
-        return;
-      }
-      job = queue_.front();
+    if (std::optional<WorkItem> item = TryAcquire(slot)) {
+      Execute(*item);
+      continue;
     }
-    if (!RunOneChunk(*job)) {
-      // Exhausted: retire the job from the queue if it is still enqueued.
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->get() == job.get()) {
-          queue_.erase(it);
-          break;
-        }
-      }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire)) {
+      // ParallelFor and TaskGraph::Wait both block their submitters, so no
+      // unfinished work can be queued by the time the destructor runs.
+      return;
     }
   }
 }
@@ -140,54 +236,24 @@ void Executor::ParallelFor(size_t n, const std::function<void(size_t, size_t)>& 
   // balance, but keep chunks whole for cache locality.
   job->chunk = std::max<size_t>(1, n / (thread_count_ * 4));
   job->body = &body;
-  {
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    Require(!stopping_, "executor: submit after shutdown");
-    // LIFO: nested jobs go to the front so idle workers help the deepest
-    // (and therefore blocking) submission first.
-    queue_.push_front(job);
+
+  // One chunk runner per thread that could help (capped by the chunk count);
+  // the submitting thread is its own runner below. A runner that arrives
+  // after the job is exhausted claims nothing and retires immediately.
+  const size_t chunks = (n + job->chunk - 1) / job->chunk;
+  const size_t runners = std::min(thread_count_ - 1, chunks);
+  for (size_t r = 0; r < runners; ++r) {
+    PushItem(WorkItem{job, nullptr});
   }
-  queue_cv_.notify_all();
 
   // The submitting thread drains its own job; nesting therefore always makes
   // progress even when every worker is busy elsewhere.
   while (RunOneChunk(*job)) {
   }
-  {
-    // Drop the job from the queue (the submitter usually exhausts it first).
-    std::lock_guard<std::mutex> lock(queue_mutex_);
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->get() == job.get()) {
-        queue_.erase(it);
-        break;
-      }
-    }
-  }
-  // Help-first join: while stragglers finish our chunks, run chunks of other
-  // queued jobs (their nested children, or sibling tasks of the same pool)
-  // instead of idling a thread on a bare wait.
-  while (!job->done.load(std::memory_order_acquire)) {
-    std::shared_ptr<Job> other;
-    {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      if (queue_.empty()) {
-        queue_cv_.wait(lock, [&] {
-          return !queue_.empty() || job->done.load(std::memory_order_acquire);
-        });
-        continue;
-      }
-      other = queue_.front();
-    }
-    if (!RunOneChunk(*other)) {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->get() == other.get()) {
-          queue_.erase(it);
-          break;
-        }
-      }
-    }
-  }
+  // Help-first join: while stragglers finish our chunks, run other queued
+  // work (their nested children, or sibling tasks of the same pool) instead
+  // of idling a thread on a bare wait.
+  HelpWhile([&] { return job->done.load(std::memory_order_acquire); });
   {
     std::lock_guard<std::mutex> lock(job->mutex);
     if (job->error) {
@@ -236,6 +302,118 @@ std::vector<std::pair<size_t, size_t>> Executor::Shards(size_t n, size_t max_sha
     begin = end;
   }
   return shards;
+}
+
+TaskGraph::~TaskGraph() {
+  // A graph abandoned without Wait() must not leave nodes referencing a
+  // destroyed *this on the queues.
+  Wait();
+}
+
+TaskGraph::NodeId TaskGraph::Submit(std::function<void()> task,
+                                    std::span<const NodeId> deps) {
+  NodeId id;
+  bool ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = nodes_.size();
+    nodes_.emplace_back();
+    Node& node = nodes_.back();
+    node.task = std::move(task);
+    for (NodeId dep : deps) {
+      Require(dep < id, "taskgraph: dependency on a later node");
+      Node& d = nodes_[dep];
+      if (!d.completed) {
+        d.dependents.push_back(id);
+        ++node.pending;
+      } else if (d.failed) {
+        node.skip = true;
+      }
+    }
+    remaining_.fetch_add(1, std::memory_order_release);
+    ready = node.pending == 0;
+  }
+  if (ready) {
+    Schedule(id);
+  }
+  return id;
+}
+
+void TaskGraph::Schedule(NodeId id) {
+  executor_.PushItem(Executor::WorkItem{nullptr, [this, id] { RunNode(id); }});
+}
+
+void TaskGraph::RunNode(NodeId id) {
+  bool skip;
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node& node = nodes_[id];
+    skip = node.skip;
+    task = std::move(node.task);
+    node.task = nullptr;
+  }
+  bool ok = !skip;
+  if (!skip) {
+    // Bind the owning pool as Current() so nested kernels in the body
+    // (ParallelFor, MSM passes) fan out on it, exactly as chunk bodies do.
+    Executor* previous = tls_current_executor;
+    tls_current_executor = &executor_;
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Lowest node id wins: submission order, not completion order, so the
+      // rethrown failure is deterministic under any steal schedule.
+      if (!first_error_ || id < first_error_id_) {
+        first_error_ = std::current_exception();
+        first_error_id_ = id;
+      }
+      ok = false;
+    }
+    tls_current_executor = previous;
+  }
+
+  std::vector<NodeId> ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node& node = nodes_[id];
+    node.completed = true;
+    node.failed = !ok;
+    for (NodeId dep_id : node.dependents) {
+      Node& dependent = nodes_[dep_id];
+      if (!ok) {
+        dependent.skip = true;  // cascades: a skipped node also "fails"
+      }
+      if (--dependent.pending == 0) {
+        ready.push_back(dep_id);
+      }
+    }
+    node.dependents.clear();
+  }
+  for (NodeId dep_id : ready) {
+    Schedule(dep_id);
+  }
+  // The decrement may release a Wait()er that then destroys the graph, so
+  // it must be the last access of *this; notify through a local reference.
+  Executor& pool = executor_;
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    pool.NotifyAll();
+  }
+}
+
+void TaskGraph::Wait() {
+  executor_.HelpWhile([&] { return remaining_.load(std::memory_order_acquire) == 0; });
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    error = first_error_;
+    first_error_ = nullptr;
+    first_error_id_ = SIZE_MAX;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
 }
 
 std::optional<size_t> FirstMarked(std::span<const uint8_t> flags) {

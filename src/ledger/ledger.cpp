@@ -156,18 +156,6 @@ const std::vector<uint64_t>& Ledger::TopicIndices(std::string_view topic) const 
   return it == topic_index_.end() ? kEmpty : it->second;
 }
 
-LedgerEntry Ledger::At(uint64_t index) const {
-  Require(index < size(), "Ledger::At: index out of range");
-  LedgerCursor cursor(*store_, index, index + 1);
-  LedgerEntryView view;
-  Require(cursor.Next(&view), "Ledger::At: cursor read failed");
-  return view.Materialize();
-}
-
-std::vector<uint64_t> Ledger::IndicesWithTopic(std::string_view topic) const {
-  return TopicIndices(topic);
-}
-
 void Ledger::TamperWithPayloadForTest(uint64_t index, Bytes new_payload) {
   Require(index < size(), "Ledger::TamperWithPayloadForTest: index out of range");
   store_->TamperWithPayloadForTest(index, std::move(new_payload));

@@ -16,8 +16,8 @@
 //      - ProveInclusion() is O(log^2 n) hashes and reads no segments.
 //  * LedgerCursor/TopicCursor (src/ledger/cursor.h) are the read path:
 //    forward streams and seeks that keep at most one segment pinned.
-//    Random-access At()/IndicesWithTopic() survive only as [[deprecated]]
-//    shims; new code scans.
+//    Random-access reads went away with the PR-3 cursor migration; code
+//    scans (the only path that bounds resident payload memory).
 //
 // The paper idealizes the ledger as globally consistent with detectable
 // tampering; VerifyChain() re-derives every entry hash by streaming the
@@ -121,28 +121,6 @@ class Ledger {
 
   // The storage backend (segment geometry, backend description, stats).
   const LedgerStore& store() const { return *store_; }
-
-  // --- Deprecated index-poke accessors ---------------------------------------
-  //
-  // The cursor API (src/ledger/cursor.h) replaced random-access reads: it is
-  // the only path that bounds resident payload memory at O(segment size) on
-  // the file backend and that parallel consumers can shard deterministically.
-  // See docs/ARCHITECTURE.md ("Ledger: store / cursor / Merkle") for the
-  // contract these shims predate. Both shims remain only so out-of-tree
-  // callers get a compiler warning instead of a break; no in-tree caller
-  // remains.
-
-  // Prefer `Ledger::Scan()` + `LedgerCursor::Seek(index)`: same entry, zero
-  // copies while the view's segment stays pinned. This shim materializes the
-  // entry (copies topic + payload out of its segment) on every call.
-  [[deprecated("stream with Ledger::Scan/ScanTopic cursors instead; see docs/ARCHITECTURE.md")]]
-  LedgerEntry At(uint64_t index) const;
-
-  // Prefer `Ledger::TopicIndices(topic)` (the append-maintained index, no
-  // scan, stable reference until the next Append) or `Ledger::ScanTopic` to
-  // stream the entries themselves. This shim copies the index vector.
-  [[deprecated("use Ledger::TopicIndices or ScanTopic; see docs/ARCHITECTURE.md")]]
-  std::vector<uint64_t> IndicesWithTopic(std::string_view topic) const;
 
   // Test hook: mutates a stored payload in place, simulating a compromised
   // ledger replica. Production code has no business calling this.

@@ -43,6 +43,11 @@ struct ElectionConfig {
   // is byte-identical for either backend — this only trades resident memory
   // against segment I/O.
   LedgerStorageConfig storage;
+
+  // Tally scheduler: the chunk-granular dataflow graph (default) or the
+  // stage-wide barrier pipeline. Transcripts are byte-identical — this only
+  // trades stage overlap (see src/votegral/tally.h).
+  TallyEngine tally_engine = TallyEngine::kDataflow;
 };
 
 // A complete Votegral election instance.

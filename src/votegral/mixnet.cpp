@@ -110,16 +110,15 @@ std::vector<ElGamalWire> BatchColumnWire(const MixBatch& batch, size_t column) {
   return out;
 }
 
-MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng,
-                            Executor& executor) {
-  const size_t n = input.size();
+void MixServer::Prepare(size_t n, Rng& rng) {
   source_.resize(n);
   dest_.resize(n);
   randomness_.assign(n, {});
 
   // Fisher-Yates permutation: source_[j] = which input lands at output j.
   // Drawn sequentially from the parent stream, like the per-shard seeds
-  // below, so the server's transcript never depends on scheduling.
+  // forked right after, so the server's transcript never depends on
+  // scheduling.
   std::vector<uint64_t> perm(n);
   for (size_t i = 0; i < n; ++i) {
     perm[i] = i;
@@ -132,6 +131,29 @@ MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng
     source_[j] = perm[j];
     dest_[perm[j]] = j;
   }
+}
+
+void MixServer::ShuffleShardRange(const MixBatch& input, const RistrettoPoint& pk,
+                                  size_t begin, size_t end, Rng& child, MixBatch& output) {
+  Require(end <= source_.size() && output.size() == source_.size(),
+          "mixnet: shard range outside prepared layer");
+  for (size_t j = begin; j < end; ++j) {
+    const MixItem& src = input[source_[j]];
+    std::vector<Scalar> randomness;
+    randomness.reserve(src.cts.size());
+    for (size_t c = 0; c < src.cts.size(); ++c) {
+      randomness.push_back(Scalar::Random(child));
+    }
+    output[j] = ReEncryptItem(src, pk, randomness);
+    output[j].EnsureWire();  // encode while the points are hot
+    randomness_[j] = std::move(randomness);
+  }
+}
+
+MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng,
+                            Executor& executor) {
+  const size_t n = input.size();
+  Prepare(n, rng);
 
   // Re-encryption: the expensive part (two scalar multiplications plus one
   // canonical encoding per ciphertext component) fans out across fixed
@@ -141,17 +163,7 @@ MixBatch MixServer::Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng
   MixBatch output(n);
   executor.ParallelForEach(shards.size(), [&](size_t s) {
     ChaChaRng child(seeds[s]);
-    for (size_t j = shards[s].first; j < shards[s].second; ++j) {
-      const MixItem& src = input[perm[j]];
-      std::vector<Scalar> randomness;
-      randomness.reserve(src.cts.size());
-      for (size_t c = 0; c < src.cts.size(); ++c) {
-        randomness.push_back(Scalar::Random(child));
-      }
-      output[j] = ReEncryptItem(src, pk, randomness);
-      output[j].EnsureWire();  // encode while the points are hot
-      randomness_[j] = std::move(randomness);
-    }
+    ShuffleShardRange(input, pk, shards[s].first, shards[s].second, child, output);
   });
   return output;
 }
@@ -174,6 +186,21 @@ RpcReveal MixServer::RevealLinkForInput(uint64_t input_index) const {
   return reveal;
 }
 
+void FinishRpcPair(const MixServer& layer_a, const MixServer& layer_b,
+                   const std::array<uint8_t, 32>& h_in, size_t pair_index,
+                   RpcPairProof* pair, std::array<uint8_t, 32>* h_out_chain) {
+  std::array<uint8_t, 32> h_mid = HashMixBatch(pair->mid);
+  std::array<uint8_t, 32> h_out = HashMixBatch(pair->out);
+  std::vector<uint8_t> bits =
+      DeriveChallengeBits(h_in, h_mid, h_out, pair->mid.size(), pair_index);
+  pair->reveals.resize(pair->mid.size());
+  for (size_t j = 0; j < pair->mid.size(); ++j) {
+    pair->reveals[j] =
+        bits[j] == 0 ? layer_a.RevealLinkForOutput(j) : layer_b.RevealLinkForInput(j);
+  }
+  *h_out_chain = h_out;
+}
+
 MixBatch RunRpcMixCascade(const MixBatch& input, const RistrettoPoint& pk, size_t pair_count,
                           Rng& rng, MixProof* proof, Executor& executor) {
   Require(pair_count >= 1, "mixnet: need at least one pair");
@@ -189,18 +216,8 @@ MixBatch RunRpcMixCascade(const MixBatch& input, const RistrettoPoint& pk, size_
     RpcPairProof pair;
     pair.mid = layer_a.Shuffle(current, pk, rng, executor);
     pair.out = layer_b.Shuffle(pair.mid, pk, rng, executor);
-
-    std::array<uint8_t, 32> h_mid = HashMixBatch(pair.mid);
-    std::array<uint8_t, 32> h_out = HashMixBatch(pair.out);
-    std::vector<uint8_t> bits =
-        DeriveChallengeBits(h_current, h_mid, h_out, pair.mid.size(), p);
-    pair.reveals.resize(pair.mid.size());
-    for (size_t j = 0; j < pair.mid.size(); ++j) {
-      pair.reveals[j] =
-          bits[j] == 0 ? layer_a.RevealLinkForOutput(j) : layer_b.RevealLinkForInput(j);
-    }
+    FinishRpcPair(layer_a, layer_b, h_current, p, &pair, &h_current);
     current = pair.out;
-    h_current = h_out;
     proof->pairs.push_back(std::move(pair));
   }
   return current;

@@ -32,6 +32,7 @@
 #ifndef SRC_VOTEGRAL_MIXNET_H_
 #define SRC_VOTEGRAL_MIXNET_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -144,6 +145,14 @@ Status VerifyRpcMixCascade(const MixBatch& input, const MixBatch& output,
 
 // Single mix layer (used by the cascade and by baselines): shuffles and
 // re-encrypts, recording the permutation and randomness for later reveals.
+//
+// Two entry styles share one transcript:
+//  * Shuffle() — the whole layer at once (Prepare + a ParallelFor over the
+//    shards).
+//  * Prepare() + ShuffleShardRange() — the dataflow tally draws the
+//    permutation and per-shard seeds at graph-build time, then runs each
+//    shard as its own graph node the moment its inputs exist. Both styles
+//    consume identical rng bytes and produce identical batches.
 class MixServer {
  public:
   // Shuffles `input`; after this call the server holds its secret records.
@@ -152,6 +161,19 @@ class MixServer {
   // reproducible at any thread count.
   MixBatch Shuffle(const MixBatch& input, const RistrettoPoint& pk, Rng& rng,
                    Executor& executor = Executor::Global());
+
+  // Draws the Fisher-Yates permutation for an n-item layer from `rng`
+  // (sequentially — the only parent-stream consumption of this layer) and
+  // sizes the secret records. Shard seeds are forked by the caller
+  // immediately after, preserving Shuffle()'s exact rng byte order.
+  void Prepare(size_t n, Rng& rng);
+
+  // Re-encrypts output slots [begin, end) from `input` into `output`
+  // (pre-sized to n by the caller), drawing randomness from `child` — the
+  // forked stream for this shard. Wire caches are filled in the same pass.
+  // Safe to run concurrently for disjoint ranges.
+  void ShuffleShardRange(const MixBatch& input, const RistrettoPoint& pk, size_t begin,
+                         size_t end, Rng& child, MixBatch& output);
 
   // For output index j: the input index it came from plus the randomness.
   RpcReveal RevealLinkForOutput(uint64_t output_index) const;
@@ -164,6 +186,15 @@ class MixServer {
   std::vector<uint64_t> dest_;                      // input i went to output dest_[i]
   std::vector<std::vector<Scalar>> randomness_;     // per output index
 };
+
+// Closes one RPC pair once both layers' outputs exist: hashes mid/out,
+// derives the per-item challenge bits from (h_in, h_mid, h_out, pair index),
+// and fills `pair->reveals`. Writes the pair's outgoing chain hash to
+// *h_out_chain. Pure function of its inputs — the cascade and the dataflow
+// tally call it identically, so proofs are byte-for-byte shared.
+void FinishRpcPair(const MixServer& layer_a, const MixServer& layer_b,
+                   const std::array<uint8_t, 32>& h_in, size_t pair_index,
+                   RpcPairProof* pair, std::array<uint8_t, 32>* h_out_chain);
 
 }  // namespace votegral
 

@@ -51,18 +51,49 @@ TaggingService TaggingService::Create(size_t members, Rng& rng) {
   return service;
 }
 
+TaggingStep TaggingService::PrepareStep(size_t member, size_t n) const {
+  Require(member < secrets_.size(), "tagging: member out of range");
+  TaggingStep step;
+  step.member_index = member;
+  step.output.resize(n);
+  step.proofs.resize(n);
+  step.output_wire.resize(n);
+  return step;
+}
+
+void TaggingService::ApplyShardRange(size_t member, std::span<const ElGamalCiphertext> input,
+                                     std::span<const ElGamalWire> input_wire,
+                                     const CompressedRistretto& commitment_wire, size_t begin,
+                                     size_t end, Rng& child, TaggingStep& step) const {
+  const Scalar& z = secrets_.at(member);
+  Require(end <= input.size() && step.output.size() == input.size(),
+          "tagging: shard range outside prepared step");
+  Require(input_wire.empty() || input_wire.size() == input.size(),
+          "tagging: input wire size mismatch");
+  for (size_t i = begin; i < end; ++i) {
+    ElGamalCiphertext out = input[i].ExponentiateBy(z);
+    // Output bytes are encoded here, once, while the points are hot; the
+    // proof hashes them now and the step retains them for the next
+    // member's input statements and the decrypt stage.
+    ElGamalWire out_wire = out.Wire();
+    ElGamalWire in_wire = input_wire.empty() ? input[i].Wire() : input_wire[i];
+    step.proofs[i] = ProveDleqFs(
+        kTagDomain,
+        TagStatementWire(input[i], in_wire, out, out_wire, commitments_[member],
+                         commitment_wire),
+        z, child);
+    step.output[i] = out;
+    step.output_wire[i] = out_wire;
+  }
+}
+
 TaggingStep TaggingService::Apply(size_t member, const std::vector<ElGamalCiphertext>& input,
                                   Rng& rng, Executor& executor,
                                   std::span<const ElGamalWire> input_wire) const {
-  const Scalar& z = secrets_.at(member);
   Require(input_wire.empty() || input_wire.size() == input.size(),
           "tagging: input wire size mismatch");
   Executor::Scope scope(executor);
-  TaggingStep step;
-  step.member_index = member;
-  step.output.resize(input.size());
-  step.proofs.resize(input.size());
-  step.output_wire.resize(input.size());
+  TaggingStep step = PrepareStep(member, input.size());
   // The commitment appears in every statement of the step: encode it once
   // here instead of once per ciphertext inside the challenge hash.
   const CompressedRistretto commitment_wire = commitments_[member].Encode();
@@ -73,21 +104,8 @@ TaggingStep TaggingService::Apply(size_t member, const std::vector<ElGamalCipher
   auto seeds = ForkRngSeeds(rng, shards.size());
   executor.ParallelForEach(shards.size(), [&](size_t s) {
     ChaChaRng child(seeds[s]);
-    for (size_t i = shards[s].first; i < shards[s].second; ++i) {
-      ElGamalCiphertext out = input[i].ExponentiateBy(z);
-      // Output bytes are encoded here, once, while the points are hot; the
-      // proof hashes them now and the step retains them for the next
-      // member's input statements and the decrypt stage.
-      ElGamalWire out_wire = out.Wire();
-      ElGamalWire in_wire = input_wire.empty() ? input[i].Wire() : input_wire[i];
-      step.proofs[i] = ProveDleqFs(
-          kTagDomain,
-          TagStatementWire(input[i], in_wire, out, out_wire, commitments_[member],
-                           commitment_wire),
-          z, child);
-      step.output[i] = out;
-      step.output_wire[i] = out_wire;
-    }
+    ApplyShardRange(member, input, input_wire, commitment_wire, shards[s].first,
+                    shards[s].second, child, step);
   });
   return step;
 }

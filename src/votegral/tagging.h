@@ -70,6 +70,23 @@ class TaggingService {
                     Executor& executor = Executor::Global(),
                     std::span<const ElGamalWire> input_wire = {}) const;
 
+  // Pre-sizes a TaggingStep for an n-ciphertext pass by `member` (output,
+  // proofs, and output_wire resized; member_index set). Pair with
+  // ApplyShardRange for chunk-granular scheduling.
+  TaggingStep PrepareStep(size_t member, size_t n) const;
+
+  // Fills output slots [begin, end) of a PrepareStep'd `step`: exponentiates
+  // input[i] by z_member, encodes the output wire, and proves the DLEQ with
+  // nonces from `child` (the forked stream for this shard). `input_wire`,
+  // when non-empty, backs the statement caches exactly as in Apply;
+  // `commitment_wire` is the member's pre-encoded commitment. Disjoint
+  // ranges may run concurrently; the bytes produced are identical to
+  // Apply's for the same shard/seed split.
+  void ApplyShardRange(size_t member, std::span<const ElGamalCiphertext> input,
+                       std::span<const ElGamalWire> input_wire,
+                       const CompressedRistretto& commitment_wire, size_t begin, size_t end,
+                       Rng& child, TaggingStep& step) const;
+
   // Verifies one member's step against its input and commitment, proof by
   // proof (the localization path; names the first bad index).
   static Status VerifyStep(const TaggingStep& step,

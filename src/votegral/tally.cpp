@@ -1,11 +1,238 @@
 #include "src/votegral/tally.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/crypto/batch.h"
 #include "src/crypto/drbg.h"
+#include "src/votegral/tally_internal.h"
 
 namespace votegral {
+
+namespace tally_internal {
+
+Status ProbeStageFault(std::string_view point, uint64_t scope, const char* what) {
+  const FaultDecision fault = ProbeFaultPoint(point, scope, 0);
+  switch (fault.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kDelay:
+      return Status::Ok();
+    case FaultKind::kCrash:
+      return Status::Error(StatusCode::kUnavailable,
+                           std::string(what) + ": crash injected at " + std::string(point));
+    case FaultKind::kTimeout:
+      return Status::Error(StatusCode::kTimeout,
+                           std::string(what) + ": timeout injected at " + std::string(point));
+    case FaultKind::kCorrupt:
+      return Status::Error(StatusCode::kCorrupted,
+                           std::string(what) + ": output integrity check failed at " +
+                               std::string(point));
+  }
+  return Status::Ok();
+}
+
+std::span<const ElGamalWire> TaggedWire(const std::vector<TaggingStep>& steps) {
+  if (steps.empty() || !steps.back().HasWire()) {
+    return {};
+  }
+  return steps.back().output_wire;
+}
+
+void ValidateBallotShard(const PublicLedger& ledger,
+                         const std::set<CompressedRistretto>& authorized_kiosks,
+                         size_t begin, size_t end,
+                         std::vector<std::optional<Ballot>>& validated,
+                         std::vector<uint8_t>& outcome) {
+  LedgerCursor cursor = ledger.BallotCursor(begin, end);
+  LedgerEntryView view;
+  for (size_t i = begin; i < end; ++i) {
+    Require(cursor.Next(&view), "tally: ballot cursor ended before its shard");
+    auto ballot = Ballot::Parse(view.payload);
+    if (!ballot.has_value()) {
+      outcome[i] = kBallotBadStructure;
+      continue;
+    }
+    if (!CheckBallot(*ballot, authorized_kiosks).ok()) {
+      outcome[i] = kBallotBadSignature;
+      continue;
+    }
+    validated[i] = std::move(*ballot);
+  }
+}
+
+void TallyValidationOutcomes(std::span<const uint8_t> outcome, TallyDiscards* discards) {
+  for (uint8_t o : outcome) {
+    if (o == kBallotBadStructure) {
+      ++discards->invalid_structure;
+    } else if (o == kBallotBadSignature) {
+      ++discards->invalid_signature;
+    }
+  }
+}
+
+MixItem BallotMixItem(const Ballot& ballot) {
+  auto credential_point = RistrettoPoint::Decode(ballot.credential_pk);
+  Require(credential_point.has_value(), "tally: validated ballot has bad credential point");
+  MixItem item;
+  item.cts = {ballot.encrypted_vote, ElGamalTrivialEncrypt(*credential_point)};
+  item.EnsureWire();
+  return item;
+}
+
+void DecryptBatchBuffers::Init(const ElectionAuthority& authority, size_t n,
+                               std::vector<std::vector<DecryptionShare>>* shares,
+                               std::vector<CompressedRistretto>* encoded) {
+  members = authority.size();
+  threshold = authority.threshold();
+  // Failure capture, only live when a fault plan is armed (nothing can fail
+  // otherwise). Reports are written positionally and merged sequentially in
+  // FinalizeDecryptBatch, so blame never depends on shard scheduling.
+  armed = FaultInjector::Armed();
+  shares_out = shares;
+  encoded_out = encoded;
+  shares_out->assign(n, {});
+  encoded_out->assign(n, CompressedRistretto{});
+  self_check.assign(n * members, DleqBatchEntry{});
+  failed.assign(armed ? n : 0, {});
+  short_of_threshold.assign(n, 0);
+}
+
+void DecryptShareShardRange(const TallyService& service, const AuthorityClient& client,
+                            std::span<const ElGamalCiphertext> cts,
+                            std::span<const ElGamalWire> cts_wire, uint64_t epoch,
+                            size_t begin, size_t end, Rng& child,
+                            DecryptBatchBuffers& buffers) {
+  const ElectionAuthority& authority = service.authority();
+  const size_t members = buffers.members;
+  for (size_t i = begin; i < end; ++i) {
+    std::vector<DecryptionShare>& shares = (*buffers.shares_out)[i];
+    shares.reserve(members);
+    const CompressedRistretto c1_wire =
+        cts_wire.empty() ? cts[i].c1.Encode() : ElGamalWireHalf(cts_wire[i], 0);
+    const uint64_t ct_key = (epoch << 32) | static_cast<uint64_t>(i);
+    for (size_t m = 0; m < members; ++m) {
+      ShareRequestReport report;
+      Outcome<DecryptionShare> requested =
+          client.RequestShare(m, cts[i], child, ct_key, &c1_wire, &report);
+      if (!requested.ok()) {
+        if (buffers.armed) {
+          buffers.failed[i].push_back(std::move(report));
+        }
+        continue;
+      }
+      const DecryptionShare& share = *requested;
+      DleqBatchEntry entry;
+      entry.domain = std::string(kDecryptionShareDomain);
+      entry.statement = DleqStatement::MakePairWire(
+          RistrettoPoint::Base(), RistrettoPoint::BaseWire(),
+          authority.member(m).public_share, authority.member(m).public_share_wire,
+          cts[i].c1, c1_wire, share.share, share.share.Encode());
+      entry.transcript = share.proof;
+      buffers.self_check[i * members + m] = std::move(entry);
+      shares.push_back(std::move(*requested));
+    }
+    if (shares.size() < buffers.threshold) {
+      buffers.short_of_threshold[i] = 1;
+      continue;
+    }
+    (*buffers.encoded_out)[i] = authority.CombineShares(cts[i], shares).Encode();
+  }
+}
+
+Status FinalizeDecryptBatch(const char* what, DecryptBatchBuffers& buffers,
+                            std::vector<DleqBatchEntry>* self_check_accum,
+                            std::map<size_t, Status>* blame) {
+  // Sequential, index-ordered merges keep blame and failure localization
+  // deterministic at any thread count.
+  for (size_t i = 0; i < buffers.failed.size(); ++i) {
+    for (const ShareRequestReport& report : buffers.failed[i]) {
+      blame->emplace(report.member_index, report.status);
+    }
+  }
+  if (buffers.armed) {
+    // Compact this batch's self-check region: excluded members leave empty
+    // positional slots that the release-gate batch verifier must not see.
+    buffers.self_check.erase(
+        std::remove_if(buffers.self_check.begin(), buffers.self_check.end(),
+                       [](const DleqBatchEntry& e) { return e.domain.empty(); }),
+        buffers.self_check.end());
+  }
+  self_check_accum->insert(self_check_accum->end(),
+                           std::make_move_iterator(buffers.self_check.begin()),
+                           std::make_move_iterator(buffers.self_check.end()));
+  Release(buffers.self_check);
+  for (size_t i = 0; i < buffers.short_of_threshold.size(); ++i) {
+    if (buffers.short_of_threshold[i] != 0) {
+      return Status::Error(
+          StatusCode::kUnavailable,
+          std::string(what) + ": only " + std::to_string((*buffers.shares_out)[i].size()) +
+              " of " + std::to_string(buffers.members) + " authority shares for ciphertext " +
+              std::to_string(i) + " (threshold " + std::to_string(buffers.threshold) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+void JoinTags(TallyPipelineState& state) {
+  TallyTranscript& t = state.output.transcript;
+  TallyResult& result = state.output.result;
+  // Hash-join ballot tags against the roster tag multiset: at most one
+  // ballot counts per tag; a tag appearing k times means k voters'
+  // registrations point at the same credential (k > 1 only under the
+  // delegation extension, Appendix C.3). Sequential by design — the join is
+  // a cheap ordered map pass whose output order is part of the transcript.
+  for (size_t i = 0; i < t.ballot_tags.size(); ++i) {
+    auto it = state.roster_tag_counts.find(t.ballot_tags[i]);
+    if (it == state.roster_tag_counts.end()) {
+      ++result.discards.unmatched_tag;  // fake credential (or never registered)
+      continue;
+    }
+    if (it->second == 0) {
+      ++result.discards.duplicate_tag;  // tag already fully consumed
+      continue;
+    }
+    t.counted_indices.push_back(i);
+    t.counted_weights.push_back(it->second);
+    it->second = 0;  // consume all matching registrations at once
+  }
+  Release(state.roster_tag_counts);
+}
+
+void CountVotes(const CandidateList& candidates, TallyPipelineState& state) {
+  TallyTranscript& t = state.output.transcript;
+  TallyResult& result = state.output.result;
+  for (size_t c = 0; c < t.counted_indices.size(); ++c) {
+    uint64_t weight = t.counted_weights[c];
+    auto candidate = candidates.IndexOfEncoding(t.vote_points[c]);
+    if (!candidate.has_value()) {
+      ++result.discards.invalid_vote;
+      continue;
+    }
+    result.counts[candidates.name(*candidate)] += weight;
+    result.counted += weight;
+  }
+}
+
+void ReleaseGate(TallyPipelineState& state, Rng& rng) {
+  // Release gate: all decryption-share proofs produced above must verify as
+  // one batch. A failure here is an internal fault, not a verification
+  // result, hence Require rather than a Status — corrupted responses never
+  // reach this batch (they are rejected on arrival and their members
+  // excluded), so a failure here means *we* produced a bad proof.
+  Require(BatchVerifyDleq(state.share_self_check, rng).ok(),
+          "tally: produced decryption share failed batched self-check");
+  Release(state.share_self_check);
+}
+
+}  // namespace tally_internal
+
+using tally_internal::BallotMixItem;
+using tally_internal::DecryptBatchBuffers;
+using tally_internal::DecryptShareShardRange;
+using tally_internal::FinalizeDecryptBatch;
+using tally_internal::ProbeStageFault;
+using tally_internal::Release;
+using tally_internal::TaggedWire;
 
 std::vector<std::optional<Ballot>> ValidateBallots(
     const PublicLedger& ledger, const std::set<CompressedRistretto>& authorized_kiosks,
@@ -22,33 +249,13 @@ std::vector<std::optional<Ballot>> ValidateBallots(
   // Executor::Shards (data-size only) and outcomes are written positionally
   // then tallied sequentially, so discard counts never depend on scheduling
   // or on the storage backend.
-  enum : uint8_t { kOk = 0, kBadStructure = 1, kBadSignature = 2 };
-  std::vector<uint8_t> outcome(n, kOk);
+  std::vector<uint8_t> outcome(n, tally_internal::kBallotOk);
   auto shards = Executor::Shards(n, Executor::kRngShards);
   executor.ParallelForEach(shards.size(), [&](size_t s) {
-    LedgerCursor cursor = ledger.BallotCursor(shards[s].first, shards[s].second);
-    LedgerEntryView view;
-    for (size_t i = shards[s].first; i < shards[s].second; ++i) {
-      Require(cursor.Next(&view), "tally: ballot cursor ended before its shard");
-      auto ballot = Ballot::Parse(view.payload);
-      if (!ballot.has_value()) {
-        outcome[i] = kBadStructure;
-        continue;
-      }
-      if (!CheckBallot(*ballot, authorized_kiosks).ok()) {
-        outcome[i] = kBadSignature;
-        continue;
-      }
-      validated[i] = std::move(*ballot);
-    }
+    tally_internal::ValidateBallotShard(ledger, authorized_kiosks, shards[s].first,
+                                        shards[s].second, validated, outcome);
   });
-  for (uint8_t o : outcome) {
-    if (o == kBadStructure) {
-      ++discards->invalid_structure;
-    } else if (o == kBadSignature) {
-      ++discards->invalid_signature;
-    }
-  }
+  tally_internal::TallyValidationOutcomes(outcome, discards);
   return validated;
 }
 
@@ -89,46 +296,19 @@ std::vector<Ballot> ValidateAndDeduplicate(
 }
 
 TallyService::TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
-                           size_t mix_pairs, Executor& executor, RetryPolicy retry_policy)
+                           size_t mix_pairs, Executor& executor, RetryPolicy retry_policy,
+                           TallyEngine engine)
     : authority_(authority), tagging_(tagging), mix_pairs_(mix_pairs), executor_(executor),
-      retry_policy_(retry_policy) {}
+      retry_policy_(retry_policy), engine_(engine) {}
 
 namespace {
 
-// Releases a consumed inter-stage buffer immediately (the streaming
-// property: a stage's input shards do not outlive the stage).
-template <typename T>
-void Release(T& container) {
-  T().swap(container);
-}
+using tally_internal::kEpochBallotTags;
+using tally_internal::kEpochRosterTags;
+using tally_internal::kEpochVotes;
 
-// Epoch tags distinguishing the three decrypt batches in the per-run fault
-// schedule: a ciphertext's fault key is (epoch << 32) | index, unique across
-// the whole run regardless of batch sizes.
-enum : uint64_t {
-  kEpochRosterTags = 1,
-  kEpochBallotTags = 2,
-  kEpochVotes = 3,
-};
-
-// Decrypt-stage workhorse: collects every live authority member's verifiable
-// share for every ciphertext *through the retrying AuthorityClient*, fanned
-// out over fixed shards with forked DRBG streams for the proof nonces.
-//
-// Degradation: members whose request fails (crash / deadline / corrupt
-// response / exhausted retries) are excluded from that ciphertext's share
-// set with their coded report merged into `blame` (first failure in
-// ciphertext order per member). Decryption then recombines over the
-// surviving subset — any >= threshold() shares in Shamir mode, all members
-// in additive mode — and the whole batch fails kUnavailable the moment some
-// ciphertext cannot reach the threshold, never combining below it.
-//
-// Writes the canonical encodings of the combined plaintexts into
-// `encoded_out`; appends one self-check DLEQ entry per collected share, in
-// (ciphertext, member) order, for the release gate. `cts_wire`, when
-// non-empty, supplies the producer's canonical bytes for `cts` (tagging
-// output wire, mix column wire) so the share statements are wire-backed
-// without re-encoding C1.
+// Barrier-engine decrypt batch: the shared shard kernel fanned out under one
+// stage-wide ParallelFor, then the shared sequential close.
 Status DecryptBatchWithShares(
     const TallyService& service, const char* what,
     const std::vector<ElGamalCiphertext>& cts, Rng& rng, uint64_t epoch,
@@ -136,113 +316,19 @@ Status DecryptBatchWithShares(
     std::vector<CompressedRistretto>* encoded_out,
     std::vector<DleqBatchEntry>* self_check, std::map<size_t, Status>* blame,
     std::span<const ElGamalWire> cts_wire = {}) {
-  const ElectionAuthority& authority = service.authority();
   const size_t n = cts.size();
-  const size_t members = authority.size();
-  const size_t need = authority.threshold();
   Require(cts_wire.empty() || cts_wire.size() == n, "tally: cts wire size mismatch");
-  const AuthorityClient client(authority, service.retry_policy());
-  shares_out->assign(n, {});
-  encoded_out->assign(n, CompressedRistretto{});
-  const size_t check_base = self_check->size();
-  self_check->resize(check_base + n * members);
-  // Failure capture, only live when a fault plan is armed (nothing can fail
-  // otherwise). Reports are written positionally and merged sequentially
-  // below, so blame never depends on shard scheduling.
-  const bool armed = FaultInjector::Armed();
-  std::vector<std::vector<ShareRequestReport>> failed(armed ? n : 0);
-  std::vector<uint8_t> short_of_threshold(n, 0);
+  const AuthorityClient client(service.authority(), service.retry_policy());
+  DecryptBatchBuffers buffers;
+  buffers.Init(service.authority(), n, shares_out, encoded_out);
   auto shards = Executor::Shards(n, Executor::kRngShards);
   auto seeds = ForkRngSeeds(rng, shards.size());
   service.executor().ParallelForEach(shards.size(), [&](size_t s) {
     ChaChaRng child(seeds[s]);
-    for (size_t i = shards[s].first; i < shards[s].second; ++i) {
-      std::vector<DecryptionShare>& shares = (*shares_out)[i];
-      shares.reserve(members);
-      const CompressedRistretto c1_wire =
-          cts_wire.empty() ? cts[i].c1.Encode() : ElGamalWireHalf(cts_wire[i], 0);
-      const uint64_t ct_key = (epoch << 32) | static_cast<uint64_t>(i);
-      for (size_t m = 0; m < members; ++m) {
-        ShareRequestReport report;
-        Outcome<DecryptionShare> requested =
-            client.RequestShare(m, cts[i], child, ct_key, &c1_wire, &report);
-        if (!requested.ok()) {
-          if (armed) {
-            failed[i].push_back(std::move(report));
-          }
-          continue;
-        }
-        const DecryptionShare& share = *requested;
-        DleqBatchEntry entry;
-        entry.domain = std::string(kDecryptionShareDomain);
-        entry.statement = DleqStatement::MakePairWire(
-            RistrettoPoint::Base(), RistrettoPoint::BaseWire(),
-            authority.member(m).public_share, authority.member(m).public_share_wire,
-            cts[i].c1, c1_wire, share.share, share.share.Encode());
-        entry.transcript = share.proof;
-        (*self_check)[check_base + i * members + m] = std::move(entry);
-        shares.push_back(std::move(*requested));
-      }
-      if (shares.size() < need) {
-        short_of_threshold[i] = 1;
-        continue;
-      }
-      (*encoded_out)[i] = authority.CombineShares(cts[i], shares).Encode();
-    }
+    DecryptShareShardRange(service, client, cts, cts_wire, epoch, shards[s].first,
+                           shards[s].second, child, buffers);
   });
-  // Sequential, index-ordered merges keep blame and failure localization
-  // deterministic at any thread count.
-  for (size_t i = 0; i < failed.size(); ++i) {
-    for (const ShareRequestReport& report : failed[i]) {
-      blame->emplace(report.member_index, report.status);
-    }
-  }
-  if (armed) {
-    // Compact this batch's self-check region: excluded members leave empty
-    // positional slots that the release-gate batch verifier must not see.
-    auto begin = self_check->begin() + static_cast<ptrdiff_t>(check_base);
-    self_check->erase(
-        std::remove_if(begin, self_check->end(),
-                       [](const DleqBatchEntry& e) { return e.domain.empty(); }),
-        self_check->end());
-  }
-  for (size_t i = 0; i < n; ++i) {
-    if (short_of_threshold[i] != 0) {
-      return Status::Error(
-          StatusCode::kUnavailable,
-          std::string(what) + ": only " + std::to_string((*shares_out)[i].size()) +
-              " of " + std::to_string(members) + " authority shares for ciphertext " +
-              std::to_string(i) + " (threshold " + std::to_string(need) + ")");
-    }
-  }
-  return Status::Ok();
-}
-
-// Stage-level fault points (mix.shuffle, tag.apply): the whole sub-batch
-// operation either runs cleanly or fails with a coded, localized status —
-// the mix cascade and tagging chain have no per-item degradation story (a
-// missing shuffler breaks the cascade), so injected faults surface as stage
-// failures. An injected delay only models latency and does not fail the
-// stage; an injected corruption is reported as caught (the cascade's proof
-// checks would reject a tampered batch).
-Status ProbeStageFault(std::string_view point, uint64_t scope, const char* what) {
-  const FaultDecision fault = ProbeFaultPoint(point, scope, 0);
-  switch (fault.kind) {
-    case FaultKind::kNone:
-    case FaultKind::kDelay:
-      return Status::Ok();
-    case FaultKind::kCrash:
-      return Status::Error(StatusCode::kUnavailable,
-                           std::string(what) + ": crash injected at " + std::string(point));
-    case FaultKind::kTimeout:
-      return Status::Error(StatusCode::kTimeout,
-                           std::string(what) + ": timeout injected at " + std::string(point));
-    case FaultKind::kCorrupt:
-      return Status::Error(StatusCode::kCorrupted,
-                           std::string(what) + ": output integrity check failed at " +
-                               std::string(point));
-  }
-  return Status::Ok();
+  return FinalizeDecryptBatch(what, buffers, self_check, blame);
 }
 
 Status StageValidate(const TallyService& service, const PublicLedger& ledger,
@@ -274,13 +360,7 @@ Status StageMix(const TallyService& service, const PublicLedger& ledger, const C
   // hash of these batches is SHA-only.
   t.ballot_mix_input.resize(t.accepted_ballots.size());
   executor.ParallelForEach(t.accepted_ballots.size(), [&](size_t i) {
-    const Ballot& ballot = t.accepted_ballots[i];
-    auto credential_point = RistrettoPoint::Decode(ballot.credential_pk);
-    Require(credential_point.has_value(), "tally: validated ballot has bad credential point");
-    MixItem item;
-    item.cts = {ballot.encrypted_vote, ElGamalTrivialEncrypt(*credential_point)};
-    item.EnsureWire();
-    t.ballot_mix_input[i] = std::move(item);
+    t.ballot_mix_input[i] = BallotMixItem(t.accepted_ballots[i]);
   });
   t.ballot_mix_output = RunRpcMixCascade(t.ballot_mix_input, service.authority().public_key(),
                                          service.mix_pairs(), rng, &t.ballot_mix_proof,
@@ -332,16 +412,6 @@ Status StageTag(const TallyService& service, const PublicLedger&, const Candidat
   return Status::Ok();
 }
 
-// The canonical bytes of a tagged ciphertext list: the last step's
-// output_wire, read straight from the transcript (no copy; empty span when
-// there are no steps or no caches).
-std::span<const ElGamalWire> TaggedWire(const std::vector<TaggingStep>& steps) {
-  if (steps.empty() || !steps.back().HasWire()) {
-    return {};
-  }
-  return steps.back().output_wire;
-}
-
 Status StageDecryptTags(const TallyService& service, const PublicLedger&, const CandidateList&,
                         const std::set<CompressedRistretto>&, Rng& rng,
                         TallyPipelineState& state) {
@@ -372,28 +442,7 @@ Status StageDecryptTags(const TallyService& service, const PublicLedger&, const 
 
 Status StageJoin(const TallyService&, const PublicLedger&, const CandidateList&,
                  const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
-  TallyTranscript& t = state.output.transcript;
-  TallyResult& result = state.output.result;
-  // Hash-join ballot tags against the roster tag multiset: at most one
-  // ballot counts per tag; a tag appearing k times means k voters'
-  // registrations point at the same credential (k > 1 only under the
-  // delegation extension, Appendix C.3). Sequential by design — the join is
-  // a cheap ordered map pass whose output order is part of the transcript.
-  for (size_t i = 0; i < t.ballot_tags.size(); ++i) {
-    auto it = state.roster_tag_counts.find(t.ballot_tags[i]);
-    if (it == state.roster_tag_counts.end()) {
-      ++result.discards.unmatched_tag;  // fake credential (or never registered)
-      continue;
-    }
-    if (it->second == 0) {
-      ++result.discards.duplicate_tag;  // tag already fully consumed
-      continue;
-    }
-    t.counted_indices.push_back(i);
-    t.counted_weights.push_back(it->second);
-    it->second = 0;  // consume all matching registrations at once
-  }
-  Release(state.roster_tag_counts);
+  tally_internal::JoinTags(state);
   return Status::Ok();
 }
 
@@ -402,7 +451,6 @@ Status StageDecryptVotes(const TallyService& service, const PublicLedger&,
                          const std::set<CompressedRistretto>&, Rng& rng,
                          TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
-  TallyResult& result = state.output.result;
   std::vector<ElGamalCiphertext> counted_votes;
   counted_votes.reserve(t.counted_indices.size());
   for (uint64_t index : t.counted_indices) {
@@ -425,30 +473,14 @@ Status StageDecryptVotes(const TallyService& service, const PublicLedger&,
   if (!status.ok()) {
     return status;
   }
-  for (size_t c = 0; c < t.counted_indices.size(); ++c) {
-    uint64_t weight = t.counted_weights[c];
-    auto candidate = candidates.IndexOfEncoding(t.vote_points[c]);
-    if (!candidate.has_value()) {
-      ++result.discards.invalid_vote;
-      continue;
-    }
-    result.counts[candidates.name(*candidate)] += weight;
-    result.counted += weight;
-  }
+  tally_internal::CountVotes(candidates, state);
   return Status::Ok();
 }
 
 Status StageReleaseGate(const TallyService&, const PublicLedger&, const CandidateList&,
                         const std::set<CompressedRistretto>&, Rng& rng,
                         TallyPipelineState& state) {
-  // Release gate: all decryption-share proofs produced above must verify as
-  // one batch. A failure here is an internal fault, not a verification
-  // result, hence Require rather than a Status — corrupted responses never
-  // reach this batch (they are rejected on arrival and their members
-  // excluded), so a failure here means *we* produced a bad proof.
-  Require(BatchVerifyDleq(state.share_self_check, rng).ok(),
-          "tally: produced decryption share failed batched self-check");
-  Release(state.share_self_check);
+  tally_internal::ReleaseGate(state, rng);
   return Status::Ok();
 }
 
@@ -470,14 +502,31 @@ std::span<const TallyService::Stage> TallyService::Pipeline() { return kPipeline
 Outcome<TallyOutput> TallyService::Run(const PublicLedger& ledger,
                                        const CandidateList& candidates,
                                        const std::set<CompressedRistretto>& authorized_kiosks,
-                                       Rng& rng) const {
+                                       Rng& rng, TallyRunMetrics* metrics) const {
+  if (engine_ == TallyEngine::kDataflow) {
+    return tally_internal::RunDataflowTally(*this, ledger, candidates, authorized_kiosks, rng,
+                                            metrics);
+  }
   Executor::Scope scope(executor_);  // nested crypto kernels follow this pool
+  const auto run_start = std::chrono::steady_clock::now();
+  if (metrics != nullptr) {
+    *metrics = TallyRunMetrics{};
+    metrics->threads = executor_.threads();
+    metrics->executor_start = executor_.Stats();
+  }
   TallyPipelineState state;
   for (size_t i = 0; i < candidates.size(); ++i) {
     state.output.result.counts[candidates.name(i)] = 0;
   }
   for (const Stage& stage : Pipeline()) {
+    const auto stage_start = std::chrono::steady_clock::now();
     Status status = stage.run(*this, ledger, candidates, authorized_kiosks, rng, state);
+    if (metrics != nullptr) {
+      metrics->stages.push_back(TallyStageBusy{
+          stage.name,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - stage_start)
+              .count()});
+    }
     if (!status.ok()) {
       return Outcome<TallyOutput>::Fail(
           Status::Error(status.code(), std::string(stage.name) + " stage: " + status.reason()));
@@ -485,6 +534,11 @@ Outcome<TallyOutput> TallyService::Run(const PublicLedger& ledger,
   }
   for (const auto& [member, status] : state.authority_blame) {
     state.output.excluded_authorities.push_back(AuthorityBlame{member, status});
+  }
+  if (metrics != nullptr) {
+    metrics->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+    metrics->executor_end = executor_.Stats();
   }
   return Outcome<TallyOutput>::Ok(std::move(state.output));
 }

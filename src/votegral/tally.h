@@ -146,6 +146,38 @@ struct TallyPipelineState {
   std::map<size_t, Status> authority_blame;
 };
 
+// Which scheduler runs the pipeline. Both engines execute the same
+// per-shard kernels over the same shard boundaries and forked seeds, so
+// their transcripts are byte-identical; they differ only in when a shard
+// may start.
+enum class TallyEngine {
+  // Chunk-granular dataflow on a TaskGraph: stage i+1 starts on shard k the
+  // moment stage i finishes it (default — strictly more overlap).
+  kDataflow,
+  // The stage-wide barrier pipeline (Pipeline()): every stage fully
+  // completes before the next begins. Kept as the reference scheduler for
+  // the byte-compat tests and per-stage latency benchmarks.
+  kBarrier,
+};
+
+// Per-run scheduler observability, filled by Run() on request. Busy times
+// are summed node/stage execution seconds: for the dataflow engine,
+// busy/(wall*threads) per stage is the occupancy number the streaming bench
+// reports; for the barrier engine each stage's busy time is its wall time.
+struct TallyStageBusy {
+  std::string name;
+  double busy_seconds = 0.0;
+};
+
+struct TallyRunMetrics {
+  double wall_seconds = 0.0;
+  size_t threads = 0;
+  std::vector<TallyStageBusy> stages;
+  // Executor counters straddling the run (delta = this run's scheduling).
+  ExecutorStats executor_start;
+  ExecutorStats executor_end;
+};
+
 // The tally service: runs the pipeline with the authority's and tagging
 // committee's secrets. Parallel work is dispatched to the injected
 // executor; pass Executor(1) (or plumb ElectionConfig::threads = 1) for a
@@ -154,16 +186,18 @@ class TallyService {
  public:
   TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
                size_t mix_pairs = 2, Executor& executor = Executor::Global(),
-               RetryPolicy retry_policy = RetryPolicy());
+               RetryPolicy retry_policy = RetryPolicy(),
+               TallyEngine engine = TallyEngine::kDataflow);
 
   // Runs the staged pipeline over the ledger's ballots and active roster.
   // Fails (coded, localized — never a wrong result) when fewer than
   // threshold() authorities deliver valid shares for some ciphertext, or
   // when a mix/tag stage faults; succeeds with any honest-and-live t-subset,
   // naming the excluded members in TallyOutput::excluded_authorities.
+  // `metrics`, when non-null, receives wall/busy/occupancy numbers.
   Outcome<TallyOutput> Run(const PublicLedger& ledger, const CandidateList& candidates,
                            const std::set<CompressedRistretto>& authorized_kiosks,
-                           Rng& rng) const;
+                           Rng& rng, TallyRunMetrics* metrics = nullptr) const;
 
   // One named step of the pipeline; stages run in order, each fanning its
   // per-chunk work out on the executor, and the first stage failure aborts
@@ -180,6 +214,7 @@ class TallyService {
   size_t mix_pairs() const { return mix_pairs_; }
   Executor& executor() const { return executor_; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
+  TallyEngine engine() const { return engine_; }
 
  private:
   const ElectionAuthority& authority_;
@@ -187,6 +222,7 @@ class TallyService {
   size_t mix_pairs_;
   Executor& executor_;
   RetryPolicy retry_policy_;
+  TallyEngine engine_;
 };
 
 // Validate stage, phase 1 (shared with the universal verifier): parses and

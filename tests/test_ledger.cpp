@@ -67,19 +67,21 @@ TEST(Ledger, CursorStreamsInOrder) {
   EXPECT_FALSE(range.Next(&view));
 }
 
-TEST(Ledger, DeprecatedShimsStillAnswer) {
-  // The [[deprecated]] accessors stay correct until every external caller
-  // is gone; this is the one place that intentionally exercises them.
+TEST(Ledger, SeekAndTopicIndexReplaceRandomAccess) {
+  // The cursor + TopicIndices pair covers everything the removed
+  // random-access shims (At / IndicesWithTopic) did.
   Ledger ledger;
   ledger.Append("a", Payload("1"));
   ledger.Append("b", Payload("2"));
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(ledger.At(0).topic, "a");
-  EXPECT_EQ(ledger.At(1).payload, Payload("2"));
-  EXPECT_THROW((void)ledger.At(2), ProtocolError);
-  auto indices = ledger.IndicesWithTopic("a");
-#pragma GCC diagnostic pop
+  LedgerCursor cursor = ledger.Scan();
+  LedgerEntryView view;
+  ASSERT_TRUE(cursor.Next(&view));
+  EXPECT_EQ(view.topic, "a");
+  cursor.Seek(1);
+  ASSERT_TRUE(cursor.Next(&view));
+  EXPECT_EQ(view.Materialize().payload, Payload("2"));
+  EXPECT_FALSE(cursor.Next(&view));
+  const std::vector<uint64_t>& indices = ledger.TopicIndices("a");
   ASSERT_EQ(indices.size(), 1u);
   EXPECT_EQ(indices[0], 0u);
 }

@@ -23,12 +23,14 @@ struct TalliedElection {
   TallyResult result;
 };
 
-TalliedElection RunElection(size_t threads) {
+TalliedElection RunElection(size_t threads,
+                            TallyEngine engine = TallyEngine::kDataflow) {
   ChaChaRng rng(0x7A11E7);
   ElectionConfig config;
   config.roster = {"alice", "bob", "carol", "dave", "erin", "frank"};
   config.candidates = {"Alpha", "Beta", "Gamma"};
   config.threads = threads;
+  config.tally_engine = engine;
   Election election(config, rng);
   Vsd vsd = election.trip().MakeVsd();
   const char* choices[] = {"Alpha", "Alpha", "Beta", "Gamma", "Alpha", "Beta"};
@@ -80,6 +82,25 @@ TEST(ParallelTally, TranscriptByteIdenticalToPreWireSeed) {
   // bytes the transcript already contained, never new protocol state.
   TalliedElection serial = RunElection(1);
   EXPECT_EQ(HexEncode(serial.protocol_digest), kPreWireGoldenDigestHex);
+}
+
+TEST(ParallelTally, DataflowAndBarrierEnginesAreByteIdentical) {
+  // The two schedulers run the same per-shard kernels over the same shard
+  // boundaries and forked seeds; only *when* a shard runs differs. The
+  // transcript (wire caches included) must therefore match byte for byte at
+  // every thread count, and both must pin the golden protocol digest.
+  TalliedElection barrier = RunElection(1, TallyEngine::kBarrier);
+  EXPECT_TRUE(barrier.verified);
+  EXPECT_EQ(HexEncode(barrier.protocol_digest), kPreWireGoldenDigestHex);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    TalliedElection dataflow = RunElection(threads, TallyEngine::kDataflow);
+    EXPECT_EQ(dataflow.digest, barrier.digest) << "threads=" << threads;
+    EXPECT_EQ(dataflow.protocol_digest, barrier.protocol_digest)
+        << "threads=" << threads;
+    EXPECT_TRUE(dataflow.verified) << "threads=" << threads;
+    EXPECT_EQ(dataflow.result.counts, barrier.result.counts)
+        << "threads=" << threads;
+  }
 }
 
 // A full election fixture the localization tests tamper with.
