@@ -13,13 +13,22 @@
 //     O(ledger size), resident-memory bound.
 //
 // Emits BENCH_ledger.json for the CI artifact next to the fig5b sweep.
+//
+// --threads N (or VOTEGRAL_THREADS) sizes a local Executor for the
+// thread-safe read paths: the sequential scan becomes per-shard cursors
+// (each pinning its own segment) and inclusion-proof *verification* fans
+// out. Proof generation stays serial — the commitment tree's hash-invocation
+// counter is deliberately unsynchronized.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/executor.h"
 #include "src/common/table.h"
 #include "src/crypto/drbg.h"
 #include "src/ledger/ledger.h"
@@ -46,7 +55,7 @@ struct BenchRow {
 };
 
 BenchRow RunOne(const LedgerStorageConfig& config, const std::string& backend,
-                size_t entries) {
+                size_t entries, Executor& executor) {
   BenchRow row;
   row.backend = backend;
   row.entries = entries;
@@ -60,15 +69,23 @@ BenchRow RunOne(const LedgerStorageConfig& config, const std::string& backend,
   }
   row.append_s = append_timer.Seconds();
 
-  // Sequential scan: sum payload bytes through zero-copy views.
+  // Scan: sum payload bytes through zero-copy views — one cursor per shard,
+  // each pinning at most one segment (shard boundaries are thread-count
+  // independent; cursors share nothing mutable).
   WallTimer scan_timer;
-  uint64_t scanned = 0;
-  LedgerEntryView view;
-  for (LedgerCursor cursor = ledger.Scan(); cursor.Next(&view);) {
-    scanned += view.payload.size();
-  }
+  const auto shards = Executor::Shards(entries, executor.threads());
+  std::atomic<uint64_t> scanned{0};
+  executor.ParallelForEach(shards.size(), [&](size_t s) {
+    uint64_t local = 0;
+    LedgerEntryView view;
+    for (LedgerCursor cursor = ledger.Scan(shards[s].first, shards[s].second);
+         cursor.Next(&view);) {
+      local += view.payload.size();
+    }
+    scanned.fetch_add(local, std::memory_order_relaxed);
+  });
   row.scan_s = scan_timer.Seconds();
-  Require(scanned == entries * kPayloadBytes, "ledger bench: scan lost bytes");
+  Require(scanned.load() == entries * kPayloadBytes, "ledger bench: scan lost bytes");
 
   // Commitment queries, averaged over a few calls.
   constexpr int kReps = 64;
@@ -79,13 +96,21 @@ BenchRow RunOne(const LedgerStorageConfig& config, const std::string& backend,
   }
   row.root_us = root_timer.Seconds() / kReps * 1e6;
 
+  // Proof generation is serial (the tree's hash-invocation counter is not
+  // synchronized); verification is pure and fans out.
   WallTimer prove_timer;
+  std::vector<InclusionProof> proofs;
+  proofs.reserve(kReps);
   for (int i = 0; i < kReps; ++i) {
     auto proof = ledger.ProveInclusion((entries / kReps) * i);
     Require(proof.ok(), "ledger bench: proof failed");
-    Require(Ledger::VerifyInclusion(root, ledger.LeafHash(proof->index), *proof).ok(),
-            "ledger bench: proof did not verify");
+    proofs.push_back(std::move(*proof));
   }
+  executor.ParallelForEach(proofs.size(), [&](size_t i) {
+    Require(
+        Ledger::VerifyInclusion(root, ledger.LeafHash(proofs[i].index), proofs[i]).ok(),
+        "ledger bench: proof did not verify");
+  });
   row.prove_us = prove_timer.Seconds() / kReps * 1e6;
 
   WallTimer verify_timer;
@@ -101,7 +126,7 @@ BenchRow RunOne(const LedgerStorageConfig& config, const std::string& backend,
   return row;
 }
 
-void RunSweep() {
+void RunSweep(size_t threads) {
   std::vector<size_t> sizes = {4096, 16384, 65536};
   if (const char* env = std::getenv("VOTEGRAL_LEDGER_BENCH_N")) {
     long parsed = std::atol(env);
@@ -110,19 +135,24 @@ void RunSweep() {
     }
   }
 
+  Executor executor(threads);
+  Executor::Scope scope(executor);
+  std::printf("ledger stream bench: %zu thread%s\n", executor.threads(),
+              executor.threads() == 1 ? "" : "s");
+
   const std::string dir =
       (fs::temp_directory_path() / "votegral_ledger_bench").string();
   std::vector<BenchRow> rows;
   for (size_t n : sizes) {
     LedgerStorageConfig memory;
-    rows.push_back(RunOne(memory, "memory", n));
+    rows.push_back(RunOne(memory, "memory", n, executor));
 
     fs::remove_all(dir);
     LedgerStorageConfig file;
     file.backend = LedgerStorageConfig::Backend::kFile;
     file.directory = dir;
     file.segment_entries = 1024;
-    rows.push_back(RunOne(file, "file", n));
+    rows.push_back(RunOne(file, "file", n, executor));
     fs::remove_all(dir);
   }
 
@@ -148,8 +178,8 @@ void RunSweep() {
   FILE* json = std::fopen("BENCH_ledger.json", "w");
   Require(json != nullptr, "ledger bench: cannot write BENCH_ledger.json");
   std::fprintf(json, "{\n  \"bench\": \"ledger_stream\",\n  \"payload_bytes\": %zu,\n"
-                     "  \"segment_entries\": 1024,\n  \"sweep\": [\n",
-               kPayloadBytes);
+                     "  \"segment_entries\": 1024,\n  \"threads\": %zu,\n  \"sweep\": [\n",
+               kPayloadBytes, executor.threads());
   for (size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& row = rows[i];
     std::fprintf(
@@ -169,10 +199,34 @@ void RunSweep() {
   std::printf("Wrote BENCH_ledger.json\n");
 }
 
+// Thread count: --threads N beats VOTEGRAL_THREADS beats
+// hardware_concurrency (Executor's `0` default).
+size_t ParseThreads(int argc, char** argv) {
+  size_t threads = 0;
+  if (const char* env = std::getenv("VOTEGRAL_THREADS")) {
+    long parsed = std::atol(env);
+    if (parsed > 0) {
+      threads = static_cast<size_t>(parsed);
+    }
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg == "--threads" && i + 1 < argc) {
+      long parsed = std::atol(argv[++i]);
+      Require(parsed > 0, "fig_ledger_stream: --threads needs a positive count");
+      threads = static_cast<size_t>(parsed);
+    } else {
+      std::fprintf(stderr, "usage: fig_ledger_stream [--threads N]\n");
+      std::exit(2);
+    }
+  }
+  return threads;
+}
+
 }  // namespace
 }  // namespace votegral
 
-int main() {
-  votegral::RunSweep();
+int main(int argc, char** argv) {
+  votegral::RunSweep(votegral::ParseThreads(argc, argv));
   return 0;
 }

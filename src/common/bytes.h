@@ -27,6 +27,8 @@ Bytes HexDecode(std::string_view hex);
 bool ConstantTimeEqual(std::span<const uint8_t> a, std::span<const uint8_t> b);
 
 // Little-endian integer packing used by the crypto layer and serializers.
+uint16_t LoadLe16(const uint8_t* p);
+void StoreLe16(uint8_t* p, uint16_t v);
 uint32_t LoadLe32(const uint8_t* p);
 uint64_t LoadLe64(const uint8_t* p);
 void StoreLe32(uint8_t* p, uint32_t v);

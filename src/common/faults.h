@@ -75,6 +75,14 @@ inline constexpr std::string_view kLedgerAppend = "ledger.append";
 inline constexpr std::string_view kLedgerSeal = "ledger.seal";
 inline constexpr std::string_view kMixShuffle = "mix.shuffle";
 inline constexpr std::string_view kTagApply = "tag.apply";
+// Replication transport + apply path (src/net, src/replica). net.*: scope =
+// the probing endpoint's id, key = the per-endpoint message sequence number.
+// replica.apply: scope = the entry's segment, key = the entry index (the
+// kLedgerAppend convention, so crash rules land mid-sync on PRF-chosen
+// segments).
+inline constexpr std::string_view kNetSend = "net.send";
+inline constexpr std::string_view kNetRecv = "net.recv";
+inline constexpr std::string_view kReplicaApply = "replica.apply";
 }  // namespace faults
 
 // Every registered fault point name (the docs/tests cross-check this list).

@@ -9,6 +9,7 @@
 #define SRC_COMMON_STATUS_H_
 
 #include <cstdint>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -42,6 +43,10 @@ inline void Require(bool condition, const char* message) {
 //  * kCorrupted     — stored or transported data failed an integrity check
 //                     (torn sealed segment, chain break, malformed frame).
 //  * kExhausted     — a bounded retry/attempt budget ran out.
+//  * kEquivocation  — a party presented two validly-signed commitments that
+//                     cannot both belong to one append-only history (e.g. a
+//                     replication leader signing incompatible checkpoint
+//                     roots — the split-view attack the board must detect).
 enum class StatusCode : uint8_t {
   kOk = 0,
   kFailed,
@@ -50,6 +55,7 @@ enum class StatusCode : uint8_t {
   kTimeout,
   kCorrupted,
   kExhausted,
+  kEquivocation,
 };
 
 // Stable lowercase name ("ok", "invalid_proof", ...) for logs and tests.
@@ -62,6 +68,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kTimeout: return "timeout";
     case StatusCode::kCorrupted: return "corrupted";
     case StatusCode::kExhausted: return "exhausted";
+    case StatusCode::kEquivocation: return "equivocation";
   }
   return "unknown";
 }
@@ -102,6 +109,16 @@ class Status {
   // Returns the first failure among `this` and `other` (error short-circuit).
   Status And(const Status& other) const { return ok() ? other : *this; }
 
+  // "ok" for success, "[code_name] reason" otherwise — the code name leads so
+  // coded failures (replication drills, fault soaks) read unambiguously in
+  // test logs even when two checks share similar reason text.
+  std::string ToString() const {
+    if (ok()) {
+      return "ok";
+    }
+    return "[" + std::string(StatusCodeName(code_)) + "] " + reason_;
+  }
+
  private:
   Status(StatusCode code, std::string reason)
       : code_(code), reason_(std::move(reason)) {}
@@ -109,6 +126,12 @@ class Status {
   StatusCode code_;
   std::string reason_;
 };
+
+// Streams Status::ToString(); picked up by gtest's value printers, so
+// `ASSERT_TRUE(status.ok()) << status` logs the category with the reason.
+inline std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
 
 }  // namespace votegral
 

@@ -1,0 +1,67 @@
+// RFC 6962-style Merkle consistency proofs over the ledger commitment tree.
+//
+// A consistency proof convinces a verifier holding the root of the first
+// `old_size` entries that a tree of `new_size` entries with a given root is an
+// *append-only extension* of the one it knows: the old leaves are a prefix of
+// the new ones, nothing was rewritten. Replication followers check one of
+// these against every signed leader checkpoint before applying a single new
+// frame, which is what turns "the leader sent me bytes" into "the leader is
+// still serving the same history it committed to" (docs/REPLICATION.md).
+//
+// Shape: the proof is the Certificate-Transparency SUBPROOF(m, D[n], true)
+// node list (RFC 6962 §2.1.2) over the same split rule the commitment tree
+// already uses, so proofs recombine with MerkleCommitmentTree::HashInternal
+// and nothing new touches the hash domain. The prover assembles the node list
+// from the append-time frontier (stored complete aligned subtrees plus
+// ephemeral right-spine recombinations) — O(log n) nodes, O(log n) hash
+// invocations, and *zero segment reads*, the same bound MerkleRoot() enjoys
+// (pinned by the hash-invocation-counter tests in tests/test_consistency.cpp).
+//
+// Edge conventions (asserted by tests, relied on by the replica layer):
+//  * old_size == new_size  -> empty path; verify additionally requires
+//    old_root == new_root.
+//  * old_size == 0         -> empty path; any tree extends the empty tree,
+//    but the claimed old root must be the zero hash (the empty-ledger root).
+//  * Proofs never shrink: new_size < old_size fails as a value.
+#ifndef SRC_LEDGER_CONSISTENCY_H_
+#define SRC_LEDGER_CONSISTENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/outcome.h"
+#include "src/common/status.h"
+#include "src/ledger/merkle.h"
+
+namespace votegral {
+
+// Proof that the tree of `old_size` leaves is a prefix of the tree of
+// `new_size` leaves. `path` is the RFC 6962 subproof node list.
+struct ConsistencyProof {
+  uint64_t old_size = 0;
+  uint64_t new_size = 0;
+  std::vector<LedgerHash> path;
+
+  // Wire form: u64 old_size | u64 new_size | u32 count | count * 32B nodes.
+  Bytes Serialize() const;
+  static Outcome<ConsistencyProof> Parse(std::span<const uint8_t> bytes);
+};
+
+// Builds the consistency proof old_size -> new_size from the commitment
+// tree's frontier. Fails as a value when old_size > new_size or
+// new_size > tree.size(); old_size == 0 and old_size == new_size yield empty
+// proofs. Never reads ledger segments.
+Outcome<ConsistencyProof> ProveConsistency(const MerkleCommitmentTree& tree,
+                                           uint64_t old_size, uint64_t new_size);
+
+// Verifies that `proof` links `old_root` (over proof.old_size leaves) to
+// `new_root` (over proof.new_size leaves). Failures are localized Status
+// values (kInvalidProof): which root failed to recombine, or which structural
+// rule the proof broke.
+Status VerifyConsistency(const LedgerHash& old_root, const LedgerHash& new_root,
+                         const ConsistencyProof& proof);
+
+}  // namespace votegral
+
+#endif  // SRC_LEDGER_CONSISTENCY_H_

@@ -40,6 +40,7 @@
 #include "src/common/outcome.h"
 #include "src/common/status.h"
 #include "src/crypto/sha256.h"
+#include "src/ledger/consistency.h"
 #include "src/ledger/cursor.h"
 #include "src/ledger/merkle.h"
 #include "src/ledger/store.h"
@@ -89,6 +90,19 @@ class Ledger {
   // Merkle root over all entry hashes (RFC 6962-style tree), from the
   // incremental frontier — O(log n) hashes, no segment reads.
   LedgerHash MerkleRoot() const;
+
+  // Historical Merkle root over the first `n` entries (the root a replica
+  // that stopped at size n would have computed). O(log n) hashes, no segment
+  // reads. Require()s n <= size().
+  LedgerHash MerkleRootAt(uint64_t n) const { return merkle_.RootAt(n); }
+
+  // Consistency proof that the first old_size entries are a prefix of the
+  // first new_size entries (RFC 6962; see src/ledger/consistency.h). Fails as
+  // a value when old_size > new_size or new_size > size(). No segment reads.
+  Outcome<ConsistencyProof> ProveConsistency(uint64_t old_size,
+                                             uint64_t new_size) const {
+    return votegral::ProveConsistency(merkle_, old_size, new_size);
+  }
 
   // Entry hash of leaf `index` from the commitment index (O(1), no segment
   // reads). Require()s index < size().

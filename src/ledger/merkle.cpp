@@ -80,6 +80,19 @@ LedgerHash MerkleCommitmentTree::Root() const {
   return RangeRoot(0, size());
 }
 
+LedgerHash MerkleCommitmentTree::RootAt(uint64_t n) const {
+  Require(n <= size(), "merkle: historical root beyond tree size");
+  if (n == 0) {
+    return kZeroHash;
+  }
+  return RangeRoot(0, n);
+}
+
+LedgerHash MerkleCommitmentTree::RangeHash(uint64_t lo, uint64_t hi) const {
+  Require(lo < hi && hi <= size(), "merkle: range hash out of bounds");
+  return RangeRoot(lo, hi);
+}
+
 void MerkleCommitmentTree::RangePath(uint64_t lo, uint64_t hi, uint64_t index,
                                      std::vector<LedgerHash>* path) const {
   if (hi - lo == 1) {

@@ -42,6 +42,19 @@ class MerkleCommitmentTree {
   // Root over all leaves (zero hash when empty). O(log n) internal hashes.
   LedgerHash Root() const;
 
+  // Historical root over the first `n` leaves, as if the tree had stopped
+  // growing at size n (zero hash for n == 0). Require()s n <= size(). Every
+  // node it needs is either stored frontier state or an ephemeral right-spine
+  // recombination, so like Root() it costs O(log n) hashes and reads nothing
+  // but the in-memory index — the property the replication checkpoints rely
+  // on for proving old-root ⊆ new-root without touching segments.
+  LedgerHash RootAt(uint64_t n) const;
+
+  // Root of the leaf range [lo, hi) under the RFC 6962 split rule.
+  // Require()s lo < hi <= size(). The consistency-proof builder
+  // (src/ledger/consistency.h) assembles proofs out of exactly these nodes.
+  LedgerHash RangeHash(uint64_t lo, uint64_t hi) const;
+
   // Stored leaf hash; Require()s index < size().
   const LedgerHash& Leaf(uint64_t index) const;
 

@@ -1,0 +1,191 @@
+#include "src/net/loopback.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "src/common/faults.h"
+
+namespace votegral {
+
+namespace {
+struct Pending {
+  Bytes frame;
+  double extra_delay_seconds = 0.0;
+};
+}  // namespace
+
+// One lock covers queues, clock and counters: replication traffic is strictly
+// request-response, so there is no contention worth finer granularity, and a
+// single monitor keeps the VirtualClock advances totally ordered (which is
+// what makes SimulatedSeconds() reproducible).
+struct LoopbackNetwork::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  LoopbackLinkModel model;
+  VirtualClock clock;
+  uint64_t bytes_delivered = 0;
+  uint64_t recv_deadline_ms = 5000;
+};
+
+namespace {
+
+struct PairState {
+  std::deque<Pending> queue[2];  // queue[i] holds frames addressed to side i
+  bool closed = false;
+  uint64_t send_seq[2] = {0, 0};
+  uint64_t recv_seq[2] = {0, 0};
+};
+
+class LoopbackChannel final : public Channel {
+ public:
+  LoopbackChannel(std::shared_ptr<LoopbackNetwork::Shared> shared,
+                  std::shared_ptr<PairState> pair, int side, uint64_t id)
+      : shared_(std::move(shared)), pair_(std::move(pair)), side_(side), id_(id) {}
+
+  ~LoopbackChannel() override { Close(); }
+
+  Status Send(const WireMessage& msg) override {
+    Bytes frame = EncodeFrame(msg);
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (pair_->closed) {
+      return Status::Error(StatusCode::kUnavailable, Name() + ": send on closed channel");
+    }
+    const uint64_t seq = pair_->send_seq[side_]++;
+    Pending pending{std::move(frame), 0.0};
+    const FaultDecision fault = ProbeFaultPoint(faults::kNetSend, id_, seq);
+    switch (fault.kind) {
+      case FaultKind::kCrash:
+        // The link itself dies: both directions fail from here on.
+        pair_->closed = true;
+        shared_->cv.notify_all();
+        return Status::Error(StatusCode::kUnavailable,
+                             Name() + ": link dropped (crash injected at " +
+                                 std::string(faults::kNetSend) + ", message " +
+                                 std::to_string(seq) + ")");
+      case FaultKind::kTimeout:
+        // The message is lost in flight; the sender learns nothing arrived.
+        return Status::Error(StatusCode::kTimeout,
+                             Name() + ": message " + std::to_string(seq) +
+                                 " lost (timeout injected at " +
+                                 std::string(faults::kNetSend) + ")");
+      case FaultKind::kCorrupt:
+        pending.frame[seq % pending.frame.size()] ^= 0x01;
+        break;
+      case FaultKind::kDelay:
+        pending.extra_delay_seconds = static_cast<double>(fault.delay_ms) / 1e3;
+        break;
+      case FaultKind::kNone:
+        break;
+    }
+    pair_->queue[1 - side_].push_back(std::move(pending));
+    shared_->cv.notify_all();
+    return Status::Ok();
+  }
+
+  Outcome<WireMessage> Recv() override {
+    using Out = Outcome<WireMessage>;
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(shared_->mu);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(shared_->recv_deadline_ms);
+      while (pair_->queue[side_].empty() && !pair_->closed) {
+        if (shared_->cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (pair_->queue[side_].empty()) {
+        if (pair_->closed) {
+          return Out::Fail(StatusCode::kUnavailable, Name() + ": channel closed");
+        }
+        return Out::Fail(StatusCode::kTimeout,
+                         Name() + ": no message within the receive deadline");
+      }
+      pending = std::move(pair_->queue[side_].front());
+      pair_->queue[side_].pop_front();
+
+      const uint64_t seq = pair_->recv_seq[side_]++;
+      const FaultDecision fault = ProbeFaultPoint(faults::kNetRecv, id_, seq);
+      switch (fault.kind) {
+        case FaultKind::kCrash:
+          pair_->closed = true;
+          shared_->cv.notify_all();
+          return Out::Fail(StatusCode::kUnavailable,
+                           Name() + ": link dropped (crash injected at " +
+                               std::string(faults::kNetRecv) + ", message " +
+                               std::to_string(seq) + ")");
+        case FaultKind::kTimeout:
+          // Delivered by the wire, dropped by the receiving stack.
+          return Out::Fail(StatusCode::kTimeout,
+                           Name() + ": message " + std::to_string(seq) +
+                               " lost (timeout injected at " +
+                               std::string(faults::kNetRecv) + ")");
+        case FaultKind::kCorrupt:
+          pending.frame[seq % pending.frame.size()] ^= 0x01;
+          break;
+        case FaultKind::kDelay:
+          pending.extra_delay_seconds += static_cast<double>(fault.delay_ms) / 1e3;
+          break;
+        case FaultKind::kNone:
+          break;
+      }
+      shared_->clock.Advance(shared_->model.base_seconds +
+                             shared_->model.seconds_per_byte *
+                                 static_cast<double>(pending.frame.size()) +
+                             pending.extra_delay_seconds);
+      shared_->bytes_delivered += pending.frame.size();
+    }
+    return DecodeFrame(pending.frame);
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    pair_->closed = true;
+    shared_->cv.notify_all();
+  }
+
+  std::string Describe() const override { return Name(); }
+
+ private:
+  std::string Name() const { return "loopback:" + std::to_string(id_); }
+
+  std::shared_ptr<LoopbackNetwork::Shared> shared_;
+  std::shared_ptr<PairState> pair_;
+  int side_;
+  uint64_t id_;
+};
+
+}  // namespace
+
+LoopbackNetwork::LoopbackNetwork(LoopbackLinkModel model)
+    : shared_(std::make_shared<Shared>()) {
+  shared_->model = model;
+}
+
+LoopbackNetwork::~LoopbackNetwork() = default;
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+LoopbackNetwork::CreatePair(uint64_t id_a, uint64_t id_b) {
+  auto pair = std::make_shared<PairState>();
+  return {std::make_unique<LoopbackChannel>(shared_, pair, 0, id_a),
+          std::make_unique<LoopbackChannel>(shared_, pair, 1, id_b)};
+}
+
+double LoopbackNetwork::SimulatedSeconds() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->clock.Seconds();
+}
+
+uint64_t LoopbackNetwork::BytesDelivered() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->bytes_delivered;
+}
+
+void LoopbackNetwork::SetRecvDeadlineMillis(uint64_t ms) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  shared_->recv_deadline_ms = ms;
+}
+
+}  // namespace votegral

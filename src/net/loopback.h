@@ -1,0 +1,74 @@
+// Deterministic in-process transport for replication tests and benches.
+//
+// A LoopbackNetwork hands out connected Channel pairs backed by per-direction
+// byte queues. Everything observable is reproducible:
+//  * The bytes a receiver sees are exactly the frames the sender encoded (or
+//    a deterministic corruption of them) — no timing-dependent coalescing.
+//  * Simulated latency comes from a VirtualClock advanced on delivery by a
+//    LoopbackLinkModel (per-message base cost + per-byte cost + injected
+//    delay), never from real sleeping, so the fig_replication sync-lag
+//    numbers are model outputs, not scheduler noise.
+//  * Misbehavior is injected through the faults::kNetSend / faults::kNetRecv
+//    fault points, probed with scope = the endpoint's stable id and key = the
+//    per-endpoint message sequence number — a pure PRF schedule, independent
+//    of thread interleaving (src/common/faults.h contract):
+//      - kCrash    the link drops; both sides fail kUnavailable from then on.
+//      - kTimeout  the message is lost; the faulted operation fails kTimeout.
+//      - kCorrupt  one deterministic byte of the frame flips in flight.
+//      - kDelay    delivery works but charges extra simulated milliseconds.
+//
+// Blocking: Recv waits on a condition variable with a configurable *real*
+// deadline (default 5 s) so a drill whose message was eaten by a fault fails
+// kTimeout instead of hanging the test binary; in fault-free runs the
+// deadline never fires and adds nothing to the clock model.
+#ifndef SRC_NET_LOOPBACK_H_
+#define SRC_NET_LOOPBACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/net/transport.h"
+
+namespace votegral {
+
+// Simulated link cost, charged to the shared VirtualClock per delivery.
+struct LoopbackLinkModel {
+  double base_seconds = 200e-6;           // per-message overhead (~LAN RTT share)
+  double seconds_per_byte = 1.0 / 117e6;  // ~937 Mbit/s effective gigabit
+};
+
+class LoopbackNetwork {
+ public:
+  explicit LoopbackNetwork(LoopbackLinkModel model = {});
+  ~LoopbackNetwork();
+
+  // Creates a connected pair. The first channel probes fault points with
+  // scope `id_a`, the second with scope `id_b`; ids also label Describe().
+  // Ids must be stable per logical endpoint so fault plans can target "the
+  // follower side" across reconnects.
+  std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>> CreatePair(
+      uint64_t id_a, uint64_t id_b);
+
+  // Simulated time consumed by deliveries so far (shared by all pairs).
+  double SimulatedSeconds() const;
+
+  // Total frame bytes successfully delivered (post-fault) across all pairs.
+  uint64_t BytesDelivered() const;
+
+  // Real-time receive deadline; lost-message drills lower this so a fault
+  // surfaces as kTimeout quickly.
+  void SetRecvDeadlineMillis(uint64_t ms);
+
+  // Implementation state; public so the channel implementation in the .cpp
+  // can name it, opaque to everyone else.
+  struct Shared;
+
+ private:
+  std::shared_ptr<Shared> shared_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_NET_LOOPBACK_H_

@@ -1,0 +1,207 @@
+#include "src/net/socket.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace votegral {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Writes all of `data`, retrying short writes and EINTR.
+Status WriteAll(int fd, std::span<const uint8_t> data, const std::string& name) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Error(StatusCode::kUnavailable, name + ": peer closed during write");
+      }
+      return Status::Error(StatusCode::kUnavailable, Errno(name + ": write failed"));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Reads exactly data.size() bytes, retrying EINTR. Distinguishes a clean EOF
+// on the first byte (peer closed between messages → kUnavailable) from a
+// timeout (SO_RCVTIMEO fired → kTimeout) and a mid-frame EOF (→ kCorrupted:
+// the peer died with half a frame on the wire).
+Status ReadExact(int fd, std::span<uint8_t> data, const std::string& name) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::read(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Error(StatusCode::kTimeout,
+                             name + ": no message within the receive deadline");
+      }
+      return Status::Error(StatusCode::kUnavailable, Errno(name + ": read failed"));
+    }
+    if (n == 0) {
+      if (off == 0) {
+        return Status::Error(StatusCode::kUnavailable, name + ": channel closed");
+      }
+      return Status::Error(StatusCode::kCorrupted,
+                           name + ": peer closed mid-frame after " +
+                               std::to_string(off) + " bytes");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void SetRecvTimeout(int fd, uint64_t ms) {
+  if (ms == 0) {
+    return;
+  }
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+Status FillUnixAddr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::Error(StatusCode::kFailed, "socket: unix path too long: " + path);
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::Ok();
+}
+
+class SocketChannel final : public Channel {
+ public:
+  SocketChannel(int fd, std::string name) : fd_(fd), name_(std::move(name)) {}
+  ~SocketChannel() override { Close(); }
+
+  Status Send(const WireMessage& msg) override {
+    if (fd_ < 0) {
+      return Status::Error(StatusCode::kUnavailable, name_ + ": send on closed channel");
+    }
+    return WriteAll(fd_, EncodeFrame(msg), name_);
+  }
+
+  Outcome<WireMessage> Recv() override {
+    using Out = Outcome<WireMessage>;
+    if (fd_ < 0) {
+      return Out::Fail(StatusCode::kUnavailable, name_ + ": channel closed");
+    }
+    Bytes frame(4);
+    if (Status s = ReadExact(fd_, frame, name_); !s.ok()) {
+      return Out::Fail(s.code(), s.reason());
+    }
+    const uint32_t frame_len = LoadLe32(frame.data());
+    if (frame_len < 2 || frame_len > kMaxFrameBytes) {
+      // Reject the announced length before allocating what it names.
+      return Out::Fail(StatusCode::kCorrupted, name_ + ": implausible frame length " +
+                                                   std::to_string(frame_len));
+    }
+    frame.resize(size_t{4} + frame_len);
+    if (Status s = ReadExact(fd_, std::span<uint8_t>(frame).subspan(4), name_); !s.ok()) {
+      return Out::Fail(s.code(), s.reason());
+    }
+    return DecodeFrame(frame);
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::string Describe() const override { return name_; }
+
+ private:
+  int fd_;
+  std::string name_;
+};
+
+}  // namespace
+
+Outcome<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path,
+                                                    uint64_t recv_timeout_ms) {
+  using Out = Outcome<std::unique_ptr<Channel>>;
+  sockaddr_un addr;
+  if (Status s = FillUnixAddr(path, &addr); !s.ok()) {
+    return Out::Fail(s.code(), s.reason());
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Out::Fail(StatusCode::kUnavailable, Errno("socket: socket() failed"));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = Errno("socket: connect to " + path + " failed");
+    ::close(fd);
+    return Out::Fail(StatusCode::kUnavailable, reason);
+  }
+  SetRecvTimeout(fd, recv_timeout_ms);
+  return Out::Ok(std::make_unique<SocketChannel>(fd, "unix:" + path));
+}
+
+Outcome<std::unique_ptr<SocketListener>> SocketListener::Bind(const std::string& path,
+                                                              uint64_t recv_timeout_ms) {
+  using Out = Outcome<std::unique_ptr<SocketListener>>;
+  sockaddr_un addr;
+  if (Status s = FillUnixAddr(path, &addr); !s.ok()) {
+    return Out::Fail(s.code(), s.reason());
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Out::Fail(StatusCode::kUnavailable, Errno("socket: socket() failed"));
+  }
+  ::unlink(path.c_str());  // stale path from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = Errno("socket: bind to " + path + " failed");
+    ::close(fd);
+    return Out::Fail(StatusCode::kUnavailable, reason);
+  }
+  if (::listen(fd, 8) != 0) {
+    const std::string reason = Errno("socket: listen on " + path + " failed");
+    ::close(fd);
+    return Out::Fail(StatusCode::kUnavailable, reason);
+  }
+  return Out::Ok(std::unique_ptr<SocketListener>(
+      new SocketListener(fd, path, recv_timeout_ms)));
+}
+
+SocketListener::~SocketListener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  ::unlink(path_.c_str());
+}
+
+Outcome<std::unique_ptr<Channel>> SocketListener::Accept() {
+  using Out = Outcome<std::unique_ptr<Channel>>;
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      SetRecvTimeout(fd, recv_timeout_ms_);
+      return Out::Ok(std::make_unique<SocketChannel>(fd, "unix:" + path_ + "#accepted"));
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return Out::Fail(StatusCode::kUnavailable, Errno("socket: accept failed"));
+  }
+}
+
+}  // namespace votegral

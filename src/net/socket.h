@@ -1,0 +1,57 @@
+// Blocking AF_UNIX stream-socket backend for the replication transport.
+//
+// This is the "real processes" counterpart of LoopbackNetwork: the same wire
+// frames (src/net/transport.h), carried over a POSIX stream socket, so a
+// leader and follower in separate processes interoperate byte-for-byte with
+// the in-process test rig. Unix-domain paths keep the backend dependency-free
+// and sandbox-friendly (no name resolution, no ports); the framing itself is
+// address-family agnostic.
+//
+// Blocking model: Send writes the whole frame (retrying short writes and
+// EINTR); Recv reads exactly one frame under a per-socket receive timeout
+// (SO_RCVTIMEO) so a dead peer surfaces as kTimeout, not a hang. No fault
+// points are probed here — deterministic misbehavior drills belong to the
+// loopback backend; real sockets fail for real reasons.
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <memory>
+#include <string>
+
+#include "src/net/transport.h"
+
+namespace votegral {
+
+// Client side: connects to a listening unix-domain socket.
+// `recv_timeout_ms` bounds each Recv (0 = block forever).
+Outcome<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path,
+                                                    uint64_t recv_timeout_ms = 5000);
+
+// Server side: binds + listens on a unix-domain path. The destructor closes
+// the listening socket and unlinks the path.
+class SocketListener {
+ public:
+  static Outcome<std::unique_ptr<SocketListener>> Bind(const std::string& path,
+                                                       uint64_t recv_timeout_ms = 5000);
+  ~SocketListener();
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  // Blocks for one inbound connection.
+  Outcome<std::unique_ptr<Channel>> Accept();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  SocketListener(int fd, std::string path, uint64_t recv_timeout_ms)
+      : fd_(fd), path_(std::move(path)), recv_timeout_ms_(recv_timeout_ms) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t recv_timeout_ms_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_NET_SOCKET_H_

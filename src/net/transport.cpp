@@ -1,0 +1,38 @@
+#include "src/net/transport.h"
+
+#include "src/common/serde.h"
+
+namespace votegral {
+
+Bytes EncodeFrame(const WireMessage& msg) {
+  Require(msg.payload.size() + 2 <= kMaxFrameBytes,
+          "net: frame payload exceeds kMaxFrameBytes");
+  Bytes out;
+  out.resize(4 + 2 + msg.payload.size());
+  StoreLe32(out.data(), static_cast<uint32_t>(2 + msg.payload.size()));
+  StoreLe16(out.data() + 4, msg.type);
+  std::copy(msg.payload.begin(), msg.payload.end(), out.begin() + 6);
+  return out;
+}
+
+Outcome<WireMessage> DecodeFrame(std::span<const uint8_t> frame) {
+  using Out = Outcome<WireMessage>;
+  if (frame.size() < 6) {
+    return Out::Fail(StatusCode::kCorrupted, "net: frame shorter than its header");
+  }
+  const uint32_t frame_len = LoadLe32(frame.data());
+  if (frame_len < 2 || frame_len > kMaxFrameBytes) {
+    return Out::Fail(StatusCode::kCorrupted, "net: implausible frame length " +
+                                                 std::to_string(frame_len));
+  }
+  if (frame.size() != size_t{4} + frame_len) {
+    return Out::Fail(StatusCode::kCorrupted,
+                     "net: frame length word does not match the received bytes");
+  }
+  WireMessage msg;
+  msg.type = LoadLe16(frame.data() + 4);
+  msg.payload.assign(frame.begin() + 6, frame.end());
+  return Out::Ok(std::move(msg));
+}
+
+}  // namespace votegral

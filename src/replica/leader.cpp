@@ -1,0 +1,112 @@
+#include "src/replica/leader.h"
+
+#include <algorithm>
+
+namespace votegral {
+
+namespace {
+
+WireMessage ErrorResponse(uint64_t request_id, StatusCode code, std::string reason) {
+  return EncodeError(ErrorMsg{request_id, code, std::move(reason)});
+}
+
+}  // namespace
+
+ReplicationLeader::ReplicationLeader(const Ledger& ledger, const SchnorrKeyPair& key,
+                                     Rng& rng, LeaderOptions options)
+    : ledger_(ledger), key_(key), rng_(rng), options_(options) {}
+
+CheckpointMsg ReplicationLeader::MakeCheckpoint(uint64_t request_id,
+                                                uint64_t have_size) const {
+  CheckpointMsg msg;
+  msg.request_id = request_id;
+  msg.checkpoint.root = ledger_.MerkleRoot();
+  msg.checkpoint.size = ledger_.size();
+  msg.checkpoint.signature = key_.Sign(msg.checkpoint.SignedStatement(), rng_);
+  // A follower claiming more entries than the leader has cannot be given a
+  // proof; clamp and let the follower's old_size check flag the mismatch.
+  const uint64_t old_size = std::min<uint64_t>(have_size, msg.checkpoint.size);
+  msg.proof = *ledger_.ProveConsistency(old_size, msg.checkpoint.size);
+  return msg;
+}
+
+WireMessage ReplicationLeader::HandleGetFrames(const GetFramesMsg& msg) const {
+  if (msg.from > ledger_.size()) {
+    return ErrorResponse(msg.request_id, StatusCode::kFailed,
+                         "leader: frames requested from index " +
+                             std::to_string(msg.from) + " beyond size " +
+                             std::to_string(ledger_.size()));
+  }
+  FramesMsg response;
+  response.request_id = msg.request_id;
+  response.first_index = msg.from;
+  const uint64_t max_entries =
+      std::min<uint64_t>(msg.max_entries, options_.max_entries_per_response);
+  uint64_t encoded_bytes = 0;
+  LedgerCursor cursor = ledger_.Scan(msg.from);
+  LedgerEntryView view;
+  while (response.entries.size() < max_entries && cursor.Next(&view)) {
+    response.entries.push_back(view.Materialize());
+    // Frame overhead is small and constant; payload+topic dominate.
+    encoded_bytes += view.payload.size() + view.topic.size() + 96;
+    if (encoded_bytes >= options_.soft_response_bytes) {
+      break;
+    }
+  }
+  return EncodeFrames(response);
+}
+
+WireMessage ReplicationLeader::HandleRequest(const WireMessage& request) const {
+  switch (static_cast<ReplicaMsgType>(request.type)) {
+    case ReplicaMsgType::kGetCheckpoint: {
+      auto msg = DecodeGetCheckpoint(request);
+      if (!msg.ok()) {
+        return ErrorResponse(0, msg.status.code(), msg.status.reason());
+      }
+      return EncodeCheckpoint(MakeCheckpoint(msg->request_id, msg->have_size));
+    }
+    case ReplicaMsgType::kGetFrames: {
+      auto msg = DecodeGetFrames(request);
+      if (!msg.ok()) {
+        return ErrorResponse(0, msg.status.code(), msg.status.reason());
+      }
+      return HandleGetFrames(*msg);
+    }
+    default:
+      return ErrorResponse(0, StatusCode::kFailed,
+                           "leader: unexpected request type " +
+                               std::to_string(request.type));
+  }
+}
+
+Status ReplicationLeader::Serve(Channel& channel) const {
+  while (true) {
+    Outcome<WireMessage> request = channel.Recv();
+    if (!request.ok()) {
+      switch (request.status.code()) {
+        case StatusCode::kUnavailable:
+          return Status::Ok();  // peer finished and closed
+        case StatusCode::kTimeout:
+          continue;  // idle follower; keep serving
+        case StatusCode::kCorrupted: {
+          // The frame did not decode, so no request_id is known; report on
+          // id 0 and keep the channel alive — the follower retries by id.
+          Status sent = channel.Send(
+              ErrorResponse(0, StatusCode::kCorrupted, request.status.reason()));
+          if (!sent.ok()) {
+            return sent;
+          }
+          continue;
+        }
+        default:
+          return request.status;
+      }
+    }
+    if (Status sent = channel.Send(HandleRequest(*request)); !sent.ok()) {
+      // A send that fails because the peer vanished ends the session cleanly.
+      return sent.code() == StatusCode::kUnavailable ? Status::Ok() : sent;
+    }
+  }
+}
+
+}  // namespace votegral

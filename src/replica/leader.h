@@ -1,0 +1,70 @@
+// Replication leader: serves signed checkpoints and segment frames for one
+// ledger over a transport Channel.
+//
+// The leader is read-only with respect to the ledger it serves — it signs
+// what the ledger already committed and streams the frames the store already
+// holds (via a LedgerCursor, so at most one segment is pinned per request).
+// All request handling is a pure function of (ledger state, request): the
+// leader keeps no per-follower session state, which is what makes requests
+// idempotent and lets a follower retry or reconnect at any point.
+//
+// A *malicious* leader is modeled in tests by signing a different ledger's
+// root with the same key — the follower's consistency check turns that into
+// a kEquivocation verdict (docs/REPLICATION.md "Equivocation").
+#ifndef SRC_REPLICA_LEADER_H_
+#define SRC_REPLICA_LEADER_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/ledger/ledger.h"
+#include "src/replica/messages.h"
+#include "src/net/transport.h"
+
+namespace votegral {
+
+struct LeaderOptions {
+  // Entry-count cap per kFrames response; the byte cap below usually binds
+  // first for realistic payloads.
+  uint64_t max_entries_per_response = 256;
+  // Soft byte cap per kFrames response: the leader stops adding entries once
+  // the encoded frames exceed this (at least one entry is always sent).
+  // Keeps every response comfortably under kMaxFrameBytes.
+  uint64_t soft_response_bytes = 1u << 20;
+};
+
+class ReplicationLeader {
+ public:
+  // Serves `ledger`, signing checkpoints with `key`. The ledger must outlive
+  // the leader and must not be appended to while Serve() is handling a
+  // request (the bulletin-board write path is single-threaded; appends
+  // between requests are fine and followers pick them up next checkpoint).
+  ReplicationLeader(const Ledger& ledger, const SchnorrKeyPair& key, Rng& rng,
+                    LeaderOptions options = {});
+
+  // Builds the signed checkpoint + consistency proof response for a follower
+  // holding `have_size` entries (clamped to the current size).
+  CheckpointMsg MakeCheckpoint(uint64_t request_id, uint64_t have_size) const;
+
+  // Handles one decoded request frame; returns the response frame. Malformed
+  // or unknown requests yield a kError response (never a transport failure —
+  // the channel itself is fine).
+  WireMessage HandleRequest(const WireMessage& request) const;
+
+  // Request-response loop: Recv, handle, Send, repeat. Returns Ok() when the
+  // peer closes the channel; keeps serving across receive timeouts (an idle
+  // follower is not an error); propagates send failures.
+  Status Serve(Channel& channel) const;
+
+ private:
+  WireMessage HandleGetFrames(const GetFramesMsg& msg) const;
+
+  const Ledger& ledger_;
+  const SchnorrKeyPair& key_;
+  Rng& rng_;
+  LeaderOptions options_;
+};
+
+}  // namespace votegral
+
+#endif  // SRC_REPLICA_LEADER_H_

@@ -1,0 +1,235 @@
+// Tests for RFC 6962-style consistency proofs over the ledger commitment
+// tree: edge conventions (empty old tree, equal sizes, size-1, power-of-two
+// seams), a full differential prover/verifier sweep, forgery rejection, wire
+// round trips, and the zero-segment-read property — proofs must come out of
+// the in-memory frontier alone, pinned by the hash-invocation counter and
+// the file backend's pinned-byte gauge.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <filesystem>
+#include <string>
+
+#include "src/ledger/consistency.h"
+#include "src/ledger/ledger.h"
+
+namespace votegral {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes Payload(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// A ledger with `n` deterministic entries on the given backend.
+Ledger MakeLedger(uint64_t n, const LedgerStorageConfig& config) {
+  Ledger ledger(config);
+  for (uint64_t i = 0; i < n; ++i) {
+    ledger.Append("topic", Payload("entry-" + std::to_string(i)));
+  }
+  return ledger;
+}
+
+Ledger MakeMemLedger(uint64_t n) { return MakeLedger(n, LedgerStorageConfig{}); }
+
+TEST(ConsistencyProof, EmptyOldTreeExtendsToAnything) {
+  Ledger ledger = MakeMemLedger(13);
+  auto proof = ledger.ProveConsistency(0, 13);
+  ASSERT_TRUE(proof.ok()) << proof.status;
+  EXPECT_TRUE(proof->path.empty());
+  const LedgerHash zero{};
+  EXPECT_TRUE(VerifyConsistency(zero, ledger.MerkleRoot(), *proof).ok());
+  // But the old root must actually be the empty-tree (zero) root.
+  EXPECT_EQ(VerifyConsistency(ledger.MerkleRootAt(1), ledger.MerkleRoot(), *proof).code(),
+            StatusCode::kInvalidProof);
+}
+
+TEST(ConsistencyProof, EqualSizesRequireEqualRoots) {
+  Ledger ledger = MakeMemLedger(9);
+  auto proof = ledger.ProveConsistency(9, 9);
+  ASSERT_TRUE(proof.ok()) << proof.status;
+  EXPECT_TRUE(proof->path.empty());
+  EXPECT_TRUE(VerifyConsistency(ledger.MerkleRoot(), ledger.MerkleRoot(), *proof).ok());
+  EXPECT_EQ(VerifyConsistency(ledger.MerkleRootAt(8), ledger.MerkleRoot(), *proof).code(),
+            StatusCode::kInvalidProof);
+}
+
+TEST(ConsistencyProof, SizeOneTrees) {
+  Ledger ledger = MakeMemLedger(7);
+  // 1 -> 1: empty proof, equal roots.
+  auto same = ledger.ProveConsistency(1, 1);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(VerifyConsistency(ledger.MerkleRootAt(1), ledger.MerkleRootAt(1), *same).ok());
+  // 1 -> 7: the single-leaf root is a stored node of the bigger tree.
+  auto grow = ledger.ProveConsistency(1, 7);
+  ASSERT_TRUE(grow.ok());
+  EXPECT_TRUE(VerifyConsistency(ledger.MerkleRootAt(1), ledger.MerkleRoot(), *grow).ok());
+}
+
+TEST(ConsistencyProof, ShrinkingFailsAsAValue) {
+  Ledger ledger = MakeMemLedger(8);
+  auto proof = ledger.ProveConsistency(8, 5);
+  EXPECT_FALSE(proof.ok());
+  // And a hand-built shrinking proof is rejected structurally.
+  ConsistencyProof forged{8, 5, {}};
+  EXPECT_EQ(VerifyConsistency(ledger.MerkleRoot(), ledger.MerkleRootAt(5), forged).code(),
+            StatusCode::kInvalidProof);
+}
+
+TEST(ConsistencyProof, BeyondTreeSizeFailsAsAValue) {
+  Ledger ledger = MakeMemLedger(8);
+  EXPECT_FALSE(ledger.ProveConsistency(4, 9).ok());
+}
+
+TEST(ConsistencyProof, PowerOfTwoSeams) {
+  // Around every power-of-two boundary the proof shape changes (the old root
+  // flips between being a stored node and needing recombination).
+  Ledger ledger = MakeMemLedger(130);
+  for (uint64_t m : {1u, 2u, 3u, 4u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u,
+                     63u, 64u, 65u, 127u, 128u, 129u}) {
+    for (uint64_t n : {m, m + 1, 2 * m, uint64_t{130}}) {
+      if (n < m || n > 130) {
+        continue;
+      }
+      auto proof = ledger.ProveConsistency(m, n);
+      ASSERT_TRUE(proof.ok()) << m << " -> " << n << ": " << proof.status;
+      Status ok = VerifyConsistency(ledger.MerkleRootAt(m), ledger.MerkleRootAt(n), *proof);
+      EXPECT_TRUE(ok.ok()) << m << " -> " << n << ": " << ok;
+    }
+  }
+}
+
+TEST(ConsistencyProof, DifferentialSweepAllPairs) {
+  // Every (m, n) with 0 <= m <= n <= 130: the prover's output must verify,
+  // and must NOT verify against any other old root.
+  constexpr uint64_t kMax = 130;
+  Ledger ledger = MakeMemLedger(kMax);
+  for (uint64_t n = 0; n <= kMax; ++n) {
+    const LedgerHash new_root = ledger.MerkleRootAt(n);
+    for (uint64_t m = 0; m <= n; ++m) {
+      auto proof = ledger.ProveConsistency(m, n);
+      ASSERT_TRUE(proof.ok()) << m << " -> " << n;
+      Status ok = VerifyConsistency(ledger.MerkleRootAt(m), new_root, *proof);
+      ASSERT_TRUE(ok.ok()) << m << " -> " << n << ": " << ok;
+    }
+  }
+}
+
+TEST(ConsistencyProof, ForgedRootAndTamperedPathRejected) {
+  Ledger ledger = MakeMemLedger(100);
+  auto proof = ledger.ProveConsistency(37, 100);
+  ASSERT_TRUE(proof.ok());
+  const LedgerHash old_root = ledger.MerkleRootAt(37);
+  const LedgerHash new_root = ledger.MerkleRoot();
+
+  LedgerHash wrong_old = old_root;
+  wrong_old[0] ^= 1;
+  EXPECT_EQ(VerifyConsistency(wrong_old, new_root, *proof).code(),
+            StatusCode::kInvalidProof);
+
+  LedgerHash wrong_new = new_root;
+  wrong_new[31] ^= 1;
+  EXPECT_EQ(VerifyConsistency(old_root, wrong_new, *proof).code(),
+            StatusCode::kInvalidProof);
+
+  ASSERT_FALSE(proof->path.empty());
+  for (size_t i = 0; i < proof->path.size(); ++i) {
+    ConsistencyProof tampered = *proof;
+    tampered.path[i][i % 32] ^= 1;
+    EXPECT_EQ(VerifyConsistency(old_root, new_root, tampered).code(),
+              StatusCode::kInvalidProof)
+        << "tampered node " << i << " accepted";
+  }
+
+  ConsistencyProof truncated = *proof;
+  truncated.path.pop_back();
+  EXPECT_EQ(VerifyConsistency(old_root, new_root, truncated).code(),
+            StatusCode::kInvalidProof);
+
+  ConsistencyProof padded = *proof;
+  padded.path.push_back(LedgerHash{});
+  EXPECT_EQ(VerifyConsistency(old_root, new_root, padded).code(),
+            StatusCode::kInvalidProof);
+}
+
+TEST(ConsistencyProof, WireRoundTrip) {
+  Ledger ledger = MakeMemLedger(77);
+  auto proof = ledger.ProveConsistency(21, 77);
+  ASSERT_TRUE(proof.ok());
+  Bytes wire = proof->Serialize();
+  auto parsed = ConsistencyProof::Parse(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status;
+  EXPECT_EQ(parsed->old_size, proof->old_size);
+  EXPECT_EQ(parsed->new_size, proof->new_size);
+  EXPECT_EQ(parsed->path, proof->path);
+
+  // Truncated and padded wire forms are data corruption, not throws.
+  Bytes cut(wire.begin(), wire.end() - 5);
+  EXPECT_FALSE(ConsistencyProof::Parse(cut).ok());
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(ConsistencyProof::Parse(padded).ok());
+  // An implausible node count is rejected before allocation.
+  Bytes bad_count = wire;
+  bad_count[16] = 0xff;
+  bad_count[17] = 0xff;
+  EXPECT_FALSE(ConsistencyProof::Parse(bad_count).ok());
+}
+
+TEST(ConsistencyProof, OLogNHashesAndZeroSegmentReads) {
+  // Proofs must be assembled from the frontier: O(log n) hash invocations
+  // and zero segment pins, even on the file backend with sealed segments
+  // cold on disk.
+  fs::path dir = fs::temp_directory_path() /
+                 ("votegral_consistency_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  LedgerStorageConfig config;
+  config.backend = LedgerStorageConfig::Backend::kFile;
+  config.directory = dir.string();
+  config.segment_entries = 8;
+  {
+    constexpr uint64_t kEntries = 100;  // 12 sealed segments + a tail
+    Ledger ledger = MakeLedger(kEntries, config);
+    const auto& store = dynamic_cast<const FileLedgerStore&>(ledger.store());
+    const uint64_t pinned_before = store.PeakPinnedBytes();
+
+    const uint64_t log_n = std::bit_width(kEntries);
+    for (uint64_t m : {1u, 8u, 9u, 33u, 64u, 99u}) {
+      const uint64_t before = ledger.MerkleHashInvocationsForTest();
+      auto proof = ledger.ProveConsistency(m, kEntries);
+      ASSERT_TRUE(proof.ok());
+      const uint64_t spent = ledger.MerkleHashInvocationsForTest() - before;
+      // The prover touches O(log n) range roots, each O(log n) hashes.
+      EXPECT_LE(spent, 2 * log_n * log_n) << "m=" << m;
+      EXPECT_LE(proof->path.size(), 2 * log_n) << "m=" << m;
+    }
+    // Historical roots ride the same frontier.
+    const uint64_t before = ledger.MerkleHashInvocationsForTest();
+    (void)ledger.MerkleRootAt(63);
+    EXPECT_LE(ledger.MerkleHashInvocationsForTest() - before, 2 * log_n);
+
+    EXPECT_EQ(store.PeakPinnedBytes(), pinned_before)
+        << "consistency proving pinned a segment";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(InclusionProof, LastIndexOfPartialTail) {
+  // The last leaf of a partially-filled tail exercises every right-spine
+  // special case of the path builder.
+  for (uint64_t n : {1u, 2u, 3u, 5u, 9u, 12u, 17u, 100u}) {
+    Ledger ledger = MakeMemLedger(n);
+    const uint64_t before = ledger.MerkleHashInvocationsForTest();
+    auto proof = ledger.ProveInclusion(n - 1);
+    ASSERT_TRUE(proof.ok()) << "n=" << n;
+    const uint64_t log_n = std::bit_width(n);
+    EXPECT_LE(ledger.MerkleHashInvocationsForTest() - before, 2 * log_n * log_n + 2)
+        << "n=" << n;
+    EXPECT_TRUE(Ledger::VerifyInclusion(ledger.MerkleRoot(), ledger.LeafHash(n - 1),
+                                        *proof)
+                    .ok())
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace votegral

@@ -4,7 +4,9 @@
 Scans docs/*.md, README.md and ROADMAP.md for markdown links and fails when a
 relative target does not exist. External links (http/https/mailto) are
 ignored; pure-anchor links and anchors on existing files are checked against
-a GitHub-style slug of the target file's headings.
+GitHub-style slugs of the target file's headings, including the -1/-2
+suffixes GitHub appends to repeated headings (so a link to the second
+"## Bench" section is #bench-1 and validates as such).
 
 Usage: check_doc_links.py [repo_root]
 Exit status: 0 when every link resolves, 1 otherwise (broken links listed).
@@ -28,6 +30,20 @@ def slugify(heading: str) -> str:
     return slug.replace(" ", "-")
 
 
+def heading_anchors(text: str) -> set:
+    """Anchors GitHub generates for `text`'s headings, in document order:
+    the bare slug for a heading's first occurrence, slug-1 / slug-2 / ...
+    for repeats (counted per base slug)."""
+    anchors = set()
+    seen = {}
+    for match in HEADING_RE.finditer(text):
+        slug = slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
 def anchors_of(path: Path, cache: dict) -> set:
     if path not in cache:
         try:
@@ -35,7 +51,7 @@ def anchors_of(path: Path, cache: dict) -> set:
         except OSError:
             cache[path] = set()
             return cache[path]
-        cache[path] = {slugify(m.group(1)) for m in HEADING_RE.finditer(text)}
+        cache[path] = heading_anchors(text)
     return cache[path]
 
 
