@@ -1,10 +1,19 @@
 // Coercion scenario walk-through (the paper's Fig. 3 story).
 //
-// Alice is coerced: the coercer demands a credential and watches her vote.
-// She hands over a *fake* credential and complies under observation; later,
-// in private, she casts her true vote with the real one. The tally counts
-// only her real vote, and nothing the coercer can see — the credential, its
-// proof transcript, the ledger, or the results — reveals the deception.
+// Act 1 — fake credentials: Alice is coerced: the coercer demands a
+// credential and watches her vote. She hands over a *fake* credential and
+// complies under observation; later, in private, she casts her true vote
+// with the real one. The tally counts only her real vote, and nothing the
+// coercer can see — the credential, its proof transcript, the ledger, or
+// the results — reveals the deception.
+//
+// Act 2 — deniable revoting (docs/REVOTING.md): a second election runs with
+// ElectionConfig::revoting. This time the coercer is stronger — Alice must
+// surrender her REAL credential. The coercer votes with it at a counter of
+// their choosing; Alice privately casts once more with a higher counter and
+// her ballot supersedes. Cover-traffic padding lifts the board's revealed
+// group-size multiset to a pure function of the ballot count, so the
+// coercer cannot even see THAT someone revoted.
 //
 //   $ ./coerced_voter
 #include <cstdio>
@@ -81,6 +90,49 @@ int main() {
   Status verified = election.Verify(output);
   std::printf("Universal verification: %s\n", verified.ok() ? "PASS" : "FAIL");
   bool alice_counted = output.result.counts.at("Reform Party") == 2;  // bob + alice
-  std::printf("Alice's true vote counted: %s\n", alice_counted ? "yes" : "NO");
-  return verified.ok() && alice_counted ? 0 : 1;
+  std::printf("Alice's true vote counted: %s\n\n", alice_counted ? "yes" : "NO");
+  if (!verified.ok() || !alice_counted) {
+    return 1;
+  }
+
+  // ---- Act 2: the coercer demands the REAL credential -----------------------
+  std::printf("=== Act 2: deniable revoting ===\n");
+  ElectionConfig revote_config;
+  revote_config.roster = {"alice", "bob"};
+  revote_config.candidates = {"Reform Party", "Coercer's Party"};
+  revote_config.revoting = true;
+  Election revote_election(revote_config, rng);
+  Vsd alice2_device = revote_election.trip().MakeVsd();
+  Vsd bob2_device = revote_election.trip().MakeVsd();
+  auto alice2 = revote_election.Register("alice", 1, alice2_device, rng);
+  auto bob2 = revote_election.Register("bob", 1, bob2_device, rng);
+  if (!alice2.ok() || !bob2.ok()) {
+    std::printf("revote registration failed\n");
+    return 1;
+  }
+  // This coercer knows about fakes and demands proof-of-real (say, watching
+  // the activation). Alice surrenders the real credential.
+  std::printf("Alice surrenders her REAL credential.\n");
+  (void)revote_election.CastRevote(alice2->activated[0], "Coercer's Party", 0, rng);
+  std::printf("Coercer casts 'Coercer's Party' with it (cast counter 0).\n");
+  // Privately, Alice outbids the surrendered counter.
+  (void)revote_election.CastRevote(alice2->activated[0], "Reform Party", 1, rng);
+  std::printf("Alice privately revotes 'Reform Party' (cast counter 1).\n");
+  (void)revote_election.Cast(bob2->activated[0], "Reform Party", rng);
+
+  TallyOutput revote_output = revote_election.Tally(rng);
+  std::printf("Final tally:\n");
+  for (const auto& [candidate, count] : revote_output.result.counts) {
+    std::printf("  %-16s %zu\n", candidate.c_str(), count);
+  }
+  std::printf("(superseded ballots: %zu — cover-traffic dummies revote too, so the\n",
+              revote_output.result.discards.superseded);
+  std::printf(" count does not reveal whether ALICE did; the padded board's group\n");
+  std::printf(" sizes are a pure function of the ballot count)\n");
+  Status revote_verified = revote_election.Verify(revote_output);
+  std::printf("Universal verification: %s\n", revote_verified.ok() ? "PASS" : "FAIL");
+  bool revote_counted = revote_output.result.counts.at("Reform Party") == 2;
+  std::printf("Alice's revote counted over the coercer's: %s\n",
+              revote_counted ? "yes" : "NO");
+  return revote_verified.ok() && revote_counted ? 0 : 1;
 }

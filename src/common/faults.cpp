@@ -12,8 +12,8 @@ namespace {
 
 constexpr std::string_view kAllPoints[] = {
     faults::kAuthorityComputeShare, faults::kLedgerAppend, faults::kLedgerSeal,
-    faults::kMixShuffle,            faults::kTagApply,     faults::kNetSend,
-    faults::kNetRecv,               faults::kReplicaApply,
+    faults::kMixShuffle,            faults::kTagApply,     faults::kTallyDedup,
+    faults::kNetSend,               faults::kNetRecv,      faults::kReplicaApply,
 };
 
 // PRF(seed, point, kind, scope, key) -> uniform uint64. SHA-256 with a fixed

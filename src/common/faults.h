@@ -75,6 +75,9 @@ inline constexpr std::string_view kLedgerAppend = "ledger.append";
 inline constexpr std::string_view kLedgerSeal = "ledger.seal";
 inline constexpr std::string_view kMixShuffle = "mix.shuffle";
 inline constexpr std::string_view kTagApply = "tag.apply";
+// Supersession dedup (src/votegral/revote.cpp and the legacy dedup stage):
+// scope 0, probed once per tally run before the grouping/padding kernel.
+inline constexpr std::string_view kTallyDedup = "tally.dedup";
 // Replication transport + apply path (src/net, src/replica). net.*: scope =
 // the probing endpoint's id, key = the per-endpoint message sequence number.
 // replica.apply: scope = the entry's segment, key = the entry index (the

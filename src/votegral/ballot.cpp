@@ -1,6 +1,7 @@
 #include "src/votegral/ballot.h"
 
 #include "src/common/serde.h"
+#include "src/crypto/sha512.h"
 #include "src/trip/messages.h"
 
 namespace votegral {
@@ -9,6 +10,21 @@ namespace {
 
 constexpr std::string_view kCandidateDomain = "votegral/candidate/v1";
 constexpr std::string_view kBallotDomain = "votegral/ballot/v1";
+constexpr std::string_view kRevoteBallotDomain = "votegral/revote/ballot/v1";
+constexpr std::string_view kRevoteBindingDomain = "votegral/revote/binding/v1";
+constexpr std::string_view kRevoteBottomDomain = "votegral/revote/bottom/v1";
+
+// Fiat–Shamir challenge for the binding proof: SHA-512 over the domain, the
+// ballot body bytes, and both commitments, reduced mod L.
+Scalar BindingChallenge(std::span<const uint8_t> body, const CompressedRistretto& t1,
+                        const CompressedRistretto& t2) {
+  Sha512 h;
+  h.Update(AsBytes(kRevoteBindingDomain));
+  h.Update(body);
+  h.Update(t1);
+  h.Update(t2);
+  return Scalar::FromBytesWide(h.Finalize());
+}
 
 }  // namespace
 
@@ -95,6 +111,130 @@ Ballot MakeBallot(const ActivatedCredential& credential, const CandidateList& ca
   SchnorrKeyPair key = SchnorrKeyPair::FromSecret(credential.credential_sk);
   ballot.credential_sig = key.Sign(ballot.SignedPayload(), rng);
   return ballot;
+}
+
+const RistrettoPoint& RevoteBottomPoint() {
+  static const RistrettoPoint bottom =
+      RistrettoPoint::HashToGroup(kRevoteBottomDomain, {});
+  return bottom;
+}
+
+Bytes RevoteBindingProof::Serialize() const {
+  ByteWriter w;
+  w.Fixed(t1);
+  w.Fixed(t2);
+  w.Fixed(z1.ToBytes());
+  w.Fixed(z2.ToBytes());
+  return w.Take();
+}
+
+std::optional<RevoteBindingProof> RevoteBindingProof::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    RevoteBindingProof p;
+    Bytes t1 = r.Fixed(32);
+    Bytes t2 = r.Fixed(32);
+    Bytes z1 = r.Fixed(32);
+    Bytes z2 = r.Fixed(32);
+    r.ExpectEnd();
+    std::copy(t1.begin(), t1.end(), p.t1.begin());
+    std::copy(t2.begin(), t2.end(), p.t2.begin());
+    auto s1 = Scalar::FromCanonicalBytes(z1);
+    auto s2 = Scalar::FromCanonicalBytes(z2);
+    if (!s1 || !s2) {
+      return std::nullopt;
+    }
+    p.z1 = *s1;
+    p.z2 = *s2;
+    return p;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes RevoteBallot::BoundPayload() const {
+  ByteWriter w;
+  w.Str(kRevoteBallotDomain);
+  w.Fixed(encrypted_vote.Serialize());
+  w.Fixed(encrypted_credential.Serialize());
+  w.Fixed(encrypted_counter.Serialize());
+  return w.Take();
+}
+
+Bytes RevoteBallot::Serialize() const {
+  ByteWriter w;
+  w.Fixed(encrypted_vote.Serialize());
+  w.Fixed(encrypted_credential.Serialize());
+  w.Fixed(encrypted_counter.Serialize());
+  w.Fixed(proof.Serialize());
+  return w.Take();
+}
+
+std::optional<RevoteBallot> RevoteBallot::Parse(std::span<const uint8_t> bytes) {
+  try {
+    ByteReader r(bytes);
+    RevoteBallot b;
+    auto vote = ElGamalCiphertext::Parse(r.Fixed(64));
+    auto credential = ElGamalCiphertext::Parse(r.Fixed(64));
+    auto counter = ElGamalCiphertext::Parse(r.Fixed(64));
+    auto proof = RevoteBindingProof::Parse(r.Fixed(128));
+    r.ExpectEnd();
+    if (!vote || !credential || !counter || !proof) {
+      return std::nullopt;
+    }
+    b.encrypted_vote = *vote;
+    b.encrypted_credential = *credential;
+    b.encrypted_counter = *counter;
+    b.proof = *proof;
+    return b;
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
+}
+
+RevoteBallot MakeRevoteBallot(const ActivatedCredential& credential,
+                              const CandidateList& candidates, size_t candidate_index,
+                              const RistrettoPoint& authority_pk, uint64_t counter,
+                              Rng& rng) {
+  RevoteBallot ballot;
+  ballot.encrypted_vote =
+      ElGamalEncrypt(authority_pk, candidates.point(candidate_index), rng);
+  Scalar credential_r;
+  ballot.encrypted_credential =
+      ElGamalEncrypt(authority_pk, RistrettoPoint::MulBase(credential.credential_sk), rng,
+                     &credential_r);
+  ballot.encrypted_counter = ElGamalEncrypt(
+      authority_pk, RistrettoPoint::MulBase(Scalar::FromU64(counter)), rng);
+  // Okamoto AND-sigma for (r, c_sk): T1 = a*B, T2 = a*A + b*B.
+  const Scalar a = Scalar::Random(rng);
+  const Scalar b = Scalar::Random(rng);
+  ballot.proof.t1 = RistrettoPoint::MulBase(a).Encode();
+  ballot.proof.t2 = (a * authority_pk + RistrettoPoint::MulBase(b)).Encode();
+  const Scalar e = BindingChallenge(ballot.BoundPayload(), ballot.proof.t1, ballot.proof.t2);
+  ballot.proof.z1 = a + e * credential_r;
+  ballot.proof.z2 = b + e * credential.credential_sk;
+  return ballot;
+}
+
+Status CheckRevoteBallot(const RevoteBallot& ballot, const RistrettoPoint& authority_pk) {
+  const Scalar e = BindingChallenge(ballot.BoundPayload(), ballot.proof.t1, ballot.proof.t2);
+  const ElGamalCiphertext& c = ballot.encrypted_credential;
+  // z1*B == T1 + e*C1  and  z1*A + z2*B == T2 + e*C2.
+  auto t1 = RistrettoPoint::Decode(ballot.proof.t1);
+  auto t2 = RistrettoPoint::Decode(ballot.proof.t2);
+  if (!t1.has_value() || !t2.has_value()) {
+    return Status::Error("revote ballot: binding proof commitment undecodable");
+  }
+  const RistrettoPoint lhs1 = RistrettoPoint::DoubleScalarMulBase(-e, c.c1, ballot.proof.z1);
+  if (!(lhs1 == *t1)) {
+    return Status::Error("revote ballot: binding proof first equation failed");
+  }
+  const RistrettoPoint lhs2 =
+      ballot.proof.z1 * authority_pk + RistrettoPoint::MulBase(ballot.proof.z2) - e * c.c2;
+  if (!(lhs2 == *t2)) {
+    return Status::Error("revote ballot: binding proof second equation failed");
+  }
+  return Status::Ok();
 }
 
 Status CheckBallot(const Ballot& ballot,

@@ -72,6 +72,64 @@ Ballot MakeBallot(const ActivatedCredential& credential, const CandidateList& ca
 // quadratic PET regime (§7.4).
 Status CheckBallot(const Ballot& ballot, const std::set<CompressedRistretto>& authorized_kiosks);
 
+// --- Deniable revoting (docs/REVOTING.md) ----------------------------------
+//
+// Under ElectionConfig::revoting a cast posts a RevoteBallot instead of a
+// Ballot: the credential never appears in the clear (a cleartext c_pk would
+// make any re-cast publicly linkable on L_V — exactly the channel a coercer
+// watches), and the ballot carries an encrypted per-credential cast counter
+// so the supersession dedup can keep the last cast without learning board
+// order. Eligibility is deferred to the tag join (unregistered and dummy
+// credentials drop as unmatched tags), replacing the kiosk certificate.
+
+// The distinguished non-candidate vote plaintext dummy (padding) ballots
+// encrypt: a hash-to-group point outside every candidate set.
+const RistrettoPoint& RevoteBottomPoint();
+
+// Knowledge-binding proof for a revote ballot: an Okamoto-style AND-sigma
+// PoK of (r, c_sk) with C1 = r*B and C2 = r*A + c_sk*B for the encrypted
+// credential (C1, C2), Fiat–Shamir over the whole ballot body. Proves the
+// caster knows the credential secret *inside* the encryption — a coercer
+// cannot re-randomize someone else's encrypted credential into a fresh
+// ballot, and the challenge binds the vote and counter ciphertexts.
+struct RevoteBindingProof {
+  CompressedRistretto t1{};
+  CompressedRistretto t2{};
+  Scalar z1;
+  Scalar z2;
+
+  // 128-byte wire format: T1 || T2 || z1 || z2.
+  Bytes Serialize() const;
+  static std::optional<RevoteBindingProof> Parse(std::span<const uint8_t> bytes);
+};
+
+// An encrypted revote ballot as posted on L_V (320 bytes — length alone
+// distinguishes it from a 288-byte legacy Ballot, so a mixed ledger fails
+// structural validation rather than silently merging modes).
+struct RevoteBallot {
+  ElGamalCiphertext encrypted_vote;
+  ElGamalCiphertext encrypted_credential;  // Enc_A(c_pk)
+  ElGamalCiphertext encrypted_counter;     // Enc_A(counter * B)
+  RevoteBindingProof proof;
+
+  Bytes Serialize() const;
+  static std::optional<RevoteBallot> Parse(std::span<const uint8_t> bytes);
+
+  // The byte string the binding proof's challenge covers (everything but the
+  // proof itself).
+  Bytes BoundPayload() const;
+};
+
+// Forms a revote ballot for `candidate_index` with per-credential cast index
+// `counter` (0 for the first cast; each re-cast increments).
+RevoteBallot MakeRevoteBallot(const ActivatedCredential& credential,
+                              const CandidateList& candidates, size_t candidate_index,
+                              const RistrettoPoint& authority_pk, uint64_t counter, Rng& rng);
+
+// Structural validation of a revote ballot: parse plus the binding proof.
+// No kiosk certificate — eligibility is enforced by the tag join.
+Status CheckRevoteBallot(const RevoteBallot& ballot, const RistrettoPoint& authority_pk);
+
 }  // namespace votegral
 
 #endif  // SRC_VOTEGRAL_BALLOT_H_

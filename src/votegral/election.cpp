@@ -32,19 +32,45 @@ Outcome<RegisteredVoter> Election::Register(const std::string& voter_id, size_t 
   return RegisterAndActivate(trip_, voter_id, fake_count, vsd, rng);
 }
 
-Status Election::Cast(const ActivatedCredential& credential, const std::string& candidate,
-                      Rng& rng) {
-  std::optional<size_t> index;
+std::optional<size_t> Election::CandidateIndex(const std::string& candidate) const {
   for (size_t i = 0; i < candidates_.size(); ++i) {
     if (candidates_.name(i) == candidate) {
-      index = i;
-      break;
+      return i;
     }
   }
+  return std::nullopt;
+}
+
+Status Election::Cast(const ActivatedCredential& credential, const std::string& candidate,
+                      Rng& rng) {
+  std::optional<size_t> index = CandidateIndex(candidate);
   if (!index.has_value()) {
     return Status::Error("election: unknown candidate: " + candidate);
   }
+  if (config_.revoting) {
+    uint64_t& next = revote_counters_[credential.credential_pk];
+    RevoteBallot ballot = MakeRevoteBallot(credential, candidates_, *index,
+                                           trip_.authority_pk(), next, rng);
+    ++next;
+    trip_.ledger().PostBallot(ballot.Serialize());
+    return Status::Ok();
+  }
   Ballot ballot = MakeBallot(credential, candidates_, *index, trip_.authority_pk(), rng);
+  trip_.ledger().PostBallot(ballot.Serialize());
+  return Status::Ok();
+}
+
+Status Election::CastRevote(const ActivatedCredential& credential, const std::string& candidate,
+                            uint64_t counter, Rng& rng) {
+  if (!config_.revoting) {
+    return Status::Error("election: CastRevote requires config.revoting");
+  }
+  std::optional<size_t> index = CandidateIndex(candidate);
+  if (!index.has_value()) {
+    return Status::Error("election: unknown candidate: " + candidate);
+  }
+  RevoteBallot ballot = MakeRevoteBallot(credential, candidates_, *index,
+                                         trip_.authority_pk(), counter, rng);
   trip_.ledger().PostBallot(ballot.Serialize());
   return Status::Ok();
 }
@@ -58,7 +84,8 @@ TallyOutput Election::Tally(Rng& rng) const {
 
 Outcome<TallyOutput> Election::TryTally(Rng& rng) const {
   TallyService service(trip_.authority(), tagging_, config_.mix_pairs, executor(),
-                       config_.retry_policy, config_.tally_engine);
+                       config_.retry_policy, config_.tally_engine, config_.revoting,
+                       config_.revote_padding);
   return service.Run(trip_.ledger(), candidates_, trip_.authorized_kiosks(), rng);
 }
 
@@ -77,6 +104,8 @@ VerifierParams Election::verifier_params() const {
   params.tagging_commitments = tagging_.commitments();
   params.authorized_kiosks = trip_.authorized_kiosks();
   params.authorized_officials = trip_.authorized_officials();
+  params.revoting = config_.revoting;
+  params.revote_padding = config_.revote_padding;
   return params;
 }
 

@@ -48,6 +48,14 @@ struct ElectionConfig {
   // stage-wide barrier pipeline. Transcripts are byte-identical — this only
   // trades stage overlap (see src/votegral/tally.h).
   TallyEngine tally_engine = TallyEngine::kDataflow;
+
+  // Deniable revoting (docs/REVOTING.md): casts post RevoteBallots and the
+  // dedup stage becomes the verifiable supersession pipeline. revote_padding
+  // adds the cover-envelope dummy groups that make the revealed group-size
+  // multiset a pure function of the board size (turn it off only in the
+  // security-game control arm — an unpadded board leaks the revote pattern).
+  bool revoting = false;
+  bool revote_padding = true;
 };
 
 // A complete Votegral election instance.
@@ -65,8 +73,16 @@ class Election {
                                     Rng& rng);
 
   // Casts a ballot with an activated credential (real or fake — the ballot
-  // is accepted either way; only real ones are eventually counted).
+  // is accepted either way; only real ones are eventually counted). Under
+  // config.revoting the per-credential cast counter auto-increments, so a
+  // later Cast with the same credential supersedes the earlier one.
   Status Cast(const ActivatedCredential& credential, const std::string& candidate, Rng& rng);
+
+  // Revote-mode cast with an explicit counter — the coercer model: whoever
+  // holds a surrendered credential chooses the counter themselves and cannot
+  // observe the owner's private casts. Fails outside revote mode.
+  Status CastRevote(const ActivatedCredential& credential, const std::string& candidate,
+                    uint64_t counter, Rng& rng);
 
   // Runs the tally pipeline, producing the result and its transcript.
   // Throws ProtocolError (carrying the coded reason) if the tally cannot
@@ -90,11 +106,16 @@ class Election {
   Executor& executor() const;
 
  private:
+  std::optional<size_t> CandidateIndex(const std::string& candidate) const;
+
   ElectionConfig config_;
   TripSystem trip_;
   TaggingService tagging_;
   CandidateList candidates_;
   std::unique_ptr<Executor> dedicated_executor_;  // when config.threads != 0
+  // Revote mode: next cast counter per credential (the voter-side count a
+  // real device would keep).
+  std::map<CompressedRistretto, uint64_t> revote_counters_;
 };
 
 }  // namespace votegral

@@ -1,0 +1,139 @@
+// Deniable revoting: supersession dedup with cover-class padding
+// (docs/REVOTING.md; the quasilinear filtering of VoteAgain, PAPERS.md,
+// grafted onto the Votegral tally).
+//
+// Under ElectionConfig::revoting every cast posts a RevoteBallot — the
+// credential and a per-credential cast counter ride encrypted — and the
+// dedup stage becomes a verifiable pipeline of its own:
+//
+//   pad (dummy groups to the cover envelope) -> mix (width 3) ->
+//   tag the credential column -> verifiably decrypt (tag, counter) ->
+//   tag-sort -> last-write-wins -> hand the kept [vote, credential]
+//   columns to the ordinary mix/tag/join/count pipeline
+//
+// Everything revealed — tags (blinded pseudonyms), counters, group sizes —
+// is revealed only AFTER the revote mix, so nothing links back to board
+// rows; the dummy groups lift the revealed group-size multiset to a pure
+// function of the accepted-ballot count (the cover envelope), making it
+// independent of who revoted. The tally server is the *padding oracle* of
+// VoteAgain's trust model: trusted for privacy of the revote pattern (it
+// decrypts credentials internally to size the padding), never for
+// integrity — every output is replayed by the verifier.
+#ifndef SRC_VOTEGRAL_REVOTE_H_
+#define SRC_VOTEGRAL_REVOTE_H_
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/crypto/dkg.h"
+#include "src/ledger/subledgers.h"
+#include "src/votegral/ballot.h"
+#include "src/votegral/mixnet.h"
+#include "src/votegral/tagging.h"
+
+namespace votegral {
+
+// Counters (and dummy group sizes) must decode through a fixed lookup table;
+// anything >= this limit is an invalid_structure discard at selection time.
+inline constexpr uint64_t kRevoteCounterLimit = 256;
+
+// Reverse lookup of a decrypted counter point k*B; nullopt outside
+// [0, kRevoteCounterLimit).
+std::optional<uint64_t> DecodeCounterPoint(const CompressedRistretto& encoding);
+
+// One dummy group's published opening: `size` members carrying counters
+// 0..size-1 under the fresh (never registered) credential d*B. Members are
+// trivial encryptions — Enc(.; 0) — so the opening IS the proof of what they
+// decrypt to: vote = the bottom point (outside every candidate set),
+// credential = d*B (drops at the tag join as unmatched). The first revote
+// mix layer re-randomizes them into the crowd.
+struct RevoteDummyGroup {
+  Scalar credential;
+  uint64_t size = 0;
+};
+
+// Member j of a dummy group as a width-3 mix item
+// [Enc(bottom; 0), Enc(d*B; 0), Enc(j*B; 0)], wire cache filled.
+MixItem RevoteDummyItem(const RevoteDummyGroup& group, uint64_t j);
+
+// --- Cover envelope ---------------------------------------------------------
+//
+// For T accepted ballots the padded board must show, for every cover class
+// s = 1..S(T) with S(T) = floor(log2 T) + 1, at least
+// ceil(T / 2^(s-1)) groups of size s. Padding with whole dummy groups lifts
+// any real group-size multiset (with per-class counts below the targets) to
+// exactly the envelope — a pure function of T. Total padded items stay
+// <= T + sum(s * ceil(T / 2^(s-1))) <= 5T + O(log^2 T): quasilinear.
+
+// S(T); 0 for T = 0.
+size_t RevoteCoverClasses(size_t total);
+
+// The class-s target ceil(T / 2^(s-1)); 0 when s is out of [1, S(T)].
+size_t RevoteCoverTarget(size_t total, size_t size);
+
+// Dummy group sizes (ascending) lifting `real_group_sizes` (size -> count of
+// real groups) to the envelope of `total` accepted ballots.
+std::vector<uint64_t> RevotePaddingPlan(size_t total,
+                                        const std::map<uint64_t, size_t>& real_group_sizes);
+
+// --- Selection (tag-sort -> last-write-wins) --------------------------------
+
+struct RevoteSelection {
+  std::vector<uint64_t> kept;    // ascending indices of kept items
+  size_t superseded = 0;         // dropped members with counters below the max
+  size_t duplicate_tag = 0;      // members of groups whose max counter is tied
+  size_t invalid_structure = 0;  // undecodable counter points
+  // size -> number of groups over decodable members (the multiset the
+  // verifier checks against the envelope).
+  std::map<uint64_t, size_t> group_sizes;
+};
+
+// The production kernel: sorts indices by (tag, counter, index) and sweeps
+// runs, keeping the unique-max-counter member of every tag group.
+// Quasilinear; a pure function of its inputs — tally and verifier both call
+// it, and any auditor can replay it from the published tags and counters.
+RevoteSelection SelectLastPerTag(std::span<const CompressedRistretto> tags,
+                                 std::span<const CompressedRistretto> counter_points);
+
+// Reference implementation for the differential tests: per-item linear scan
+// over the groups discovered so far (quadratic). Must match SelectLastPerTag
+// byte for byte on every input.
+RevoteSelection SelectLastPerTagQuadratic(std::span<const CompressedRistretto> tags,
+                                          std::span<const CompressedRistretto> counter_points);
+
+// --- Transcript -------------------------------------------------------------
+
+// The revote section of the tally transcript (empty in legacy elections —
+// the pre-revoting golden digests are untouched).
+struct RevoteTranscript {
+  std::vector<RevoteBallot> accepted;    // valid board ballots, ledger order
+  std::vector<RevoteDummyGroup> dummies; // published padding openings
+  MixBatch mix_input;                    // width 3: accepted then dummies
+  MixBatch mix_output;
+  MixProof mix_proof;
+  std::vector<TaggingStep> tag_steps;    // over the credential column
+  std::vector<std::vector<DecryptionShare>> tag_shares;
+  std::vector<CompressedRistretto> tags;
+  std::vector<std::vector<DecryptionShare>> counter_shares;
+  std::vector<CompressedRistretto> counter_points;
+  std::vector<uint64_t> kept_indices;    // into mix_output, ascending
+
+  bool empty() const {
+    return accepted.empty() && dummies.empty() && mix_input.empty();
+  }
+};
+
+// Validate-stage kernel for revote mode: parses and binding-proof-checks
+// ledger ballots [begin, end) off a per-shard cursor, writing positionally
+// (same outcome codes as the legacy kernel; disjoint ranges may run
+// concurrently).
+void RevoteValidateShard(const PublicLedger& ledger, const RistrettoPoint& authority_pk,
+                         size_t begin, size_t end,
+                         std::vector<std::optional<RevoteBallot>>& validated,
+                         std::vector<uint8_t>& outcome);
+
+}  // namespace votegral
+
+#endif  // SRC_VOTEGRAL_REVOTE_H_

@@ -173,6 +173,29 @@ Status FinalizeDecryptBatch(const char* what, DecryptBatchBuffers& buffers,
   return Status::Ok();
 }
 
+Status DecryptBatchWithShares(const TallyService& service, const char* what,
+                              std::span<const ElGamalCiphertext> cts, Rng& rng,
+                              uint64_t epoch,
+                              std::vector<std::vector<DecryptionShare>>* shares_out,
+                              std::vector<CompressedRistretto>* encoded_out,
+                              std::vector<DleqBatchEntry>* self_check,
+                              std::map<size_t, Status>* blame,
+                              std::span<const ElGamalWire> cts_wire) {
+  const size_t n = cts.size();
+  Require(cts_wire.empty() || cts_wire.size() == n, "tally: cts wire size mismatch");
+  const AuthorityClient client(service.authority(), service.retry_policy());
+  DecryptBatchBuffers buffers;
+  buffers.Init(service.authority(), n, shares_out, encoded_out);
+  auto shards = Executor::Shards(n, Executor::kRngShards);
+  auto seeds = ForkRngSeeds(rng, shards.size());
+  service.executor().ParallelForEach(shards.size(), [&](size_t s) {
+    ChaChaRng child(seeds[s]);
+    DecryptShareShardRange(service, client, cts, cts_wire, epoch, shards[s].first,
+                           shards[s].second, child, buffers);
+  });
+  return FinalizeDecryptBatch(what, buffers, self_check, blame);
+}
+
 void JoinTags(TallyPipelineState& state) {
   TallyTranscript& t = state.output.transcript;
   TallyResult& result = state.output.result;
@@ -228,6 +251,7 @@ void ReleaseGate(TallyPipelineState& state, Rng& rng) {
 
 using tally_internal::BallotMixItem;
 using tally_internal::DecryptBatchBuffers;
+using tally_internal::DecryptBatchWithShares;
 using tally_internal::DecryptShareShardRange;
 using tally_internal::FinalizeDecryptBatch;
 using tally_internal::ProbeStageFault;
@@ -297,9 +321,10 @@ std::vector<Ballot> ValidateAndDeduplicate(
 
 TallyService::TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
                            size_t mix_pairs, Executor& executor, RetryPolicy retry_policy,
-                           TallyEngine engine)
+                           TallyEngine engine, bool revoting, bool revote_padding)
     : authority_(authority), tagging_(tagging), mix_pairs_(mix_pairs), executor_(executor),
-      retry_policy_(retry_policy), engine_(engine) {}
+      retry_policy_(retry_policy), engine_(engine), revoting_(revoting),
+      revote_padding_(revote_padding) {}
 
 namespace {
 
@@ -307,40 +332,38 @@ using tally_internal::kEpochBallotTags;
 using tally_internal::kEpochRosterTags;
 using tally_internal::kEpochVotes;
 
-// Barrier-engine decrypt batch: the shared shard kernel fanned out under one
-// stage-wide ParallelFor, then the shared sequential close.
-Status DecryptBatchWithShares(
-    const TallyService& service, const char* what,
-    const std::vector<ElGamalCiphertext>& cts, Rng& rng, uint64_t epoch,
-    std::vector<std::vector<DecryptionShare>>* shares_out,
-    std::vector<CompressedRistretto>* encoded_out,
-    std::vector<DleqBatchEntry>* self_check, std::map<size_t, Status>* blame,
-    std::span<const ElGamalWire> cts_wire = {}) {
-  const size_t n = cts.size();
-  Require(cts_wire.empty() || cts_wire.size() == n, "tally: cts wire size mismatch");
-  const AuthorityClient client(service.authority(), service.retry_policy());
-  DecryptBatchBuffers buffers;
-  buffers.Init(service.authority(), n, shares_out, encoded_out);
-  auto shards = Executor::Shards(n, Executor::kRngShards);
-  auto seeds = ForkRngSeeds(rng, shards.size());
-  service.executor().ParallelForEach(shards.size(), [&](size_t s) {
-    ChaChaRng child(seeds[s]);
-    DecryptShareShardRange(service, client, cts, cts_wire, epoch, shards[s].first,
-                           shards[s].second, child, buffers);
-  });
-  return FinalizeDecryptBatch(what, buffers, self_check, blame);
-}
-
 Status StageValidate(const TallyService& service, const PublicLedger& ledger,
                      const CandidateList&, const std::set<CompressedRistretto>& kiosks, Rng&,
                      TallyPipelineState& state) {
+  if (service.revoting()) {
+    // Revote mode: parse + binding-proof check (no kiosk certificate —
+    // eligibility is enforced by the tag join). Same shard/outcome shape as
+    // the legacy kernel.
+    const size_t n = ledger.BallotCount();
+    state.validated_revotes.assign(n, std::nullopt);
+    std::vector<uint8_t> outcome(n, tally_internal::kBallotOk);
+    auto shards = Executor::Shards(n, Executor::kRngShards);
+    const RistrettoPoint& pk = service.authority().public_key();
+    service.executor().ParallelForEach(shards.size(), [&](size_t s) {
+      RevoteValidateShard(ledger, pk, shards[s].first, shards[s].second,
+                          state.validated_revotes, outcome);
+    });
+    tally_internal::TallyValidationOutcomes(outcome, &state.output.result.discards);
+    return Status::Ok();
+  }
   state.validated_ballots =
       ValidateBallots(ledger, kiosks, &state.output.result.discards, service.executor());
   return Status::Ok();
 }
 
-Status StageDedup(const TallyService&, const PublicLedger&, const CandidateList&,
-                  const std::set<CompressedRistretto>&, Rng&, TallyPipelineState& state) {
+Status StageDedup(const TallyService& service, const PublicLedger&, const CandidateList&,
+                  const std::set<CompressedRistretto>&, Rng& rng, TallyPipelineState& state) {
+  if (service.revoting()) {
+    return tally_internal::RunRevoteDedup(service, rng, state);
+  }
+  if (Status fault = ProbeStageFault(faults::kTallyDedup, 0, "dedup"); !fault.ok()) {
+    return fault;
+  }
   state.output.transcript.accepted_ballots =
       DeduplicateBallots(state.validated_ballots, &state.output.result.discards);
   Release(state.validated_ballots);
@@ -355,13 +378,20 @@ Status StageMix(const TallyService& service, const PublicLedger& ledger, const C
   if (Status fault = ProbeStageFault(faults::kMixShuffle, 0, "ballot mix"); !fault.ok()) {
     return fault;
   }
-  // Ballot batch: [Enc(vote), Enc(c_pk)]; wire caches are filled in the
-  // same parallel pass that decodes the credential points, so every later
-  // hash of these batches is SHA-only.
-  t.ballot_mix_input.resize(t.accepted_ballots.size());
-  executor.ParallelForEach(t.accepted_ballots.size(), [&](size_t i) {
-    t.ballot_mix_input[i] = BallotMixItem(t.accepted_ballots[i]);
-  });
+  if (service.revoting()) {
+    // Revote mode: the dedup stage already produced re-randomized
+    // [Enc(vote), Enc(c_pk)] columns for the kept items.
+    t.ballot_mix_input = std::move(state.revote_kept);
+    Release(state.revote_kept);
+  } else {
+    // Ballot batch: [Enc(vote), Enc(c_pk)]; wire caches are filled in the
+    // same parallel pass that decodes the credential points, so every later
+    // hash of these batches is SHA-only.
+    t.ballot_mix_input.resize(t.accepted_ballots.size());
+    executor.ParallelForEach(t.accepted_ballots.size(), [&](size_t i) {
+      t.ballot_mix_input[i] = BallotMixItem(t.accepted_ballots[i]);
+    });
+  }
   t.ballot_mix_output = RunRpcMixCascade(t.ballot_mix_input, service.authority().public_key(),
                                          service.mix_pairs(), rng, &t.ballot_mix_proof,
                                          executor);

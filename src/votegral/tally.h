@@ -43,6 +43,7 @@
 #include "src/votegral/authority_client.h"
 #include "src/votegral/ballot.h"
 #include "src/votegral/mixnet.h"
+#include "src/votegral/revote.h"
 #include "src/votegral/tagging.h"
 
 namespace votegral {
@@ -96,6 +97,12 @@ struct TallyTranscript {
   std::vector<uint64_t> counted_weights;  // parallel: matching roster tags
   std::vector<std::vector<DecryptionShare>> vote_shares;  // parallel to counted_indices
   std::vector<CompressedRistretto> vote_points;
+
+  // Deniable-revoting section (docs/REVOTING.md): the verifiable supersession
+  // dedup that replaces the plaintext dedup under ElectionConfig::revoting.
+  // Empty in legacy elections — the pre-revoting transcript digests are
+  // unchanged.
+  RevoteTranscript revote;
 };
 
 // Localized blame for an authority member excluded from the tally: the
@@ -126,8 +133,12 @@ struct TallyPipelineState {
   TallyOutput output;
 
   // validate -> dedup: per-ledger-index validation results (nullopt =
-  // discarded).
+  // discarded). Exactly one of the two vectors is populated, by mode.
   std::vector<std::optional<Ballot>> validated_ballots;
+  std::vector<std::optional<RevoteBallot>> validated_revotes;
+  // revote dedup -> mix: the kept [Enc(vote), Enc(c_pk)] columns, already
+  // re-randomized by the revote mix; they become the ballot mix input.
+  MixBatch revote_kept;
   // mix -> tag: the credential ciphertext columns of the mixed batches.
   std::vector<ElGamalCiphertext> ballot_credentials;
   std::vector<ElGamalCiphertext> roster_credentials;
@@ -187,7 +198,8 @@ class TallyService {
   TallyService(const ElectionAuthority& authority, const TaggingService& tagging,
                size_t mix_pairs = 2, Executor& executor = Executor::Global(),
                RetryPolicy retry_policy = RetryPolicy(),
-               TallyEngine engine = TallyEngine::kDataflow);
+               TallyEngine engine = TallyEngine::kDataflow,
+               bool revoting = false, bool revote_padding = true);
 
   // Runs the staged pipeline over the ledger's ballots and active roster.
   // Fails (coded, localized — never a wrong result) when fewer than
@@ -215,6 +227,8 @@ class TallyService {
   Executor& executor() const { return executor_; }
   const RetryPolicy& retry_policy() const { return retry_policy_; }
   TallyEngine engine() const { return engine_; }
+  bool revoting() const { return revoting_; }
+  bool revote_padding() const { return revote_padding_; }
 
  private:
   const ElectionAuthority& authority_;
@@ -223,6 +237,8 @@ class TallyService {
   Executor& executor_;
   RetryPolicy retry_policy_;
   TallyEngine engine_;
+  bool revoting_;
+  bool revote_padding_;
 };
 
 // Validate stage, phase 1 (shared with the universal verifier): parses and

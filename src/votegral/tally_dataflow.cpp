@@ -330,24 +330,52 @@ Outcome<TallyOutput> RunDataflowTally(const TallyService& service, const PublicL
 
   // ---- Wave 1: validate (ballots stream off per-shard ledger cursors). ----
   const size_t ledger_n = ledger.BallotCount();
-  state.validated_ballots.assign(ledger_n, std::nullopt);
   std::vector<uint8_t> validate_outcome(ledger_n, kBallotOk);
   const auto validate_shards = Executor::Shards(ledger_n, Executor::kRngShards);
-  for (const auto& [begin, end] : validate_shards) {
-    graph.Submit([&, begin = begin, end = end] {
-      clock.Timed(kSValidate, [&] {
-        ValidateBallotShard(ledger, authorized_kiosks, begin, end, state.validated_ballots,
-                            validate_outcome);
+  if (service.revoting()) {
+    state.validated_revotes.assign(ledger_n, std::nullopt);
+    const RistrettoPoint& authority_pk = service.authority().public_key();
+    for (const auto& [begin, end] : validate_shards) {
+      graph.Submit([&, begin = begin, end = end] {
+        clock.Timed(kSValidate, [&] {
+          RevoteValidateShard(ledger, authority_pk, begin, end, state.validated_revotes,
+                              validate_outcome);
+        });
       });
-    });
+    }
+  } else {
+    state.validated_ballots.assign(ledger_n, std::nullopt);
+    for (const auto& [begin, end] : validate_shards) {
+      graph.Submit([&, begin = begin, end = end] {
+        clock.Timed(kSValidate, [&] {
+          ValidateBallotShard(ledger, authorized_kiosks, begin, end, state.validated_ballots,
+                              validate_outcome);
+        });
+      });
+    }
   }
   graph.Wait();
-  clock.Timed(kSDedup, [&] {
-    TallyValidationOutcomes(validate_outcome, &state.output.result.discards);
-    t.accepted_ballots =
-        DeduplicateBallots(state.validated_ballots, &state.output.result.discards);
-    Release(state.validated_ballots);
-  });
+  clock.Timed(kSDedup,
+              [&] { TallyValidationOutcomes(validate_outcome, &state.output.result.discards); });
+  if (service.revoting()) {
+    // The whole supersession pipeline runs at the dedup position, barrier
+    // style (it is internally sharded on the same executor); its rng draws
+    // land exactly where the barrier engine makes them.
+    Status dedup_status = Status::Ok();
+    clock.Timed(kSDedup, [&] { dedup_status = RunRevoteDedup(service, rng, state); });
+    if (!dedup_status.ok()) {
+      return finish(Outcome<TallyOutput>::Fail(WrapStage("dedup", dedup_status)));
+    }
+  } else {
+    if (Status fault = ProbeStageFault(faults::kTallyDedup, 0, "dedup"); !fault.ok()) {
+      return finish(Outcome<TallyOutput>::Fail(WrapStage("dedup", fault)));
+    }
+    clock.Timed(kSDedup, [&] {
+      t.accepted_ballots =
+          DeduplicateBallots(state.validated_ballots, &state.output.result.discards);
+      Release(state.validated_ballots);
+    });
+  }
 
   // The roster is rng-free ledger state: fetching it before the mix draws
   // is transcript-neutral (the barrier engine fetches it mid-mix-stage).
@@ -357,7 +385,7 @@ Outcome<TallyOutput> RunDataflowTally(const TallyService& service, const PublicL
   Require(service.mix_pairs() >= 1, "mixnet: need at least one pair");
 
   ChainFlow ballots;
-  ballots.n = t.accepted_ballots.size();
+  ballots.n = service.revoting() ? state.revote_kept.size() : t.accepted_ballots.size();
   ballots.shards = Executor::Shards(ballots.n, Executor::kRngShards);
   ballots.input = &t.ballot_mix_input;
   ballots.proof = &t.ballot_mix_proof;
@@ -406,8 +434,13 @@ Outcome<TallyOutput> RunDataflowTally(const TallyService& service, const PublicL
   const AuthorityClient client(service.authority(), service.retry_policy());
 
   // ---- Wave 2: both chains, chunk-granular, fully concurrent. ----
-  SubmitChainNodes(graph, service, ballots, client, clock,
-                   [&](size_t i) { t.ballot_mix_input[i] = BallotMixItem(t.accepted_ballots[i]); });
+  SubmitChainNodes(graph, service, ballots, client, clock, [&](size_t i) {
+    if (service.revoting()) {
+      t.ballot_mix_input[i] = std::move(state.revote_kept[i]);
+    } else {
+      t.ballot_mix_input[i] = BallotMixItem(t.accepted_ballots[i]);
+    }
+  });
   SubmitChainNodes(graph, service, roster_flow, client, clock, [&](size_t i) {
     MixItem item;
     item.cts = {roster[i].public_credential};
@@ -422,6 +455,7 @@ Outcome<TallyOutput> RunDataflowTally(const TallyService& service, const PublicL
     t.ballot_mix_output = ballots.proof->pairs.back().out;
     t.roster_mix_output = roster_flow.proof->pairs.back().out;
   });
+  Release(state.revote_kept);
   Status status = Status::Ok();
   clock.Timed(kSDecryptTags, [&] {
     status = FinalizeDecryptBatch("roster tags", roster_flow.buffers,

@@ -40,6 +40,10 @@ enum : uint64_t {
   kEpochRosterTags = 1,
   kEpochBallotTags = 2,
   kEpochVotes = 3,
+  // Revote-mode extra batches (docs/REVOTING.md): the supersession layer's
+  // tag and counter decryptions.
+  kEpochRevoteTags = 4,
+  kEpochRevoteCounters = 5,
 };
 
 // Stage-level fault points (mix.shuffle, tag.apply): the whole sub-batch
@@ -119,6 +123,29 @@ void DecryptShareShardRange(const TallyService& service, const AuthorityClient& 
 Status FinalizeDecryptBatch(const char* what, DecryptBatchBuffers& buffers,
                             std::vector<DleqBatchEntry>* self_check_accum,
                             std::map<size_t, Status>* blame);
+
+// One full barrier-style decrypt batch: forks per-shard seeds, collects
+// every member's verifiable share for all of `cts` (fault keys under
+// `epoch`), and finalizes (blame merge, self-check compaction, shortfall
+// detection). The barrier engine's tag/vote stages and the revote dedup
+// share this path.
+Status DecryptBatchWithShares(const TallyService& service, const char* what,
+                              std::span<const ElGamalCiphertext> cts, Rng& rng,
+                              uint64_t epoch,
+                              std::vector<std::vector<DecryptionShare>>* shares_out,
+                              std::vector<CompressedRistretto>* encoded_out,
+                              std::vector<DleqBatchEntry>* self_check,
+                              std::map<size_t, Status>* blame,
+                              std::span<const ElGamalWire> cts_wire = {});
+
+// The whole revote supersession dedup (docs/REVOTING.md), run at the dedup
+// stage position by BOTH engines: pad -> width-3 mix -> tag credentials ->
+// decrypt (tags, counters) -> tag-sort last-write-wins. Consumes
+// state.validated_revotes; fills state.output.transcript.revote, the discard
+// counters, and state.revote_kept (the ballot-mix input columns of the kept
+// items). Internally sharded on the service executor with forked seeds —
+// byte-identical at any thread count and across engines.
+Status RunRevoteDedup(const TallyService& service, Rng& rng, TallyPipelineState& state);
 
 // Join stage: hash-joins ballot tags against the roster tag multiset
 // (sequential ordered-map pass; its output order is part of the transcript).

@@ -164,6 +164,205 @@ Status VerifyAndDecryptAll(const std::vector<ElGamalCiphertext>& cts,
   return Status::Error("verifier: " + what + ": batched share check failed");
 }
 
+// Field-wise revote ballot equality (no re-encoding: point equality is
+// cheaper than Serialize for a 6-point ballot, and this runs once per ledger
+// entry).
+bool SameRevoteBallot(const RevoteBallot& a, const RevoteBallot& b) {
+  return a.encrypted_vote == b.encrypted_vote &&
+         a.encrypted_credential == b.encrypted_credential &&
+         a.encrypted_counter == b.encrypted_counter && a.proof.t1 == b.proof.t1 &&
+         a.proof.t2 == b.proof.t2 && a.proof.z1 == b.proof.z1 && a.proof.z2 == b.proof.z2;
+}
+
+// Replays the whole supersession section (docs/REVOTING.md): revalidates the
+// board off L_V, recomputes the dummy padding from the published openings,
+// re-verifies the revote mix / tagging / decryptions, replays the tag-sort
+// last-write-wins selection, enforces the cover envelope, and checks that
+// the main ballot mix consumed exactly the kept columns. Every failure is
+// localized — a dropped valid ballot is named by its exact ledger index.
+Status VerifyRevoteSection(const PublicLedger& ledger, const VerifierParams& params,
+                           const TallyTranscript& t, Executor& executor) {
+  const RevoteTranscript& rt = t.revote;
+
+  // Board revalidation (parse + binding proof), sharded like the tally.
+  const size_t n = ledger.BallotCount();
+  std::vector<std::optional<RevoteBallot>> validated(n);
+  std::vector<uint8_t> outcome(n, 0);
+  const auto shards = Executor::Shards(n, Executor::kRngShards);
+  executor.ParallelForEach(shards.size(), [&](size_t s) {
+    RevoteValidateShard(ledger, params.authority_pk, shards[s].first, shards[s].second,
+                        validated, outcome);
+  });
+
+  // The published accepted list must be exactly the valid ballots in ledger
+  // order. A tally that drops or alters a non-superseded ballot is caught
+  // here, localized to the exact ledger index (supersession happens only
+  // later, post-mix, where the selection replay pins it).
+  std::vector<size_t> valid_indices;
+  valid_indices.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (validated[i].has_value()) {
+      valid_indices.push_back(i);
+    }
+  }
+  const size_t common = std::min(valid_indices.size(), rt.accepted.size());
+  std::vector<uint8_t> differs(common, 0);
+  executor.ParallelForEach(common, [&](size_t p) {
+    if (!SameRevoteBallot(*validated[valid_indices[p]], rt.accepted[p])) {
+      differs[p] = 1;
+    }
+  });
+  if (auto p = FirstMarked(differs); p.has_value()) {
+    return Status::Error("verifier: revote accepted set alters the ballot at ledger index " +
+                         std::to_string(valid_indices[*p]));
+  }
+  if (rt.accepted.size() < valid_indices.size()) {
+    return Status::Error("verifier: revote accepted set drops the valid ballot at ledger index " +
+                         std::to_string(valid_indices[rt.accepted.size()]));
+  }
+  if (rt.accepted.size() > valid_indices.size()) {
+    return Status::Error("verifier: revote accepted set contains " +
+                         std::to_string(rt.accepted.size() - valid_indices.size()) +
+                         " ballot(s) not validly on the ledger");
+  }
+  const size_t total = rt.accepted.size();
+
+  // Dummy openings: structural bounds, then the padded mix input must be the
+  // accepted triples followed by exactly the openings' trivial encryptions —
+  // that the dummies decrypt to (bottom, d*B, j*B) holds by construction
+  // once these bytes match (a forged opening cannot produce them).
+  std::vector<std::pair<size_t, uint64_t>> dummy_slots;
+  for (size_t g = 0; g < rt.dummies.size(); ++g) {
+    if (rt.dummies[g].size == 0 || rt.dummies[g].size >= kRevoteCounterLimit) {
+      return Status::Error("verifier: revote dummy group " + std::to_string(g) +
+                           " has an out-of-range size");
+    }
+    for (uint64_t j = 0; j < rt.dummies[g].size; ++j) {
+      dummy_slots.emplace_back(g, j);
+    }
+  }
+  if (rt.mix_input.size() != total + dummy_slots.size()) {
+    return Status::Error("verifier: revote mix input size mismatch");
+  }
+  {
+    std::vector<uint8_t> input_differs(rt.mix_input.size(), 0);
+    executor.ParallelForEach(rt.mix_input.size(), [&](size_t i) {
+      if (i < total) {
+        const RevoteBallot& b = rt.accepted[i];
+        MixItem expected;
+        expected.cts = {b.encrypted_vote, b.encrypted_credential, b.encrypted_counter};
+        if (!(expected == rt.mix_input[i])) {
+          input_differs[i] = 1;
+        }
+      } else {
+        const auto& [g, j] = dummy_slots[i - total];
+        if (!(RevoteDummyItem(rt.dummies[g], j) == rt.mix_input[i])) {
+          input_differs[i] = 1;
+        }
+      }
+    });
+    if (auto i = FirstMarked(input_differs); i.has_value()) {
+      if (*i < total) {
+        return Status::Error("verifier: revote mix input " + std::to_string(*i) +
+                             " differs from the accepted ballot");
+      }
+      return Status::Error("verifier: revote dummy opening does not match mix input (group " +
+                           std::to_string(dummy_slots[*i - total].first) + ")");
+    }
+  }
+
+  // The revote mix cascade.
+  if (Status s = VerifyRpcMixCascade(rt.mix_input, rt.mix_output, rt.mix_proof,
+                                     params.authority_pk, MixLinkCheck::kBatchedMsm, executor);
+      !s.ok()) {
+    return Status::Error("verifier: revote mix: " + s.reason());
+  }
+
+  // Tagging chain over the credential column, then the two verifiable
+  // decryptions (tags, counters).
+  std::vector<ElGamalCiphertext> credentials = BatchColumn(rt.mix_output, 1);
+  std::vector<ElGamalWire> credentials_wire = BatchColumnWire(rt.mix_output, 1);
+  if (Status s = TaggingService::VerifyChain(credentials, rt.tag_steps,
+                                             params.tagging_commitments, executor,
+                                             credentials_wire);
+      !s.ok()) {
+    return Status::Error("verifier: revote tagging: " + s.reason());
+  }
+  const std::vector<ElGamalCiphertext>& tagged =
+      rt.tag_steps.empty() ? credentials : rt.tag_steps.back().output;
+  std::span<const ElGamalWire> tagged_wire;
+  if (rt.tag_steps.empty()) {
+    tagged_wire = credentials_wire;
+  } else if (rt.tag_steps.back().HasWire()) {
+    tagged_wire = rt.tag_steps.back().output_wire;
+  }
+  std::vector<CompressedRistretto> tags;
+  if (Status s = VerifyAndDecryptAll(tagged, rt.tag_shares, params, executor, &tags,
+                                     "revote tags", tagged_wire);
+      !s.ok()) {
+    return s;
+  }
+  if (tags != rt.tags) {
+    return Status::Error("verifier: published revote tags do not match decryptions");
+  }
+  std::vector<ElGamalCiphertext> counters = BatchColumn(rt.mix_output, 2);
+  std::vector<CompressedRistretto> counter_points;
+  if (Status s = VerifyAndDecryptAll(counters, rt.counter_shares, params, executor,
+                                     &counter_points, "revote counters",
+                                     BatchColumnWire(rt.mix_output, 2));
+      !s.ok()) {
+    return s;
+  }
+  if (counter_points != rt.counter_points) {
+    return Status::Error("verifier: published revote counters do not match decryptions");
+  }
+
+  // Selection replay: tag-sort -> last-write-wins is a pure function of the
+  // now-verified tags and counters. A tally that kept a superseded item (or
+  // dropped a winner) diverges here.
+  RevoteSelection selection = SelectLastPerTag(rt.tags, rt.counter_points);
+  if (selection.kept != rt.kept_indices) {
+    size_t p = 0;
+    while (p < selection.kept.size() && p < rt.kept_indices.size() &&
+           selection.kept[p] == rt.kept_indices[p]) {
+      ++p;
+    }
+    return Status::Error("verifier: revote kept set differs from the replayed selection at position " +
+                         std::to_string(p));
+  }
+
+  // Cover envelope: with padding on, the revealed group-size multiset must
+  // dominate the envelope of the (public) accepted count — miscounted
+  // dummies land here.
+  if (params.revote_padding) {
+    for (size_t s = 1; s <= RevoteCoverClasses(total); ++s) {
+      auto it = selection.group_sizes.find(s);
+      const size_t have = it == selection.group_sizes.end() ? 0 : it->second;
+      if (have < RevoteCoverTarget(total, s)) {
+        return Status::Error("verifier: revote board below the cover envelope for group size " +
+                             std::to_string(s));
+      }
+    }
+  }
+
+  // The main ballot mix must consume exactly the kept [vote, credential]
+  // columns.
+  if (t.ballot_mix_input.size() != rt.kept_indices.size()) {
+    return Status::Error("verifier: ballot mix input size mismatch");
+  }
+  if (auto i = ParallelFirstFailure(executor, rt.kept_indices.size(), [&](size_t i) {
+        const MixItem& source = rt.mix_output.at(rt.kept_indices[i]);
+        return t.ballot_mix_input[i].cts.size() == 2 &&
+               t.ballot_mix_input[i].cts[0] == source.cts.at(0) &&
+               t.ballot_mix_input[i].cts[1] == source.cts.at(1);
+      });
+      i.has_value()) {
+    return Status::Error("verifier: ballot mix input " + std::to_string(*i) +
+                         " is not the kept revote item");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
@@ -178,19 +377,33 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
   }
 
   // Validate/dedup replay: recompute the accepted ballot set from L_V
-  // (ballot parsing and signature checks fan out in chunks).
-  TallyDiscards recomputed_discards;
-  std::vector<Ballot> accepted =
-      ValidateAndDeduplicate(ledger, params.authorized_kiosks, &recomputed_discards,
-                             executor);
-  if (accepted.size() != t.accepted_ballots.size()) {
-    return Status::Error("verifier: accepted ballot set size mismatch");
-  }
-  if (auto i = ParallelFirstFailure(executor, accepted.size(), [&](size_t i) {
-        return accepted[i].Serialize() == t.accepted_ballots[i].Serialize();
-      });
-      i.has_value()) {
-    return Status::Error("verifier: accepted ballot " + std::to_string(*i) + " differs");
+  // (ballot parsing and signature checks fan out in chunks). Revote mode
+  // replaces this whole section (and the ballot-mix-input check below) with
+  // the supersession replay; a legacy transcript must not smuggle one in.
+  std::vector<Ballot> accepted;
+  if (params.revoting) {
+    if (!t.accepted_ballots.empty()) {
+      return Status::Error("verifier: unexpected legacy accepted set in revote mode");
+    }
+    if (Status s = VerifyRevoteSection(ledger, params, t, executor); !s.ok()) {
+      return s;
+    }
+  } else {
+    if (!t.revote.empty()) {
+      return Status::Error("verifier: unexpected revote section");
+    }
+    TallyDiscards recomputed_discards;
+    accepted = ValidateAndDeduplicate(ledger, params.authorized_kiosks, &recomputed_discards,
+                                      executor);
+    if (accepted.size() != t.accepted_ballots.size()) {
+      return Status::Error("verifier: accepted ballot set size mismatch");
+    }
+    if (auto i = ParallelFirstFailure(executor, accepted.size(), [&](size_t i) {
+          return accepted[i].Serialize() == t.accepted_ballots[i].Serialize();
+        });
+        i.has_value()) {
+      return Status::Error("verifier: accepted ballot " + std::to_string(*i) + " differs");
+    }
   }
 
   // Every registration record's signature chain must verify (independent
@@ -207,11 +420,12 @@ Status VerifyElection(const PublicLedger& ledger, const VerifierParams& params,
   }
 
   // Mix stage replay: inputs must match the accepted ballots / active
-  // roster (credential decode per ballot runs in parallel).
-  if (t.ballot_mix_input.size() != accepted.size()) {
-    return Status::Error("verifier: ballot mix input size mismatch");
-  }
-  {
+  // roster (credential decode per ballot runs in parallel). In revote mode
+  // the ballot mix input was already pinned to the kept supersession items.
+  if (!params.revoting) {
+    if (t.ballot_mix_input.size() != accepted.size()) {
+      return Status::Error("verifier: ballot mix input size mismatch");
+    }
     std::vector<uint8_t> undecodable(accepted.size(), 0);
     std::vector<uint8_t> differs(accepted.size(), 0);
     executor.ParallelForEach(accepted.size(), [&](size_t i) {

@@ -38,6 +38,12 @@ struct VerifierParams {
   std::vector<RistrettoPoint> tagging_commitments;  // Z_t commitments
   std::set<CompressedRistretto> authorized_kiosks;
   std::set<CompressedRistretto> authorized_officials;
+  // Deniable-revoting mode (docs/REVOTING.md): the ledger carries
+  // RevoteBallots and the transcript must contain a valid supersession
+  // section. With revote_padding the verifier additionally enforces the
+  // cover-envelope lower bound on the revealed group-size multiset.
+  bool revoting = false;
+  bool revote_padding = true;
 };
 
 // Re-checks the published tally against the ledger. Returns the first

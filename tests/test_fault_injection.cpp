@@ -155,7 +155,7 @@ TEST(FaultInjector, RegisteredPointCatalogCoversTheDrilledSites) {
   std::set<std::string_view> names(points.begin(), points.end());
   for (std::string_view expected :
        {faults::kAuthorityComputeShare, faults::kLedgerAppend, faults::kLedgerSeal,
-        faults::kMixShuffle, faults::kTagApply}) {
+        faults::kMixShuffle, faults::kTagApply, faults::kTallyDedup}) {
     EXPECT_TRUE(names.count(expected)) << expected;
   }
 }
@@ -221,7 +221,7 @@ struct FaultedRun {
 // casting run fault-free; each tally arms its own plan.
 class SmallElection {
  public:
-  explicit SmallElection(size_t threads = 0) {
+  explicit SmallElection(size_t threads = 0, bool revoting = false) {
     ChaChaRng rng(0xFA417);
     ElectionConfig config;
     config.roster = {"alice", "bob", "carol"};
@@ -229,6 +229,7 @@ class SmallElection {
     config.authority_members = kMembers;
     config.authority_threshold = kThreshold;
     config.threads = threads;
+    config.revoting = revoting;
     election_ = std::make_unique<Election>(config, rng);
     Vsd vsd = election_->trip().MakeVsd();
     const char* choices[] = {"Alpha", "Beta", "Alpha"};
@@ -239,6 +240,11 @@ class SmallElection {
               "fixture: real cast failed");
       Require(election_->Cast(voter->activated[1], "Beta", rng).ok(),
               "fixture: fake cast failed");
+      if (revoting && i == 0) {
+        // Alice revotes: the dedup stage has real supersession work to do.
+        Require(election_->Cast(voter->activated[0], "Beta", rng).ok(),
+                "fixture: revote cast failed");
+      }
     }
   }
 
@@ -384,6 +390,57 @@ TEST(ThresholdTally, StageFaultsFailCodedInsteadOfProducingOutput) {
   }
 }
 
+TEST(ThresholdTally, DedupStageFaultsFailCodedInBothModes) {
+  // The tally.dedup point guards legacy dedup AND the revote supersession
+  // pipeline: a crash fails kUnavailable with the point named, a corruption
+  // fails kCorrupted — never silent wrong output.
+  {
+    SmallElection fixture;
+    FaultPlan plan(0xD8);
+    plan.Crash(faults::kTallyDedup, 1.0);
+    FaultedRun run = fixture.Tally(&plan);
+    ASSERT_FALSE(run.outcome.ok());
+    EXPECT_EQ(run.outcome.status.code(), StatusCode::kUnavailable);
+    EXPECT_NE(run.outcome.status.reason().find("dedup: crash injected at tally.dedup"),
+              std::string::npos)
+        << run.outcome.status.reason();
+  }
+  {
+    SmallElection fixture(0, /*revoting=*/true);
+    FaultPlan plan(0xD9);
+    plan.Corrupt(faults::kTallyDedup, 1.0);
+    FaultedRun run = fixture.Tally(&plan);
+    ASSERT_FALSE(run.outcome.ok());
+    EXPECT_EQ(run.outcome.status.code(), StatusCode::kCorrupted);
+    EXPECT_NE(run.outcome.status.reason().find("revote dedup"), std::string::npos)
+        << run.outcome.status.reason();
+  }
+}
+
+TEST(ThresholdTally, RevoteStageFaultsFailCodedInsteadOfProducingOutput) {
+  // The revote pipeline's own mix/tag probes (scope 2) fire under revoting
+  // and fail coded like every other stage.
+  SmallElection fixture(0, /*revoting=*/true);
+  {
+    FaultPlan plan(0xDA);
+    plan.Crash(faults::kMixShuffle, 1.0, /*scope=*/2);
+    FaultedRun run = fixture.Tally(&plan);
+    ASSERT_FALSE(run.outcome.ok());
+    EXPECT_EQ(run.outcome.status.code(), StatusCode::kUnavailable);
+    EXPECT_NE(run.outcome.status.reason().find("revote mix"), std::string::npos)
+        << run.outcome.status.reason();
+  }
+  {
+    FaultPlan plan(0xDB);
+    plan.Corrupt(faults::kTagApply, 1.0, /*scope=*/2);
+    FaultedRun run = fixture.Tally(&plan);
+    ASSERT_FALSE(run.outcome.ok());
+    EXPECT_EQ(run.outcome.status.code(), StatusCode::kCorrupted);
+    EXPECT_NE(run.outcome.status.reason().find("revote tagging"), std::string::npos)
+        << run.outcome.status.reason();
+  }
+}
+
 TEST(ThresholdTally, DegradedTranscriptIsByteIdenticalAcrossThreadCounts) {
   FaultPlan plan(0xD7);
   plan.Crash(faults::kAuthorityComputeShare, 1.0, /*scope=*/3);
@@ -454,6 +511,50 @@ TEST(FaultSoak, ThirtyTwoSeedsEitherVerifyOrFailCoded) {
   // lands on one side the schedule has degenerated.
   EXPECT_GT(degraded_successes + coded_failures, 0u)
       << "soak never injected an observable fault";
+}
+
+TEST(FaultSoak, ThirtyTwoSeedsStayGreenUnderRevoting) {
+  // The same drill over the revote configuration: the supersession pipeline
+  // (padding oracle, revote mix, tag/counter decryptions) sits between the
+  // faulted authority and the result, and must preserve the
+  // verify-or-fail-coded contract.
+  SmallElection fixture(0, /*revoting=*/true);
+  FaultedRun baseline = fixture.Tally(nullptr);
+  ASSERT_TRUE(baseline.outcome.ok()) << baseline.outcome.status.reason();
+  ASSERT_TRUE(baseline.verified);
+  // Alice's superseded cast plus each dummy group's internal supersessions.
+  size_t dummy_superseded = 0;
+  for (const RevoteDummyGroup& group : baseline.outcome->transcript.revote.dummies) {
+    dummy_superseded += group.size - 1;
+  }
+  EXPECT_EQ(baseline.outcome->result.discards.superseded, 1u + dummy_superseded);
+
+  size_t observable_faults = 0;
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    SCOPED_TRACE("fault plan seed " + std::to_string(seed));
+    FaultPlan plan(seed * 1000 + 7);
+    plan.Crash(faults::kAuthorityComputeShare, 0.18);
+    plan.Timeout(faults::kAuthorityComputeShare, 0.20);
+    plan.Corrupt(faults::kAuthorityComputeShare, 0.12);
+    plan.Delay(faults::kAuthorityComputeShare, 0.25, 5, 120);
+    FaultedRun run = fixture.Tally(&plan);
+    if (run.outcome.ok()) {
+      EXPECT_TRUE(run.verified) << "seed " << seed << ": transcript failed verification";
+      EXPECT_EQ(run.outcome->result.counts, baseline.outcome->result.counts)
+          << "seed " << seed << ": degraded run changed the result";
+      observable_faults += run.outcome->excluded_authorities.empty() ? 0 : 1;
+      for (const AuthorityBlame& blame : run.outcome->excluded_authorities) {
+        EXPECT_NE(blame.status.code(), StatusCode::kOk);
+        EXPECT_NE(blame.status.code(), StatusCode::kFailed)
+            << "blame must be coded, got: " << blame.status.reason();
+      }
+    } else {
+      ++observable_faults;
+      EXPECT_EQ(run.outcome.status.code(), StatusCode::kUnavailable)
+          << run.outcome.status.reason();
+    }
+  }
+  EXPECT_GT(observable_faults, 0u) << "soak never injected an observable fault";
 }
 
 // --- Ledger crash-recovery drills --------------------------------------------

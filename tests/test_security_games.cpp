@@ -194,6 +194,105 @@ TEST(CoercionGame, OneExtraFakeAlwaysAvailable) {
 }
 
 // ---------------------------------------------------------------------------
+// C-Resist under deniable revoting (docs/REVOTING.md)
+// ---------------------------------------------------------------------------
+
+// Everything the revote board reveals to a coercer who audits the published
+// transcript: the post-mix group-size multiset (replayed from the verified
+// tags and counters — the coercer runs the same pure selection function the
+// verifier does), the discard counters, and the board/accepted sizes.
+struct CoercerBoardView {
+  size_t board_size = 0;
+  size_t accepted = 0;
+  std::map<uint64_t, size_t> group_sizes;
+  size_t superseded = 0;
+  size_t duplicate_tag = 0;
+  size_t unmatched_tag = 0;
+
+  bool operator==(const CoercerBoardView&) const = default;
+};
+
+CoercerBoardView InspectBoard(Election& election, const TallyOutput& output) {
+  CoercerBoardView view;
+  view.board_size = election.ledger().AllBallots().size();
+  const RevoteTranscript& rt = output.transcript.revote;
+  view.accepted = rt.accepted.size();
+  view.group_sizes = SelectLastPerTag(rt.tags, rt.counter_points).group_sizes;
+  view.superseded = output.result.discards.superseded;
+  view.duplicate_tag = output.result.discards.duplicate_tag;
+  view.unmatched_tag = output.result.discards.unmatched_tag;
+  return view;
+}
+
+// Runs one world of the revoting C-Resist game and returns the coercer's
+// board view. World b=1 (comply): the coercer casts with the surrendered
+// real credential and the target only adds a fake-credential decoy. World
+// b=0 (evade): the target secretly revotes over the coercer's cast with a
+// higher counter. Both worlds post the same number of ballots.
+CoercerBoardView RunRevoteWorld(int world, bool padding, TallyResult* result = nullptr) {
+  ChaChaRng rng(720);  // identical randomness in both worlds
+  ElectionConfig config = GameConfig(2);
+  config.revoting = true;
+  config.revote_padding = padding;
+  Election election(config, rng);
+  Vsd vsd = election.trip().MakeVsd();
+  auto target = election.Register("target", 1, vsd, rng);
+  auto honest0 = election.Register("honest-0", 1, vsd, rng);
+  auto honest1 = election.Register("honest-1", 1, vsd, rng);
+  EXPECT_TRUE(target.ok() && honest0.ok() && honest1.ok());
+
+  // The coercer votes with the surrendered real credential at a counter of
+  // their choosing.
+  EXPECT_TRUE(election.CastRevote(target->activated[0], "coerced-choice", 0, rng).ok());
+  if (world == 0) {
+    // Evade: outbid the coercer's counter in secret.
+    EXPECT_TRUE(election.CastRevote(target->activated[0], "true-choice", 1, rng).ok());
+  } else {
+    // Comply: the extra anonymous ballot is a fake-credential decoy.
+    EXPECT_TRUE(election.Cast(target->activated[1], "true-choice", rng).ok());
+  }
+  // Honest cover: one voter for each choice.
+  EXPECT_TRUE(election.Cast(honest0->activated[0], "true-choice", rng).ok());
+  EXPECT_TRUE(election.Cast(honest1->activated[0], "coerced-choice", rng).ok());
+
+  TallyOutput output = election.Tally(rng);
+  EXPECT_TRUE(election.Verify(output).ok());
+  if (result != nullptr) {
+    *result = output.result;
+  }
+  return InspectBoard(election, output);
+}
+
+TEST(RevoteCoercionGame, PaddedBoardViewsAreIndistinguishable) {
+  // With cover-traffic padding the revealed group-size multiset is lifted to
+  // the T=4 envelope in BOTH worlds — every observable the coercer can
+  // compute from the board is identical, so revoting stays deniable.
+  TallyResult evade_result, comply_result;
+  CoercerBoardView evade = RunRevoteWorld(0, /*padding=*/true, &evade_result);
+  CoercerBoardView comply = RunRevoteWorld(1, /*padding=*/true, &comply_result);
+  EXPECT_EQ(evade, comply);
+  // The tallies differ exactly by the honest-voter cover the ideal game
+  // allows (same D_v argument as ComplyAndEvadeWorldsMatchOnAllObservables).
+  EXPECT_EQ(evade_result.counts.at("true-choice"), 2u);
+  EXPECT_EQ(evade_result.counts.at("coerced-choice"), 1u);
+  EXPECT_EQ(comply_result.counts.at("true-choice"), 1u);
+  EXPECT_EQ(comply_result.counts.at("coerced-choice"), 2u);
+}
+
+TEST(RevoteCoercionGame, UnpaddedControlIsDistinguishable) {
+  // The control arm: with padding disabled the evade world shows a size-2
+  // group where the comply world shows singletons — the coercer reads the
+  // revote straight off the board. This is exactly the leak the envelope
+  // exists to close.
+  CoercerBoardView evade = RunRevoteWorld(0, /*padding=*/false);
+  CoercerBoardView comply = RunRevoteWorld(1, /*padding=*/false);
+  EXPECT_NE(evade.group_sizes, comply.group_sizes);
+  EXPECT_EQ(evade.group_sizes[2], 1u);   // the target's superseded pair
+  EXPECT_EQ(comply.group_sizes[2], 0u);  // all singletons
+  EXPECT_EQ(evade.board_size, comply.board_size);  // ...and NOT by ballot count
+}
+
+// ---------------------------------------------------------------------------
 // Game IV (F.3)
 // ---------------------------------------------------------------------------
 

@@ -105,6 +105,36 @@ inline std::array<uint8_t, 32> DigestTranscript(const TallyOutput& output) {
   for (const CompressedRistretto& point : t.vote_points) {
     h.Update(point);
   }
+  // Revote supersession section — hashed only when present, so every
+  // pre-revoting golden digest is unchanged by this field existing.
+  if (!t.revote.empty()) {
+    const RevoteTranscript& rt = t.revote;
+    hash_u64(rt.accepted.size());
+    for (const RevoteBallot& ballot : rt.accepted) {
+      h.Update(ballot.Serialize());
+    }
+    hash_u64(rt.dummies.size());
+    for (const RevoteDummyGroup& group : rt.dummies) {
+      h.Update(group.credential.ToBytes());
+      hash_u64(group.size);
+    }
+    hash_batch(rt.mix_input);
+    hash_batch(rt.mix_output);
+    hash_proof(rt.mix_proof);
+    hash_steps(rt.tag_steps);
+    hash_shares(rt.tag_shares);
+    for (const CompressedRistretto& tag : rt.tags) {
+      h.Update(tag);
+    }
+    hash_shares(rt.counter_shares);
+    for (const CompressedRistretto& point : rt.counter_points) {
+      h.Update(point);
+    }
+    hash_u64(rt.kept_indices.size());
+    for (uint64_t v : rt.kept_indices) {
+      hash_u64(v);
+    }
+  }
   // Published result too: counts must agree, not just the transcript.
   for (const auto& [name, count] : output.result.counts) {
     h.Update(AsBytes(name));
@@ -152,6 +182,11 @@ inline std::array<uint8_t, 32> DigestTranscriptWithWire(const TallyOutput& outpu
   hash_shares_wire(t.ballot_tag_shares);
   hash_shares_wire(t.roster_tag_shares);
   hash_shares_wire(t.vote_shares);
+  if (!t.revote.empty()) {
+    hash_steps_wire(t.revote.tag_steps);
+    hash_shares_wire(t.revote.tag_shares);
+    hash_shares_wire(t.revote.counter_shares);
+  }
   return h.Finalize();
 }
 
