@@ -6,9 +6,9 @@
 //  * proving with producer-filled statement caches vs the encode-per-point
 //    framing (the pre-wire prover cost),
 //  * challenge derivation alone, cached vs cacheless,
-//  * BatchVerifyDleq with complete caches (SHA-only challenges + one batched
-//    commit-cache decode pass) vs fully stripped entries (the pre-wire
-//    verifier), at n = 1024 by default.
+//  * BatchVerifyDleq with complete caches (SHA-only challenges + the
+//    decode-free BatchValidateEncodings commit-cache pass) vs fully stripped
+//    entries (the pre-wire verifier), at n = 1024 by default.
 // Ristretto Encode/Decode invocation deltas are reported next to wall-clock
 // numbers: the cached verify path must show ZERO encodes.
 //
@@ -178,7 +178,8 @@ void RunSweep() {
   }
   std::printf("%s\n", table.Format().c_str());
   std::printf("batch verify speedup (legacy/wire): %.2fx; wire path encodes: %llu "
-              "(criterion: 0), decodes: %llu (commit-cache validation, 3 per proof)\n\n",
+              "(criterion: 0), decodes: %llu (criterion: 0 — commit caches are "
+              "checked by BatchValidateEncodings, no roots)\n\n",
               verify_legacy.seconds / verify_wire.seconds,
               static_cast<unsigned long long>(verify_wire.encodes),
               static_cast<unsigned long long>(verify_wire.decodes));

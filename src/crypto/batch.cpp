@@ -90,7 +90,11 @@ Status BatchVerifySchnorr(std::span<const SchnorrBatchEntry> entries, Rng& rng) 
   for (const Scalar& p : partial) {
     combined_s = combined_s + p;
   }
-  if (!MultiScalarMulWithBase(combined_s, scalars, points).IsIdentity()) {
+  // Every term's wire bytes are in hand (`raw` is what the points were
+  // decoded from), so the shared-base MSM can sum the weights of repeated
+  // public keys — one term per distinct signer instead of one per signature.
+  std::vector<uint8_t> keyed(2 * n, 1);
+  if (!MultiScalarMulShared(combined_s, scalars, points, raw, keyed).IsIdentity()) {
     return Status::Error("batch-schnorr: combined verification equation failed");
   }
   return Status::Ok();
@@ -139,13 +143,18 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
   }
 
   // Commit-cache validation: gather every cached commit byte string (flat,
-  // entry order), decode them all in one pooled pass, recompare coset-aware.
+  // entry order) and check each against its commit point in one accumulator
+  // pass — BatchValidateEncodings amortizes the field inversions across the
+  // whole producer batch and never pays a per-commit decode (~8 field
+  // multiplications per commit instead of an inverse square root).
   {
     std::vector<uint8_t> bad_cache(n, 0);
     std::vector<CompressedRistretto> cache_bytes;
-    std::vector<std::pair<size_t, size_t>> cache_slot;  // flat slot -> (entry, commit index)
+    std::vector<RistrettoPoint> cache_points;
+    std::vector<size_t> cache_entry;  // flat slot -> entry
     cache_bytes.reserve(total_pairs);
-    cache_slot.reserve(total_pairs);
+    cache_points.reserve(total_pairs);
+    cache_entry.reserve(total_pairs);
     for (size_t i = 0; i < n; ++i) {
       const DleqTranscript& t = entries[i].transcript;
       if (t.commit_wire.empty()) {
@@ -157,24 +166,19 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
       }
       for (size_t j = 0; j < t.commit_wire.size(); ++j) {
         cache_bytes.push_back(t.commit_wire[j]);
-        cache_slot.emplace_back(i, j);
+        cache_points.push_back(t.commits[j]);
+        cache_entry.push_back(i);
       }
     }
-    std::vector<RistrettoPoint> cache_points(cache_bytes.size());
     std::vector<uint8_t> cache_ok(cache_bytes.size(), 0);
-    BatchDecodePoints(cache_bytes, cache_points, cache_ok);
-    // Per-slot flags, folded sequentially: two slots of one entry can land in
-    // different shards, so workers must never write the same entry byte.
-    std::vector<uint8_t> bad_slot(cache_bytes.size(), 0);
-    Executor::Current().ParallelForEach(cache_bytes.size(), [&](size_t k) {
-      auto [i, j] = cache_slot[k];
-      if (!cache_ok[k] || !(cache_points[k] == entries[i].transcript.commits[j])) {
-        bad_slot[k] = 1;
-      }
-    });
-    for (size_t k = 0; k < bad_slot.size(); ++k) {
-      if (bad_slot[k]) {
-        bad_cache[cache_slot[k].first] = 1;
+    size_t mismatches = BatchValidateEncodings(cache_points, cache_bytes, cache_ok);
+    if (mismatches != 0) {
+      // Fold per-slot flags sequentially: two slots of one entry can come
+      // from different shards, so the parallel pass never writes entry bytes.
+      for (size_t k = 0; k < cache_ok.size(); ++k) {
+        if (!cache_ok[k]) {
+          bad_cache[cache_entry[k]] = 1;
+        }
       }
     }
     if (Status s = FirstFailure(bad_cache, "batch-dleq: commit wire cache does not match commits");
@@ -185,6 +189,8 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
 
   std::vector<Scalar> scalars(3 * total_pairs);
   std::vector<RistrettoPoint> points(3 * total_pairs);
+  std::vector<CompressedRistretto> keys(3 * total_pairs);
+  std::vector<uint8_t> keyed(3 * total_pairs, 0);
   std::vector<uint8_t> bad(n, 0);
   Executor::Current().ParallelForEach(n, [&](size_t i) {
     const DleqBatchEntry& entry = entries[i];
@@ -198,6 +204,13 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
       bad[i] = 1;
       return;
     }
+    // Wire bytes become shared-MSM keys where available: statement caches are
+    // producer-local (verifiers build their own statements), and commit
+    // caches were validated against the commit points above. A batch over one
+    // producer repeats its bases and public keys in every entry, so the
+    // keyed collapse folds those columns into one term each.
+    const bool st_wire = st.HasWire();
+    const bool commit_wire = t.commit_wire.size() == t.commits.size();
     for (size_t j = 0; j < st.bases.size(); ++j) {
       const Scalar& weight = weights[offset[i] + j];
       size_t at = 3 * (offset[i] + j);
@@ -207,12 +220,22 @@ Status BatchVerifyDleq(std::span<const DleqBatchEntry> entries, Rng& rng) {
       points[at + 1] = st.publics[j];
       scalars[at + 2] = -weight;
       points[at + 2] = t.commits[j];
+      if (st_wire) {
+        keys[at] = st.base_wire[j];
+        keyed[at] = 1;
+        keys[at + 1] = st.public_wire[j];
+        keyed[at + 1] = 1;
+      }
+      if (commit_wire) {
+        keys[at + 2] = t.commit_wire[j];
+        keyed[at + 2] = 1;
+      }
     }
   });
   if (Status s = FirstFailure(bad, "batch-dleq: challenge mismatch"); !s.ok()) {
     return s;
   }
-  if (!MultiScalarMul(scalars, points).IsIdentity()) {
+  if (!MultiScalarMulShared(Scalar::Zero(), scalars, points, keys, keyed).IsIdentity()) {
     return Status::Error("batch-dleq: combined verification equation failed");
   }
   return Status::Ok();

@@ -1,0 +1,433 @@
+#include "src/crypto/fe25519_x4.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/crypto/fe25519_x4_kernels.h"
+
+namespace votegral {
+
+namespace fe_x4_detail {
+
+namespace {
+
+// Portable 4-lane vector: plain u64 loops the compiler may (or may not)
+// auto-vectorize. Runs the identical Kernels<> algorithm as the SIMD
+// backends, so its limbs match theirs bit for bit.
+struct ScalarVec {
+  uint64_t l[4];
+
+  static ScalarVec Load(const uint64_t p[4]) {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = p[k];
+    }
+    return v;
+  }
+  void Store(uint64_t p[4]) const {
+    for (int k = 0; k < 4; ++k) {
+      p[k] = l[k];
+    }
+  }
+  static ScalarVec Splat(uint64_t value) {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = value;
+    }
+    return v;
+  }
+  ScalarVec operator+(const ScalarVec& o) const {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = l[k] + o.l[k];
+    }
+    return v;
+  }
+  ScalarVec operator-(const ScalarVec& o) const {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = l[k] - o.l[k];
+    }
+    return v;
+  }
+  static ScalarVec Mul32(const ScalarVec& a, const ScalarVec& b) {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = static_cast<uint64_t>(static_cast<uint32_t>(a.l[k])) *
+               static_cast<uint64_t>(static_cast<uint32_t>(b.l[k]));
+    }
+    return v;
+  }
+  ScalarVec Shr(int s) const {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = l[k] >> s;
+    }
+    return v;
+  }
+  ScalarVec Shl(int s) const {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = l[k] << s;
+    }
+    return v;
+  }
+  ScalarVec AndMask(uint64_t mask) const {
+    ScalarVec v;
+    for (int k = 0; k < 4; ++k) {
+      v.l[k] = l[k] & mask;
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+const FeX4Kernels* PortableKernels() {
+  static const FeX4Kernels kPortable = {
+      &Kernels<ScalarVec>::Mul,
+      &Kernels<ScalarVec>::Square,
+      &Kernels<ScalarVec>::Add,
+      &Kernels<ScalarVec>::Sub,
+  };
+  return &kPortable;
+}
+
+namespace {
+
+// True when the running CPU can execute the AVX2 kernels (the compile-time
+// half is the VOTEGRAL_HAVE_AVX2 guard around Avx2Kernels()).
+bool CpuHasAvx2() {
+#if defined(VOTEGRAL_HAVE_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const FeX4Kernels* KernelsFor(FeSimdBackend backend) {
+  switch (backend) {
+    case FeSimdBackend::kScalar:
+      return PortableKernels();
+    case FeSimdBackend::kAvx2:
+#if defined(VOTEGRAL_HAVE_AVX2)
+      return CpuHasAvx2() ? Avx2Kernels() : nullptr;
+#else
+      return nullptr;
+#endif
+    case FeSimdBackend::kNeon:
+#if defined(VOTEGRAL_HAVE_NEON)
+      return NeonKernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+FeSimdBackend PickBackend() {
+  if (const char* env = std::getenv("VOTEGRAL_SIMD"); env != nullptr) {
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "scalar") == 0) {
+      return FeSimdBackend::kScalar;
+    }
+    if (std::strcmp(env, "avx2") == 0 && KernelsFor(FeSimdBackend::kAvx2) != nullptr) {
+      return FeSimdBackend::kAvx2;
+    }
+    if (std::strcmp(env, "neon") == 0 && KernelsFor(FeSimdBackend::kNeon) != nullptr) {
+      return FeSimdBackend::kNeon;
+    }
+    // Unknown or unavailable request: fall through to auto-detection rather
+    // than failing — the portable backend is always a correct answer.
+  }
+  if (KernelsFor(FeSimdBackend::kAvx2) != nullptr) {
+    return FeSimdBackend::kAvx2;
+  }
+  if (KernelsFor(FeSimdBackend::kNeon) != nullptr) {
+    return FeSimdBackend::kNeon;
+  }
+  return FeSimdBackend::kScalar;
+}
+
+struct Dispatch {
+  std::atomic<const FeX4Kernels*> kernels;
+  std::atomic<FeSimdBackend> backend;
+
+  Dispatch() {
+    FeSimdBackend chosen = PickBackend();
+    backend.store(chosen, std::memory_order_relaxed);
+    kernels.store(KernelsFor(chosen), std::memory_order_relaxed);
+  }
+};
+
+Dispatch& GetDispatch() {
+  static Dispatch dispatch;
+  return dispatch;
+}
+
+inline const FeX4Kernels& Active() {
+  return *GetDispatch().kernels.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+}  // namespace fe_x4_detail
+
+const char* FeSimdBackendName(FeSimdBackend backend) {
+  switch (backend) {
+    case FeSimdBackend::kScalar:
+      return "scalar";
+    case FeSimdBackend::kAvx2:
+      return "avx2";
+    case FeSimdBackend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool FeSimdBackendAvailable(FeSimdBackend backend) {
+  return fe_x4_detail::KernelsFor(backend) != nullptr;
+}
+
+FeSimdBackend ActiveFeSimdBackend() {
+  return fe_x4_detail::GetDispatch().backend.load(std::memory_order_relaxed);
+}
+
+FeSimdBackend SetFeSimdBackendForTest(FeSimdBackend backend) {
+  const fe_x4_detail::FeX4Kernels* kernels = fe_x4_detail::KernelsFor(backend);
+  Require(kernels != nullptr, "SetFeSimdBackendForTest: backend not available");
+  fe_x4_detail::Dispatch& dispatch = fe_x4_detail::GetDispatch();
+  FeSimdBackend previous = dispatch.backend.exchange(backend, std::memory_order_relaxed);
+  dispatch.kernels.store(kernels, std::memory_order_relaxed);
+  return previous;
+}
+
+Fe25519X4 FeX4FromLanes(const Fe25519 lanes[4]) {
+  // Split each 51-bit limb into a 26-bit low half and a 25(+)-bit high half.
+  // For loosely reduced inputs (limbs < 2^51 + 2^13) the high half is at
+  // most 2^25, inside the kernel input contract with no carry pass needed.
+  constexpr uint64_t kMask26 = (uint64_t{1} << 26) - 1;
+  Fe25519X4 v;
+  for (int k = 0; k < 4; ++k) {
+    for (int j = 0; j < 5; ++j) {
+      v.limb[2 * j][k] = lanes[k].limb[j] & kMask26;
+      v.limb[2 * j + 1][k] = lanes[k].limb[j] >> 26;
+    }
+  }
+  return v;
+}
+
+void FeX4ToLanes(const Fe25519X4& v, Fe25519 lanes[4]) {
+  // Under the kernel output contract (limb 1 < 2^25, limb 2 <= 2^26, all
+  // other limbs strictly below their 26/25-bit mask bound) every
+  // reassembled 51-bit limb is at most 2^26 + (2^25 - 1) * 2^26 = 2^51 —
+  // inside the scalar layer's loose-reduction invariant. The two finishing
+  // carry steps in CarryChain exist precisely so this holds.
+  for (int k = 0; k < 4; ++k) {
+    for (int j = 0; j < 5; ++j) {
+      lanes[k].limb[j] = v.limb[2 * j][k] + (v.limb[2 * j + 1][k] << 26);
+    }
+  }
+}
+
+Fe25519X4 FeX4Splat(const Fe25519& f) {
+  const Fe25519 lanes[4] = {f, f, f, f};
+  return FeX4FromLanes(lanes);
+}
+
+void FeMulX4(Fe25519X4& out, const Fe25519X4& a, const Fe25519X4& b) {
+  fe_x4_detail::Active().mul(out, a, b);
+}
+
+void FeSquareX4(Fe25519X4& out, const Fe25519X4& a) { fe_x4_detail::Active().square(out, a); }
+
+void FeAddX4(Fe25519X4& out, const Fe25519X4& a, const Fe25519X4& b) {
+  fe_x4_detail::Active().add(out, a, b);
+}
+
+void FeSubX4(Fe25519X4& out, const Fe25519X4& a, const Fe25519X4& b) {
+  fe_x4_detail::Active().sub(out, a, b);
+}
+
+namespace {
+
+// t = t^(2^k), lane-parallel.
+void Pow2kX4(Fe25519X4& t, int k) {
+  while (k-- > 0) {
+    FeSquareX4(t, t);
+  }
+}
+
+// z^(2^250 - 1), the lane-parallel port of fe25519.cpp's PowChain250 (the
+// shared prefix of the p-2 and (p-5)/8 chains; 254 squarings, 11 multiplies
+// — all of them 4 lanes wide).
+Fe25519X4 PowChain250X4(const Fe25519X4& z) {
+  Fe25519X4 z2, z9, z11, z31, t10, t20, t40, t50, t100, t200, t, tmp;
+  FeSquareX4(z2, z);              // 2
+  tmp = z2;
+  Pow2kX4(tmp, 2);
+  FeMulX4(z9, z, tmp);            // 9
+  FeMulX4(z11, z2, z9);           // 11
+  FeSquareX4(tmp, z11);
+  FeMulX4(z31, z9, tmp);          // 2^5 - 1
+  tmp = z31;
+  Pow2kX4(tmp, 5);
+  FeMulX4(t10, z31, tmp);         // 2^10 - 1
+  tmp = t10;
+  Pow2kX4(tmp, 10);
+  FeMulX4(t20, t10, tmp);         // 2^20 - 1
+  tmp = t20;
+  Pow2kX4(tmp, 20);
+  FeMulX4(t40, t20, tmp);         // 2^40 - 1
+  tmp = t40;
+  Pow2kX4(tmp, 10);
+  FeMulX4(t50, t10, tmp);         // 2^50 - 1
+  tmp = t50;
+  Pow2kX4(tmp, 50);
+  FeMulX4(t100, t50, tmp);        // 2^100 - 1
+  tmp = t100;
+  Pow2kX4(tmp, 100);
+  FeMulX4(t200, t100, tmp);       // 2^200 - 1
+  tmp = t200;
+  Pow2kX4(tmp, 50);
+  FeMulX4(t, t50, tmp);           // 2^250 - 1
+  return t;
+}
+
+// f^((p-5)/8) = f^((2^250-1)*2^2 + 1), lane-parallel FePow2523.
+Fe25519X4 Pow2523X4(const Fe25519X4& f) {
+  Fe25519X4 t = PowChain250X4(f);
+  Pow2kX4(t, 2);
+  Fe25519X4 r;
+  FeMulX4(r, t, f);
+  return r;
+}
+
+}  // namespace
+
+namespace {
+
+// FeInvSqrtX4 route override: -1 auto (calibrate at first use), 0 four
+// scalar FeInvSqrt calls, 1 the 4-wide kernel chain.
+std::atomic<int> g_invsqrt_mode{-1};
+
+void FeInvSqrtX4Kernels(const Fe25519 v[4], SqrtRatioResult out[4]);
+
+// One-shot calibration, same shape as RistrettoPoint::AddX4's: the 4-wide
+// exponentiation chain is one serial dependency chain of X4 squarings,
+// while four scalar calls give the scheduler four independent radix-51
+// chains to interleave — on wide-mulx x86-64 the latter often wins, on
+// 4-lane NEON units the former does. Both routes are bit-identical, so the
+// choice is unobservable beyond timing. `VOTEGRAL_X4_ROOTS=on|off`
+// overrides the measurement.
+bool MeasureInvSqrtX4Wins() {
+  if (const char* env = std::getenv("VOTEGRAL_X4_ROOTS")) {
+    const std::string_view val(env);
+    if (val == "on" || val == "1") {
+      return true;
+    }
+    if (val == "off" || val == "0") {
+      return false;
+    }
+  }
+  Fe25519 v[4];
+  for (uint64_t k = 0; k < 4; ++k) {
+    uint8_t bytes[32] = {};
+    bytes[0] = static_cast<uint8_t>(9 + 2 * k);
+    v[k] = FeFromBytes(bytes);
+  }
+  auto best_of = [](auto&& body) {
+    uint64_t best = ~uint64_t{0};
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      body();
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+      best = ns < best ? ns : best;
+    }
+    return best;
+  };
+  constexpr int kIters = 4;
+  SqrtRatioResult out[4];
+  const uint64_t scalar_ns = best_of([&] {
+    for (int i = 0; i < kIters; ++i) {
+      for (int k = 0; k < 4; ++k) {
+        out[k] = FeInvSqrt(v[k]);
+      }
+      asm volatile("" : : "r"(out) : "memory");
+    }
+  });
+  const uint64_t x4_ns = best_of([&] {
+    for (int i = 0; i < kIters; ++i) {
+      FeInvSqrtX4Kernels(v, out);
+      asm volatile("" : : "r"(out) : "memory");
+    }
+  });
+  return x4_ns < scalar_ns;
+}
+
+}  // namespace
+
+int SetFeInvSqrtX4ModeForTest(int mode) { return g_invsqrt_mode.exchange(mode); }
+
+void FeInvSqrtX4(const Fe25519 v[4], SqrtRatioResult out[4]) {
+  const int mode = g_invsqrt_mode.load(std::memory_order_relaxed);
+  bool use_kernels;
+  if (mode >= 0) {
+    use_kernels = mode != 0;
+  } else {
+    static const bool kMeasuredWin = MeasureInvSqrtX4Wins();
+    use_kernels = kMeasuredWin;
+  }
+  if (!use_kernels) {
+    for (int k = 0; k < 4; ++k) {
+      out[k] = FeInvSqrt(v[k]);
+    }
+    return;
+  }
+  FeInvSqrtX4Kernels(v, out);
+}
+
+namespace {
+
+void FeInvSqrtX4Kernels(const Fe25519 v[4], SqrtRatioResult out[4]) {
+  // The heavy exponentiation runs 4 lanes wide; everything value-bearing
+  // afterwards (the fourth-root-of-unity correction, sign canonicalization)
+  // replays fe25519.cpp's FeInvSqrt per lane on the scalar layer, so each
+  // out[k] is the scalar result by construction.
+  Fe25519X4 vv = FeX4FromLanes(v);
+  Fe25519X4 v3, v7, r, tmp;
+  FeSquareX4(tmp, vv);
+  FeMulX4(v3, tmp, vv);  // v^3
+  FeSquareX4(tmp, v3);
+  FeMulX4(v7, tmp, vv);  // v^7
+  FeMulX4(r, v3, Pow2523X4(v7));
+
+  Fe25519 r_lanes[4];
+  FeX4ToLanes(r, r_lanes);
+  for (int k = 0; k < 4; ++k) {
+    Fe25519 rk = r_lanes[k];
+    Fe25519 check = FeMul(v[k], FeSquare(rk));
+
+    Fe25519 one = FeOne();
+    bool correct_sign_sqrt = FeEqual(check, one);
+    Fe25519 minus_one = FeNeg(one);
+    bool flipped_sign_sqrt = FeEqual(check, minus_one);
+    bool flipped_sign_sqrt_i = FeEqual(check, FeMul(minus_one, FeSqrtM1()));
+
+    Fe25519 r_prime = FeMul(rk, FeSqrtM1());
+    rk = FeSelect(rk, r_prime, flipped_sign_sqrt || flipped_sign_sqrt_i);
+    rk = FeAbs(rk);
+
+    out[k] = SqrtRatioResult{correct_sign_sqrt || flipped_sign_sqrt, rk};
+  }
+}
+
+}  // namespace
+
+}  // namespace votegral

@@ -1,0 +1,54 @@
+// AVX2 backend for Fe25519X4: the lane-major limbs map 1:1 onto __m256i
+// (four 64-bit lanes), and every 32x32->64 partial product in the shared
+// kernel becomes one VPMULUDQ. This translation unit is the only one built
+// with -mavx2 (see CMakeLists.txt); runtime dispatch never selects it unless
+// the CPU reports AVX2, so the rest of the binary stays baseline-ISA clean.
+#if defined(VOTEGRAL_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "src/crypto/fe25519_x4_kernels.h"
+
+namespace votegral {
+namespace fe_x4_detail {
+
+namespace {
+
+struct Avx2Vec {
+  __m256i v;
+
+  static Avx2Vec Load(const uint64_t p[4]) {
+    return Avx2Vec{_mm256_load_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void Store(uint64_t p[4]) const { _mm256_store_si256(reinterpret_cast<__m256i*>(p), v); }
+  static Avx2Vec Splat(uint64_t value) {
+    return Avx2Vec{_mm256_set1_epi64x(static_cast<long long>(value))};
+  }
+  Avx2Vec operator+(const Avx2Vec& o) const { return Avx2Vec{_mm256_add_epi64(v, o.v)}; }
+  Avx2Vec operator-(const Avx2Vec& o) const { return Avx2Vec{_mm256_sub_epi64(v, o.v)}; }
+  static Avx2Vec Mul32(const Avx2Vec& a, const Avx2Vec& b) {
+    return Avx2Vec{_mm256_mul_epu32(a.v, b.v)};
+  }
+  Avx2Vec Shr(int s) const { return Avx2Vec{_mm256_srli_epi64(v, s)}; }
+  Avx2Vec Shl(int s) const { return Avx2Vec{_mm256_slli_epi64(v, s)}; }
+  Avx2Vec AndMask(uint64_t mask) const {
+    return Avx2Vec{_mm256_and_si256(v, _mm256_set1_epi64x(static_cast<long long>(mask)))};
+  }
+};
+
+}  // namespace
+
+const FeX4Kernels* Avx2Kernels() {
+  static const FeX4Kernels kAvx2 = {
+      &Kernels<Avx2Vec>::Mul,
+      &Kernels<Avx2Vec>::Square,
+      &Kernels<Avx2Vec>::Add,
+      &Kernels<Avx2Vec>::Sub,
+  };
+  return &kAvx2;
+}
+
+}  // namespace fe_x4_detail
+}  // namespace votegral
+
+#endif  // VOTEGRAL_HAVE_AVX2

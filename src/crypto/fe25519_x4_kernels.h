@@ -1,0 +1,236 @@
+// Internal: the one 10-limb radix-2^25.5 algorithm behind every Fe25519X4
+// backend, written against a tiny 4-lane vector policy `V` so the portable,
+// AVX2 and NEON translation units instantiate literally the same code.
+// Backends therefore agree limb for limb, not just mod p — the differential
+// tests compare raw limbs across backends.
+//
+// Bounds contract (unsigned, per lane):
+//   inputs  : even limbs <= 2^26 + 2^12, odd limbs <= 2^25 + 2^12
+//   outputs : even limbs <= 2^26, odd limbs < 2^25 + 2^14 (limb 1 < 2^25)
+// Worst-case multiply accumulator: 10 terms of at most
+// 38 * (2^26.01)^2 < 2^60.8, comfortably inside u64 — which is the whole
+// point of the 25.5-bit radix: partial products and carries stay in 64-bit
+// lanes, so 4-lane integer SIMD covers the entire kernel.
+//
+// The vector policy V must provide:
+//   static V Load(const uint64_t p[4]);
+//   void Store(uint64_t p[4]) const;
+//   static V Splat(uint64_t v);
+//   V operator+(V) const; V operator-(V) const;
+//   static V Mul32(V a, V b);      // (a mod 2^32) * (b mod 2^32), per lane
+//   V Shr(int k) const;            // logical >> k, per lane
+//   V AndMask(uint64_t mask) const;
+//   V Shl(int k) const;            // logical << k, per lane (19*c folding)
+#ifndef SRC_CRYPTO_FE25519_X4_KERNELS_H_
+#define SRC_CRYPTO_FE25519_X4_KERNELS_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "src/crypto/fe25519_x4.h"
+
+namespace votegral {
+namespace fe_x4_detail {
+
+inline constexpr uint64_t kMask26 = (uint64_t{1} << 26) - 1;
+inline constexpr uint64_t kMask25 = (uint64_t{1} << 25) - 1;
+
+// Limbs of 2p in radix 2^25.5 (limb 0 holds the -2*19): subtraction computes
+// a + 2p - b so no lane underflows for in-contract inputs.
+inline constexpr uint64_t kTwoP_0 = 2 * (kMask26 + 1 - 19);  // 2^27 - 38
+inline constexpr uint64_t kTwoP_even = 2 * kMask26;          // 2^27 - 2
+inline constexpr uint64_t kTwoP_odd = 2 * kMask25;           // 2^26 - 2
+
+// Compile-time 0..N-1 loop: hands the body std::integral_constant indices so
+// per-index conditionals fold away instead of branching.
+template <std::size_t N, typename Body>
+inline void ForEachIndex(Body&& body) {
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    (body(std::integral_constant<std::size_t, Is>{}), ...);
+  }(std::make_index_sequence<N>{});
+}
+
+template <typename V>
+struct Kernels {
+  // One full carry pass 0->9 with the 19*c wrap, plus two finishing steps so
+  // the output contract (limb 1 < 2^25, even limbs <= 2^26) holds — tight
+  // enough that FeX4ToLanes lands inside the scalar layer's loose bound.
+  static inline void CarryChain(V h[10]) {
+    V c = h[0].Shr(26);
+    h[0] = h[0].AndMask(kMask26);
+    h[1] = h[1] + c;
+    c = h[1].Shr(25);
+    h[1] = h[1].AndMask(kMask25);
+    h[2] = h[2] + c;
+    c = h[2].Shr(26);
+    h[2] = h[2].AndMask(kMask26);
+    h[3] = h[3] + c;
+    c = h[3].Shr(25);
+    h[3] = h[3].AndMask(kMask25);
+    h[4] = h[4] + c;
+    c = h[4].Shr(26);
+    h[4] = h[4].AndMask(kMask26);
+    h[5] = h[5] + c;
+    c = h[5].Shr(25);
+    h[5] = h[5].AndMask(kMask25);
+    h[6] = h[6] + c;
+    c = h[6].Shr(26);
+    h[6] = h[6].AndMask(kMask26);
+    h[7] = h[7] + c;
+    c = h[7].Shr(25);
+    h[7] = h[7].AndMask(kMask25);
+    h[8] = h[8] + c;
+    c = h[8].Shr(26);
+    h[8] = h[8].AndMask(kMask26);
+    h[9] = h[9] + c;
+    c = h[9].Shr(25);
+    h[9] = h[9].AndMask(kMask25);
+    // h[0] += 19 * c, as shifts: carries here are < 2^36, so 19*c < 2^41.
+    h[0] = h[0] + c.Shl(4) + c.Shl(1) + c;
+    c = h[0].Shr(26);
+    h[0] = h[0].AndMask(kMask26);
+    h[1] = h[1] + c;
+    c = h[1].Shr(25);
+    h[1] = h[1].AndMask(kMask25);
+    h[2] = h[2] + c;
+  }
+
+  static void Mul(Fe25519X4& out, const Fe25519X4& a, const Fe25519X4& b) {
+    // ref10 fe_mul partial products: h_k = sum over i+j == k (mod 10) of
+    // f_i * g_j, times 19 when the product wraps past limb 9, times 2 when
+    // i and j are both odd (2^25.5 alignment).
+    //
+    // Accumulated row-by-row (f_0 through f_9) rather than column-by-column:
+    // only the 10 accumulators plus one f row need registers at a time, so
+    // the SIMD instantiations stop spilling half their state to the stack.
+    // Unsigned 64-bit addition is exact here (each h_k sums 10 terms
+    // < 2^60.8), so regrouping the same partial products cannot change a
+    // limb: backends stay bit-identical to the portable order.
+    V g[10], g19[10];
+    for (int j = 0; j < 10; ++j) {
+      g[j] = V::Load(b.limb[j]);
+    }
+    // 19*g_j (j >= 1, the wrapped partial products) stays below 2^32, so
+    // Mul32 is exact on it.
+    for (int j = 1; j < 10; ++j) {
+      g19[j] = g[j].Shl(4) + g[j].Shl(1) + g[j];
+    }
+    V h[10];
+    ForEachIndex<10>([&](auto i_const) {
+      constexpr int kI = static_cast<int>(decltype(i_const)::value);
+      const V fi = V::Load(a.limb[kI]);
+      const V fi2 = (kI & 1) != 0 ? fi + fi : fi;  // odd*odd doubling operand
+      ForEachIndex<10>([&](auto j_const) {
+        constexpr int kJ = static_cast<int>(decltype(j_const)::value);
+        constexpr int kK = (kI + kJ) % 10;
+        const V& gv = kI + kJ >= 10 ? g19[kJ] : g[kJ];
+        const V& fv = (kI & 1) != 0 && (kJ & 1) != 0 ? fi2 : fi;
+        if constexpr (kI == 0) {
+          h[kK] = V::Mul32(fv, gv);
+        } else {
+          h[kK] = h[kK] + V::Mul32(fv, gv);
+        }
+      });
+    });
+
+    CarryChain(h);
+    for (int i = 0; i < 10; ++i) {
+      h[i].Store(out.limb[i]);
+    }
+  }
+
+  static void Square(Fe25519X4& out, const Fe25519X4& a) {
+    V f[10];
+    for (int i = 0; i < 10; ++i) {
+      f[i] = V::Load(a.limb[i]);
+    }
+    // ref10 fe_sq folding: each unordered pair {i, j} with i != j carries
+    // coefficient 2 (symmetry), times 2 again when both indices are odd,
+    // times 19 when the product wraps past 2^255. The doublings live in
+    // f2[i] = 2*f_i, the wrap factors in f9_38 = 38*f9, f8_19 = 19*f8, etc.
+    V f2[8];
+    for (int i = 0; i < 8; ++i) {
+      f2[i] = f[i] + f[i];
+    }
+    const V f5_38 = (f[5] + f[5]).Shl(4) + (f[5] + f[5]).Shl(1) + f[5] + f[5];
+    const V f6_19 = f[6].Shl(4) + f[6].Shl(1) + f[6];
+    const V f7_38 = (f[7] + f[7]).Shl(4) + (f[7] + f[7]).Shl(1) + f[7] + f[7];
+    const V f8_19 = f[8].Shl(4) + f[8].Shl(1) + f[8];
+    const V f9_38 = (f[9] + f[9]).Shl(4) + (f[9] + f[9]).Shl(1) + f[9] + f[9];
+
+    V h[10];
+    h[0] = V::Mul32(f[0], f[0]) + V::Mul32(f2[1], f9_38) + V::Mul32(f2[2], f8_19) +
+           V::Mul32(f2[3], f7_38) + V::Mul32(f2[4], f6_19) + V::Mul32(f[5], f5_38);
+    h[1] = V::Mul32(f2[0], f[1]) + V::Mul32(f[2], f9_38) + V::Mul32(f2[3], f8_19) +
+           V::Mul32(f[4], f7_38) + V::Mul32(f2[5], f6_19);
+    h[2] = V::Mul32(f2[0], f[2]) + V::Mul32(f2[1], f[1]) + V::Mul32(f2[3], f9_38) +
+           V::Mul32(f2[4], f8_19) + V::Mul32(f2[5], f7_38) + V::Mul32(f[6], f6_19);
+    h[3] = V::Mul32(f2[0], f[3]) + V::Mul32(f2[1], f[2]) + V::Mul32(f[4], f9_38) +
+           V::Mul32(f2[5], f8_19) + V::Mul32(f[6], f7_38);
+    h[4] = V::Mul32(f2[0], f[4]) + V::Mul32(f2[1], f2[3]) + V::Mul32(f[2], f[2]) +
+           V::Mul32(f2[5], f9_38) + V::Mul32(f2[6], f8_19) + V::Mul32(f[7], f7_38);
+    h[5] = V::Mul32(f2[0], f[5]) + V::Mul32(f2[1], f[4]) + V::Mul32(f2[2], f[3]) +
+           V::Mul32(f[6], f9_38) + V::Mul32(f2[7], f8_19);
+    h[6] = V::Mul32(f2[0], f[6]) + V::Mul32(f2[1], f2[5]) + V::Mul32(f2[2], f[4]) +
+           V::Mul32(f2[3], f[3]) + V::Mul32(f2[7], f9_38) + V::Mul32(f[8], f8_19);
+    h[7] = V::Mul32(f2[0], f[7]) + V::Mul32(f2[1], f[6]) + V::Mul32(f2[2], f[5]) +
+           V::Mul32(f2[3], f[4]) + V::Mul32(f[8], f9_38);
+    h[8] = V::Mul32(f2[0], f[8]) + V::Mul32(f2[1], f2[7]) + V::Mul32(f2[2], f[6]) +
+           V::Mul32(f2[3], f2[5]) + V::Mul32(f[4], f[4]) + V::Mul32(f[9], f9_38);
+    h[9] = V::Mul32(f2[0], f[9]) + V::Mul32(f2[1], f[8]) + V::Mul32(f2[2], f[7]) +
+           V::Mul32(f2[3], f[6]) + V::Mul32(f2[4], f[5]);
+
+    CarryChain(h);
+    for (int i = 0; i < 10; ++i) {
+      h[i].Store(out.limb[i]);
+    }
+  }
+
+  static void Add(Fe25519X4& out, const Fe25519X4& a, const Fe25519X4& b) {
+    V h[10];
+    for (int i = 0; i < 10; ++i) {
+      h[i] = V::Load(a.limb[i]) + V::Load(b.limb[i]);
+    }
+    CarryChain(h);
+    for (int i = 0; i < 10; ++i) {
+      h[i].Store(out.limb[i]);
+    }
+  }
+
+  static void Sub(Fe25519X4& out, const Fe25519X4& a, const Fe25519X4& b) {
+    V h[10];
+    h[0] = V::Load(a.limb[0]) + V::Splat(kTwoP_0) - V::Load(b.limb[0]);
+    for (int i = 1; i < 10; ++i) {
+      const uint64_t twop = (i & 1) != 0 ? kTwoP_odd : kTwoP_even;
+      h[i] = V::Load(a.limb[i]) + V::Splat(twop) - V::Load(b.limb[i]);
+    }
+    CarryChain(h);
+    for (int i = 0; i < 10; ++i) {
+      h[i].Store(out.limb[i]);
+    }
+  }
+};
+
+// The function-pointer table dispatch hands out (one per backend).
+struct FeX4Kernels {
+  void (*mul)(Fe25519X4&, const Fe25519X4&, const Fe25519X4&);
+  void (*square)(Fe25519X4&, const Fe25519X4&);
+  void (*add)(Fe25519X4&, const Fe25519X4&, const Fe25519X4&);
+  void (*sub)(Fe25519X4&, const Fe25519X4&, const Fe25519X4&);
+};
+
+// Implemented by the backend translation units that are compiled in; null
+// semantics are handled by the dispatcher (fe25519_x4.cpp).
+const FeX4Kernels* PortableKernels();
+#if defined(VOTEGRAL_HAVE_AVX2)
+const FeX4Kernels* Avx2Kernels();
+#endif
+#if defined(VOTEGRAL_HAVE_NEON)
+const FeX4Kernels* NeonKernels();
+#endif
+
+}  // namespace fe_x4_detail
+}  // namespace votegral
+
+#endif  // SRC_CRYPTO_FE25519_X4_KERNELS_H_

@@ -1,0 +1,67 @@
+// NEON backend for Fe25519X4 (aarch64, where Advanced SIMD is baseline —
+// no extra compile flags needed). A 4-lane u64 vector is two uint64x2_t
+// halves; the 32x32->64 partial products use VMULL on the narrowed low
+// words. Same shared kernel as the portable and AVX2 backends, so limbs
+// agree bit for bit across all three.
+#if defined(VOTEGRAL_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include "src/crypto/fe25519_x4_kernels.h"
+
+namespace votegral {
+namespace fe_x4_detail {
+
+namespace {
+
+struct NeonVec {
+  uint64x2_t lo;
+  uint64x2_t hi;
+
+  static NeonVec Load(const uint64_t p[4]) { return NeonVec{vld1q_u64(p), vld1q_u64(p + 2)}; }
+  void Store(uint64_t p[4]) const {
+    vst1q_u64(p, lo);
+    vst1q_u64(p + 2, hi);
+  }
+  static NeonVec Splat(uint64_t value) { return NeonVec{vdupq_n_u64(value), vdupq_n_u64(value)}; }
+  NeonVec operator+(const NeonVec& o) const {
+    return NeonVec{vaddq_u64(lo, o.lo), vaddq_u64(hi, o.hi)};
+  }
+  NeonVec operator-(const NeonVec& o) const {
+    return NeonVec{vsubq_u64(lo, o.lo), vsubq_u64(hi, o.hi)};
+  }
+  static NeonVec Mul32(const NeonVec& a, const NeonVec& b) {
+    // Narrow each 64-bit lane to its low 32 bits, then widening-multiply.
+    return NeonVec{vmull_u32(vmovn_u64(a.lo), vmovn_u64(b.lo)),
+                   vmull_u32(vmovn_u64(a.hi), vmovn_u64(b.hi))};
+  }
+  NeonVec Shr(int s) const {
+    // Intrinsic shift counts must be immediates on some toolchains; the
+    // kernel only ever shifts by 26, 25 or the 19*c folding amounts.
+    return NeonVec{vshlq_u64(lo, vdupq_n_s64(-s)), vshlq_u64(hi, vdupq_n_s64(-s))};
+  }
+  NeonVec Shl(int s) const {
+    return NeonVec{vshlq_u64(lo, vdupq_n_s64(s)), vshlq_u64(hi, vdupq_n_s64(s))};
+  }
+  NeonVec AndMask(uint64_t mask) const {
+    uint64x2_t m = vdupq_n_u64(mask);
+    return NeonVec{vandq_u64(lo, m), vandq_u64(hi, m)};
+  }
+};
+
+}  // namespace
+
+const FeX4Kernels* NeonKernels() {
+  static const FeX4Kernels kNeon = {
+      &Kernels<NeonVec>::Mul,
+      &Kernels<NeonVec>::Square,
+      &Kernels<NeonVec>::Add,
+      &Kernels<NeonVec>::Sub,
+  };
+  return &kNeon;
+}
+
+}  // namespace fe_x4_detail
+}  // namespace votegral
+
+#endif  // VOTEGRAL_HAVE_NEON

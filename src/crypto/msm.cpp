@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -72,6 +78,61 @@ std::array<RistrettoPoint, Count> OddMultiples(const RistrettoPoint& p) {
   return table;
 }
 
+// The per-point Straus table: odd multiples P, 3P, ..., 15P.
+using OddTable = std::array<RistrettoPoint, 8>;
+
+// Builds the odd-multiple tables of four points in lock-step: each table row
+// advances with one 4-way addition instead of four scalar ones.
+void OddMultiplesX4(const RistrettoPoint* p, OddTable* const out[4]) {
+  RistrettoPoint p2[4];
+  for (int k = 0; k < 4; ++k) {
+    (*out[k])[0] = p[k];
+    p2[k] = p[k].Double();
+  }
+  RistrettoPoint row[4];
+  for (size_t i = 1; i < 8; ++i) {
+    for (int k = 0; k < 4; ++k) {
+      row[k] = (*out[k])[i - 1];
+    }
+    RistrettoPoint::AddX4(row, p2, row);
+    for (int k = 0; k < 4; ++k) {
+      (*out[k])[i] = row[k];
+    }
+  }
+}
+
+// Fills `tables` with pointers to odd-multiple tables for every point whose
+// slot is still null, building four at a time into `storage` (which must
+// already be sized so the pointers stay stable).
+void BuildMissingTables(std::span<const RistrettoPoint> points,
+                        std::vector<const OddTable*>& tables,
+                        std::vector<OddTable>& storage) {
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == nullptr) {
+      missing.push_back(i);
+    }
+  }
+  storage.resize(missing.size());
+  size_t j = 0;
+  for (; j + 4 <= missing.size(); j += 4) {
+    RistrettoPoint p[4];
+    OddTable* outs[4];
+    for (int k = 0; k < 4; ++k) {
+      p[k] = points[missing[j + static_cast<size_t>(k)]];
+      outs[k] = &storage[j + static_cast<size_t>(k)];
+    }
+    OddMultiplesX4(p, outs);
+    for (int k = 0; k < 4; ++k) {
+      tables[missing[j + static_cast<size_t>(k)]] = outs[k];
+    }
+  }
+  for (; j < missing.size(); ++j) {
+    storage[j] = OddMultiples<8>(points[missing[j]]);
+    tables[missing[j]] = &storage[j];
+  }
+}
+
 // Precomputed odd multiples of the basepoint for the width-8 fixed-base NAF:
 // B, 3B, ..., 127B. Built once per process.
 const std::array<RistrettoPoint, 64>& BaseOddMultiples() {
@@ -91,18 +152,16 @@ void AddNafDigit(RistrettoPoint& acc, const std::array<RistrettoPoint, Count>& t
   }
 }
 
-// Straus interleaved ladder: one shared doubling chain, width-5 wNAF per
-// variable point, width-8 wNAF for the optional fixed-base term.
-RistrettoPoint StrausMsm(const Scalar* base_scalar, std::span<const Scalar> scalars,
-                         std::span<const RistrettoPoint> points) {
+// Straus interleaved ladder over prebuilt odd-multiple tables: one shared
+// doubling chain, width-5 wNAF per variable point, width-8 wNAF for the
+// optional fixed-base term.
+RistrettoPoint StrausLadder(const Scalar* base_scalar, std::span<const Scalar> scalars,
+                            std::span<const OddTable* const> tables) {
   const size_t n = scalars.size();
-  std::vector<std::array<RistrettoPoint, 8>> tables;
-  tables.reserve(n);
   std::vector<NafDigits> nafs(n);
   size_t height = 0;
   for (size_t i = 0; i < n; ++i) {
     height = std::max(height, ComputeWnaf(scalars[i], 5, nafs[i]));
-    tables.push_back(OddMultiples<8>(points[i]));
   }
   NafDigits base_naf{};
   if (base_scalar != nullptr) {
@@ -113,13 +172,21 @@ RistrettoPoint StrausMsm(const Scalar* base_scalar, std::span<const Scalar> scal
   for (size_t pos = height; pos-- > 0;) {
     acc = acc.Double();
     for (size_t i = 0; i < n; ++i) {
-      AddNafDigit(acc, tables[i], nafs[i][pos]);
+      AddNafDigit(acc, *tables[i], nafs[i][pos]);
     }
     if (base_scalar != nullptr) {
       AddNafDigit(acc, BaseOddMultiples(), base_naf[pos]);
     }
   }
   return acc;
+}
+
+RistrettoPoint StrausMsm(const Scalar* base_scalar, std::span<const Scalar> scalars,
+                         std::span<const RistrettoPoint> points) {
+  std::vector<const OddTable*> tables(points.size(), nullptr);
+  std::vector<OddTable> storage;
+  BuildMissingTables(points, tables, storage);
+  return StrausLadder(base_scalar, scalars, tables);
 }
 
 // Window width for Pippenger as a function of term count; roughly log2(n),
@@ -166,18 +233,53 @@ bool PippengerWindowPass(std::span<const RistrettoPoint> points,
   const size_t n = points.size();
   std::vector<RistrettoPoint> buckets(nbuckets);
   bool any = false;
+  // Bucket additions batch four at a time through AddX4 as long as the four
+  // pending terms target distinct buckets; a conflict (or the tail) flushes
+  // the partial batch with scalar additions. Additions into one bucket keep
+  // their term order (a conflicting term always flushes first), and the
+  // batching decision depends only on the digits, so the pass stays
+  // deterministic at any thread count.
+  size_t pending_bucket[4];
+  RistrettoPoint pending_add[4];
+  size_t npending = 0;
+  auto flush = [&]() {
+    if (npending == 4) {
+      RistrettoPoint current[4];
+      for (int k = 0; k < 4; ++k) {
+        current[k] = buckets[pending_bucket[k]];
+      }
+      RistrettoPoint::AddX4(current, pending_add, current);
+      for (int k = 0; k < 4; ++k) {
+        buckets[pending_bucket[k]] = current[k];
+      }
+    } else {
+      for (size_t k = 0; k < npending; ++k) {
+        buckets[pending_bucket[k]] = buckets[pending_bucket[k]] + pending_add[k];
+      }
+    }
+    npending = 0;
+  };
   for (size_t i = 0; i < n; ++i) {
     int16_t digit = digits[i * nwindows + win];
-    if (digit > 0) {
-      buckets[static_cast<size_t>(digit) - 1] =
-          buckets[static_cast<size_t>(digit) - 1] + points[i];
-      any = true;
-    } else if (digit < 0) {
-      buckets[static_cast<size_t>(-digit) - 1] =
-          buckets[static_cast<size_t>(-digit) - 1] + (-points[i]);
-      any = true;
+    if (digit == 0) {
+      continue;
+    }
+    const size_t b = static_cast<size_t>(digit > 0 ? digit : -digit) - 1;
+    for (size_t k = 0; k < npending; ++k) {
+      if (pending_bucket[k] == b) {
+        flush();
+        break;
+      }
+    }
+    pending_bucket[npending] = b;
+    pending_add[npending] = digit > 0 ? points[i] : -points[i];
+    ++npending;
+    any = true;
+    if (npending == 4) {
+      flush();
     }
   }
+  flush();
   *window_total = RistrettoPoint::Identity();
   if (any) {
     RistrettoPoint running;  // bucket suffix sum
@@ -253,7 +355,183 @@ RistrettoPoint PippengerMsm(std::span<const Scalar> scalars,
   return acc;
 }
 
+// --- Shared-base support -----------------------------------------------------
+
+std::atomic<uint64_t> g_collapsed_terms{0};
+std::atomic<uint64_t> g_table_hits{0};
+std::atomic<uint64_t> g_table_misses{0};
+std::atomic<uint64_t> g_table_evictions{0};
+
+// Wire keys are canonical ristretto encodings — statistically uniform bytes —
+// so the low 8 bytes are already a good hash.
+struct WireKeyHash {
+  size_t operator()(const CompressedRistretto& key) const {
+    return static_cast<size_t>(LoadLe64(key.data()));
+  }
+};
+
+// Mutex-guarded LRU of odd-multiple tables keyed by wire bytes. Lookups and
+// insertions take the lock; the 7-addition table build happens outside it.
+// Entries are handed out as shared_ptr so an eviction never invalidates a
+// table an in-flight MSM still walks.
+class FixedBaseTableCache {
+ public:
+  std::shared_ptr<const OddTable> Find(const CompressedRistretto& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      return nullptr;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+
+  // Inserts `table` for `key` unless a concurrent builder won the race, in
+  // which case the already-cached table is returned (both are tables of the
+  // same point, but returning one canonical winner keeps behavior tidy).
+  std::shared_ptr<const OddTable> Insert(const CompressedRistretto& key,
+                                         std::shared_ptr<const OddTable> table) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+    lru_.emplace_front(key, std::move(table));
+    map_[key] = lru_.begin();
+    if (lru_.size() > kFixedBaseTableCacheCapacity) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      g_table_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+    return lru_.front().second;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  std::list<std::pair<CompressedRistretto, std::shared_ptr<const OddTable>>> lru_;
+  std::unordered_map<CompressedRistretto, decltype(lru_)::iterator, WireKeyHash> map_;
+};
+
+FixedBaseTableCache& TableCache() {
+  static FixedBaseTableCache* cache = new FixedBaseTableCache();
+  return *cache;
+}
+
 }  // namespace
+
+RistrettoPoint MultiScalarMulShared(const Scalar& base_scalar,
+                                    std::span<const Scalar> scalars,
+                                    std::span<const RistrettoPoint> points,
+                                    std::span<const CompressedRistretto> keys,
+                                    std::span<const uint8_t> key_present) {
+  const size_t n = scalars.size();
+  Require(points.size() == n && keys.size() == n && key_present.size() == n,
+          "msm: shared batch size mismatch");
+
+  // Collapse pass: first-seen order, scalar sums for repeated keys, basepoint
+  // terms folded into the fixed-base coefficient.
+  Scalar base_acc = base_scalar;
+  std::vector<Scalar> term_scalars;
+  std::vector<RistrettoPoint> term_points;
+  std::vector<const CompressedRistretto*> term_keys;  // nullptr for unkeyed terms
+  std::vector<uint32_t> term_uses;                    // key occurrence count per term
+  term_scalars.reserve(n);
+  term_points.reserve(n);
+  term_keys.reserve(n);
+  term_uses.reserve(n);
+  std::unordered_map<CompressedRistretto, size_t, WireKeyHash> first_seen;
+  const CompressedRistretto& base_wire = RistrettoPoint::BaseWire();
+  uint64_t collapsed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (key_present[i]) {
+      if (keys[i] == base_wire) {
+        base_acc = base_acc + scalars[i];
+        ++collapsed;
+        continue;
+      }
+      auto [it, inserted] = first_seen.try_emplace(keys[i], term_scalars.size());
+      if (!inserted) {
+        term_scalars[it->second] = term_scalars[it->second] + scalars[i];
+        ++term_uses[it->second];
+        ++collapsed;
+        continue;
+      }
+      term_keys.push_back(&keys[i]);
+    } else {
+      term_keys.push_back(nullptr);
+    }
+    term_scalars.push_back(scalars[i]);
+    term_points.push_back(points[i]);
+    term_uses.push_back(1);
+  }
+  if (collapsed != 0) {
+    g_collapsed_terms.fetch_add(collapsed, std::memory_order_relaxed);
+  }
+
+  const size_t m = term_scalars.size();
+  if (m >= kPippengerThreshold) {
+    // Bucket accumulation has no per-term tables to reuse; the collapse above
+    // already shrank n, which is the whole win at this scale.
+    return PippengerMsm(term_scalars, term_points) + RistrettoPoint::MulBase(base_acc);
+  }
+
+  // Straus regime: recurring keyed terms resolve their odd-multiple tables
+  // through the process-wide cache; everything else builds throwaway tables
+  // four at a time. "Recurring" means the key appeared more than once in this
+  // batch (or is already cached) — one-shot keyed terms such as proof
+  // commitments would only churn the LRU.
+  std::vector<std::shared_ptr<const OddTable>> held(m);
+  std::vector<const OddTable*> tables(m, nullptr);
+  for (size_t i = 0; i < m; ++i) {
+    if (term_keys[i] == nullptr) {
+      continue;
+    }
+    if (term_uses[i] < 2) {
+      held[i] = TableCache().Find(*term_keys[i]);
+      if (held[i] != nullptr) {
+        g_table_hits.fetch_add(1, std::memory_order_relaxed);
+        tables[i] = held[i].get();
+      }
+      continue;
+    }
+    held[i] = TableCache().Find(*term_keys[i]);
+    if (held[i] == nullptr) {
+      held[i] = TableCache().Insert(
+          *term_keys[i], std::make_shared<OddTable>(OddMultiples<8>(term_points[i])));
+      g_table_misses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      g_table_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+    tables[i] = held[i].get();
+  }
+  std::vector<OddTable> storage;
+  BuildMissingTables(term_points, tables, storage);
+  return StrausLadder(&base_acc, term_scalars, tables);
+}
+
+MsmSharedStats SharedMsmStats() {
+  MsmSharedStats stats;
+  stats.collapsed_terms = g_collapsed_terms.load(std::memory_order_relaxed);
+  stats.table_hits = g_table_hits.load(std::memory_order_relaxed);
+  stats.table_misses = g_table_misses.load(std::memory_order_relaxed);
+  stats.table_evictions = g_table_evictions.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ResetSharedMsmForTest() {
+  TableCache().Clear();
+  g_collapsed_terms.store(0, std::memory_order_relaxed);
+  g_table_hits.store(0, std::memory_order_relaxed);
+  g_table_misses.store(0, std::memory_order_relaxed);
+  g_table_evictions.store(0, std::memory_order_relaxed);
+}
 
 RistrettoPoint MultiScalarMul(std::span<const Scalar> scalars,
                               std::span<const RistrettoPoint> points) {

@@ -93,7 +93,9 @@ Outcome<DecryptionShare> AuthorityClient::RequestShare(
     rep.sim_seconds = clock.Seconds();
     return Outcome<DecryptionShare>::Ok(std::move(share));
   }
-  return fail(StatusCode::kExhausted, who + ": retry budget exhausted at " + point);
+  return fail(StatusCode::kExhausted, who + ": retry budget exhausted at " + point +
+                                          " after " + std::to_string(rep.attempts) +
+                                          " attempt(s)");
 }
 
 }  // namespace votegral

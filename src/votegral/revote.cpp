@@ -8,15 +8,41 @@ namespace votegral {
 
 namespace {
 
-// k -> encoding of k*B for k in [0, kRevoteCounterLimit): the counter and
-// dummy-size decode table. Built once; incremental addition keeps it cheap.
+// One small-counter point with its canonical encoding.
+struct CounterEntry {
+  RistrettoPoint point;
+  CompressedRistretto wire;
+};
+
+// k -> (k*B, enc(k*B)) for k in [0, kRevoteCounterLimit). Built once via
+// incremental addition plus one batched encode; both the counter decode
+// table and the dummy fast path read it.
+const std::vector<CounterEntry>& CounterEntries() {
+  static const std::vector<CounterEntry> entries = [] {
+    std::vector<RistrettoPoint> points(kRevoteCounterLimit);
+    RistrettoPoint p = RistrettoPoint::MulBase(Scalar::Zero());
+    for (uint64_t k = 0; k < kRevoteCounterLimit; ++k) {
+      points[k] = p;
+      p = p + RistrettoPoint::Base();
+    }
+    std::vector<CompressedRistretto> wires(kRevoteCounterLimit);
+    BatchEncodePoints(points, wires);
+    std::vector<CounterEntry> e(kRevoteCounterLimit);
+    for (uint64_t k = 0; k < kRevoteCounterLimit; ++k) {
+      e[k] = CounterEntry{points[k], wires[k]};
+    }
+    return e;
+  }();
+  return entries;
+}
+
+// encoding of k*B -> k: the counter and dummy-size decode direction.
 const std::map<CompressedRistretto, uint64_t>& CounterTable() {
   static const std::map<CompressedRistretto, uint64_t> table = [] {
     std::map<CompressedRistretto, uint64_t> t;
-    RistrettoPoint p = RistrettoPoint::MulBase(Scalar::Zero());
+    const std::vector<CounterEntry>& entries = CounterEntries();
     for (uint64_t k = 0; k < kRevoteCounterLimit; ++k) {
-      t[p.Encode()] = k;
-      p = p + RistrettoPoint::Base();
+      t[entries[k].wire] = k;
     }
     return t;
   }();
@@ -59,6 +85,47 @@ MixItem RevoteDummyItem(const RevoteDummyGroup& group, uint64_t j) {
               ElGamalTrivialEncrypt(RistrettoPoint::MulBase(Scalar::FromU64(j)))};
   item.EnsureWire();
   return item;
+}
+
+void BuildRevoteDummyItems(std::span<const RevoteDummyGroup> groups,
+                           std::span<const std::pair<size_t, uint64_t>> slots,
+                           std::span<MixItem> out, Executor& executor) {
+  Require(slots.size() == out.size(), "revote: dummy slot/output size mismatch");
+  for (const auto& [g, j] : slots) {
+    Require(g < groups.size() && j < kRevoteCounterLimit,
+            "revote: dummy slot out of range");
+  }
+  Executor::Scope scope(executor);  // BatchEncodePoints follows this pool
+  const std::vector<CounterEntry>& counters = CounterEntries();
+  // Credential column: one scalar multiplication per group (every member of
+  // a group shares d*B), encoded in one batch.
+  std::vector<RistrettoPoint> cred(groups.size());
+  executor.ParallelForEach(groups.size(), [&](size_t g) {
+    cred[g] = RistrettoPoint::MulBase(groups[g].credential);
+  });
+  std::vector<CompressedRistretto> cred_wire(groups.size());
+  BatchEncodePoints(cred, cred_wire);
+  static const CompressedRistretto kZeroWire = RistrettoPoint::Identity().Encode();
+  static const CompressedRistretto kBottomWire = RevoteBottomPoint().Encode();
+  executor.ParallelForEach(slots.size(), [&](size_t k) {
+    const auto& [g, j] = slots[k];
+    MixItem item;
+    item.cts = {ElGamalTrivialEncrypt(RevoteBottomPoint()),
+                ElGamalTrivialEncrypt(cred[g]),
+                ElGamalTrivialEncrypt(counters[j].point)};
+    // Wire cache pasted from the shared encodings: trivial encryptions have
+    // an identity c1, so the 192 bytes are
+    // [0 | bottom | 0 | d*B | 0 | j*B] in 32-byte slots.
+    item.wire.resize(192);
+    const CompressedRistretto* slots32[6] = {&kZeroWire, &kBottomWire, &kZeroWire,
+                                             &cred_wire[g], &kZeroWire,
+                                             &counters[j].wire};
+    for (size_t half = 0; half < 6; ++half) {
+      std::copy(slots32[half]->begin(), slots32[half]->end(),
+                item.wire.begin() + static_cast<ptrdiff_t>(32 * half));
+    }
+    out[k] = std::move(item);
+  });
 }
 
 size_t RevoteCoverClasses(size_t total) {
@@ -283,10 +350,8 @@ Status RunRevoteDedup(const TallyService& service, Rng& rng, TallyPipelineState&
       dummy_slots.emplace_back(g, j);
     }
   }
-  executor.ParallelForEach(dummy_slots.size(), [&](size_t k) {
-    rt.mix_input[total + k] =
-        RevoteDummyItem(rt.dummies[dummy_slots[k].first], dummy_slots[k].second);
-  });
+  BuildRevoteDummyItems(rt.dummies, dummy_slots,
+                        std::span<MixItem>(rt.mix_input).subspan(total), executor);
 
   // The revote mix: after it, tags/counters/group sizes can be revealed
   // without linking anything back to board rows.

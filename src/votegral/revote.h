@@ -25,6 +25,7 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/crypto/dkg.h"
@@ -57,6 +58,20 @@ struct RevoteDummyGroup {
 // Member j of a dummy group as a width-3 mix item
 // [Enc(bottom; 0), Enc(d*B; 0), Enc(j*B; 0)], wire cache filled.
 MixItem RevoteDummyItem(const RevoteDummyGroup& group, uint64_t j);
+
+// Batched construction of many dummy members at once, byte-identical to
+// calling RevoteDummyItem(groups[slots[k].first], slots[k].second) per slot:
+// the credential column costs one scalar multiplication and one (batched)
+// encoding per *group* instead of per member, the counter column reads a
+// static j -> (j*B, encoding) table shared with DecodeCounterPoint, and each
+// item's wire cache is assembled from those bytes without re-encoding.
+// `slots` is a flat (group index, member index) list into `groups`;
+// out[k] receives the item for slots[k]. Both the padding producer and the
+// verifier's opening check build dummies through here, so the two sides
+// amortize identically.
+void BuildRevoteDummyItems(std::span<const RevoteDummyGroup> groups,
+                           std::span<const std::pair<size_t, uint64_t>> slots,
+                           std::span<MixItem> out, Executor& executor);
 
 // --- Cover envelope ---------------------------------------------------------
 //

@@ -245,6 +245,15 @@ Status VerifyRevoteSection(const PublicLedger& ledger, const VerifierParams& par
     return Status::Error("verifier: revote mix input size mismatch");
   }
   {
+    // Dummy openings are recomputed through the same batched fast path the
+    // tally used (one MulBase + encode per group, static counter table)
+    // instead of per-member RevoteDummyItem calls. Published items that
+    // carry a wire cache compare as one 192-byte memcmp — sound because the
+    // mix cascade's input validation below re-checks every cache against its
+    // points, so a stale cache cannot smuggle mismatched ciphertexts past
+    // this check; it just moves the failure to the cascade.
+    std::vector<MixItem> expected_dummies(dummy_slots.size());
+    BuildRevoteDummyItems(rt.dummies, dummy_slots, expected_dummies, executor);
     std::vector<uint8_t> input_differs(rt.mix_input.size(), 0);
     executor.ParallelForEach(rt.mix_input.size(), [&](size_t i) {
       if (i < total) {
@@ -255,8 +264,11 @@ Status VerifyRevoteSection(const PublicLedger& ledger, const VerifierParams& par
           input_differs[i] = 1;
         }
       } else {
-        const auto& [g, j] = dummy_slots[i - total];
-        if (!(RevoteDummyItem(rt.dummies[g], j) == rt.mix_input[i])) {
+        const MixItem& expected = expected_dummies[i - total];
+        const MixItem& got = rt.mix_input[i];
+        const bool same =
+            got.HasWire() ? got.wire == expected.wire : expected == got;
+        if (!same) {
           input_differs[i] = 1;
         }
       }

@@ -103,11 +103,15 @@ TEST(DleqWire, BatchVerifyPerformsZeroEncodesWithCompleteCaches) {
     commits += entry.transcript.commits.size();
     entries.push_back(std::move(entry));
   }
+  RistrettoPoint::BaseWire();  // one-time lazy init, not part of the batch cost
   uint64_t enc0 = RistrettoEncodeInvocations();
   uint64_t dec0 = RistrettoDecodeInvocations();
   EXPECT_TRUE(BatchVerifyDleq(entries, rng).ok());
   EXPECT_EQ(RistrettoEncodeInvocations() - enc0, 0u);
-  EXPECT_EQ(RistrettoDecodeInvocations() - dec0, commits);
+  // Commit-cache validation runs as one accumulator pass over the cached
+  // bytes (BatchValidateEncodings): no per-commit decode either.
+  EXPECT_EQ(RistrettoDecodeInvocations() - dec0, 0u);
+  (void)commits;
 }
 
 TEST(DleqWire, CachelessEntriesStillVerifyViaEncodeFallback) {

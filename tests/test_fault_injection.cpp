@@ -335,6 +335,10 @@ TEST(ThresholdTally, PersistentTimeoutsExhaustRetriesAndAreExcluded) {
   ASSERT_EQ(run.outcome->excluded_authorities.size(), 1u);
   EXPECT_EQ(run.outcome->excluded_authorities[0].member_index, 2u);
   EXPECT_EQ(run.outcome->excluded_authorities[0].status.code(), StatusCode::kExhausted);
+  // The exhausted status names how many attempts the retry budget bought.
+  EXPECT_NE(run.outcome->excluded_authorities[0].status.reason().find("after 3 attempt(s)"),
+            std::string::npos)
+      << run.outcome->excluded_authorities[0].status.reason();
 }
 
 TEST(ThresholdTally, FewerThanTLiveAuthoritiesFailsUnavailableNeverWrong) {

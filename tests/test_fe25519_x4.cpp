@@ -1,0 +1,219 @@
+// Differential tests for the 4-way field backend (src/crypto/fe25519_x4.h):
+// every available backend must agree with the scalar 5x51 layer canonically
+// (FeToBytes) and with every other backend bit for bit (raw limbs), on
+// random elements and on the edge cases that stress the reduction chains —
+// zero, one, p-1, and loose-reduction extremes at the top of the scalar
+// layer's limb bound.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/crypto/drbg.h"
+#include "src/crypto/fe25519.h"
+#include "src/crypto/fe25519_x4.h"
+
+namespace votegral {
+namespace {
+
+Fe25519 RandomFe(Rng& rng) {
+  Bytes b = rng.RandomBytes(32);
+  b[31] &= 0x7f;
+  return FeFromBytes(b);
+}
+
+// Every limb at the very top of the scalar loose-reduction bound
+// (2^51 + 2^13 - 1): the worst legal input any scalar-layer op can emit.
+Fe25519 LooseExtreme() {
+  Fe25519 f;
+  for (int i = 0; i < 5; ++i) {
+    f.limb[i] = (uint64_t{1} << 51) + (uint64_t{1} << 13) - 1;
+  }
+  return f;
+}
+
+Fe25519 PMinusOne() {
+  Bytes p_minus_1 = HexDecode("ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+  return FeFromBytes(p_minus_1);
+}
+
+// The interesting fixed inputs, cycled through all four lanes.
+std::vector<Fe25519> EdgeCases() {
+  return {FeZero(), FeOne(), PMinusOne(), LooseExtreme(), FeNeg(FeOne()), FeSqrtM1()};
+}
+
+std::vector<FeSimdBackend> AvailableBackends() {
+  std::vector<FeSimdBackend> backends = {FeSimdBackend::kScalar};
+  for (FeSimdBackend b : {FeSimdBackend::kAvx2, FeSimdBackend::kNeon}) {
+    if (FeSimdBackendAvailable(b)) {
+      backends.push_back(b);
+    }
+  }
+  return backends;
+}
+
+// Restores the dispatch state a test mutated, even on assertion failure.
+struct BackendGuard {
+  explicit BackendGuard(FeSimdBackend b) : previous(SetFeSimdBackendForTest(b)) {}
+  ~BackendGuard() { SetFeSimdBackendForTest(previous); }
+  FeSimdBackend previous;
+};
+
+bool SameLanesCanonical(const Fe25519X4& got, const Fe25519 expect[4]) {
+  Fe25519 lanes[4];
+  FeX4ToLanes(got, lanes);
+  for (int k = 0; k < 4; ++k) {
+    if (!FeEqual(lanes[k], expect[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Fe25519X4, LaneRoundTripIsBitIdentical) {
+  ChaChaRng rng(0xF4);
+  for (int iter = 0; iter < 32; ++iter) {
+    Fe25519 in[4] = {RandomFe(rng), LooseExtreme(), RandomFe(rng), FeZero()};
+    Fe25519 out[4];
+    FeX4ToLanes(FeX4FromLanes(in), out);
+    for (int k = 0; k < 4; ++k) {
+      EXPECT_EQ(0, std::memcmp(in[k].limb, out[k].limb, sizeof(in[k].limb)));
+    }
+  }
+}
+
+TEST(Fe25519X4, MatchesScalarLayerOnRandomAndEdgeLanes) {
+  ChaChaRng rng(0xF5);
+  std::vector<Fe25519> edges = EdgeCases();
+  for (size_t iter = 0; iter < 64; ++iter) {
+    // Mix random lanes with rotating edge-case lanes so every edge value
+    // meets every other in some lane pairing over the loop.
+    Fe25519 a[4] = {RandomFe(rng), edges[iter % edges.size()], RandomFe(rng),
+                    edges[(iter / edges.size()) % edges.size()]};
+    Fe25519 b[4] = {edges[(iter + 1) % edges.size()], RandomFe(rng),
+                    edges[(iter + 3) % edges.size()], RandomFe(rng)};
+    Fe25519X4 va = FeX4FromLanes(a);
+    Fe25519X4 vb = FeX4FromLanes(b);
+
+    Fe25519X4 r;
+    Fe25519 expect[4];
+
+    FeMulX4(r, va, vb);
+    for (int k = 0; k < 4; ++k) expect[k] = FeMul(a[k], b[k]);
+    EXPECT_TRUE(SameLanesCanonical(r, expect)) << "mul, iter " << iter;
+
+    FeSquareX4(r, va);
+    for (int k = 0; k < 4; ++k) expect[k] = FeSquare(a[k]);
+    EXPECT_TRUE(SameLanesCanonical(r, expect)) << "square, iter " << iter;
+
+    FeAddX4(r, va, vb);
+    for (int k = 0; k < 4; ++k) expect[k] = FeAdd(a[k], b[k]);
+    EXPECT_TRUE(SameLanesCanonical(r, expect)) << "add, iter " << iter;
+
+    FeSubX4(r, va, vb);
+    for (int k = 0; k < 4; ++k) expect[k] = FeSub(a[k], b[k]);
+    EXPECT_TRUE(SameLanesCanonical(r, expect)) << "sub, iter " << iter;
+  }
+}
+
+TEST(Fe25519X4, OutputsStayInsideTheKernelContract) {
+  // Chained operations without intermediate canonicalization must keep limbs
+  // inside the documented bounds (even <= 2^26, odd < 2^25 + 2^14) — the
+  // property that makes X4 results safe inputs for the next X4 op AND for
+  // the scalar layer after FeX4ToLanes.
+  ChaChaRng rng(0xF6);
+  Fe25519 seed[4] = {LooseExtreme(), LooseExtreme(), RandomFe(rng), RandomFe(rng)};
+  Fe25519X4 v = FeX4FromLanes(seed);
+  for (int round = 0; round < 20; ++round) {
+    Fe25519X4 w;
+    FeSubX4(w, v, v);
+    FeAddX4(w, w, v);
+    FeMulX4(v, w, v);
+    FeSquareX4(v, v);
+    for (int i = 0; i < 10; ++i) {
+      const uint64_t bound =
+          (i % 2 == 0) ? (uint64_t{1} << 26) : (uint64_t{1} << 25) + (uint64_t{1} << 14);
+      for (int k = 0; k < 4; ++k) {
+        EXPECT_LE(v.limb[i][k], bound) << "limb " << i << " lane " << k;
+      }
+    }
+  }
+}
+
+TEST(Fe25519X4, BackendsAreBitIdentical) {
+  // The strongest form of "portable fallback is bit-identical": identical
+  // RAW LIMBS from every compiled-in backend, not just identical residues.
+  std::vector<FeSimdBackend> backends = AvailableBackends();
+  ASSERT_FALSE(backends.empty());
+  ChaChaRng rng(0xF7);
+  std::vector<Fe25519> edges = EdgeCases();
+  for (size_t iter = 0; iter < 48; ++iter) {
+    Fe25519 a[4] = {RandomFe(rng), edges[iter % edges.size()], RandomFe(rng), LooseExtreme()};
+    Fe25519 b[4] = {edges[(iter + 2) % edges.size()], RandomFe(rng), FeZero(), RandomFe(rng)};
+    Fe25519X4 va = FeX4FromLanes(a);
+    Fe25519X4 vb = FeX4FromLanes(b);
+
+    Fe25519X4 reference[4];  // mul, square, add, sub under the first backend
+    for (size_t bi = 0; bi < backends.size(); ++bi) {
+      BackendGuard guard(backends[bi]);
+      Fe25519X4 r[4];
+      FeMulX4(r[0], va, vb);
+      FeSquareX4(r[1], va);
+      FeAddX4(r[2], va, vb);
+      FeSubX4(r[3], va, vb);
+      if (bi == 0) {
+        for (int op = 0; op < 4; ++op) reference[op] = r[op];
+        continue;
+      }
+      for (int op = 0; op < 4; ++op) {
+        EXPECT_EQ(0, std::memcmp(reference[op].limb, r[op].limb, sizeof(r[op].limb)))
+            << "op " << op << " backend " << FeSimdBackendName(backends[bi]) << " iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(Fe25519X4, InvSqrtMatchesScalarBitForBit) {
+  // FeInvSqrtX4 must reproduce FeInvSqrt exactly: the was_square flag and
+  // the canonical root, across squares, non-squares, zero, and edge values.
+  std::vector<FeSimdBackend> backends = AvailableBackends();
+  ChaChaRng rng(0xF8);
+  // Pin the 4-wide kernel route: the calibration gate may prefer the scalar
+  // fallback on this machine, which would make the comparison vacuous.
+  const int previous_mode = SetFeInvSqrtX4ModeForTest(1);
+  for (FeSimdBackend backend : backends) {
+    BackendGuard guard(backend);
+    for (int iter = 0; iter < 24; ++iter) {
+      Fe25519 square = FeSquare(RandomFe(rng));
+      Fe25519 v[4] = {RandomFe(rng), square, FeZero(), RandomFe(rng)};
+      if (iter % 3 == 0) {
+        v[3] = LooseExtreme();
+      }
+      SqrtRatioResult got[4];
+      FeInvSqrtX4(v, got);
+      for (int k = 0; k < 4; ++k) {
+        SqrtRatioResult expect = FeInvSqrt(v[k]);
+        EXPECT_EQ(expect.was_square, got[k].was_square)
+            << "lane " << k << " backend " << FeSimdBackendName(backend);
+        EXPECT_EQ(FeToBytes(expect.root), FeToBytes(got[k].root))
+            << "lane " << k << " backend " << FeSimdBackendName(backend);
+      }
+    }
+  }
+  SetFeInvSqrtX4ModeForTest(previous_mode);
+}
+
+TEST(Fe25519X4, DispatchReportsAnAvailableBackend) {
+  FeSimdBackend active = ActiveFeSimdBackend();
+  EXPECT_TRUE(FeSimdBackendAvailable(active));
+  EXPECT_TRUE(FeSimdBackendAvailable(FeSimdBackend::kScalar));
+  EXPECT_STRNE(FeSimdBackendName(active), "unknown");
+#if defined(__AVX2__)
+  // A build whose baseline already includes AVX2 certainly compiled it in.
+  EXPECT_TRUE(FeSimdBackendAvailable(FeSimdBackend::kAvx2));
+#endif
+}
+
+}  // namespace
+}  // namespace votegral

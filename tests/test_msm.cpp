@@ -170,6 +170,114 @@ std::vector<SchnorrBatchEntry> MakeSchnorrBatch(size_t n, Rng& rng) {
   return entries;
 }
 
+// Builds a shared-MSM input where every term carries its wire key, with
+// repeated base points sprinkled in: `repeat_every` terms reuse one of
+// `distinct` recurring points, and every 7th keyed term is the group
+// generator (exercising the fold into the fixed-base coefficient).
+struct SharedInput {
+  MsmInput in;
+  std::vector<CompressedRistretto> keys;
+  std::vector<uint8_t> present;
+};
+
+SharedInput RandomSharedInput(size_t n, size_t distinct, Rng& rng) {
+  SharedInput s;
+  std::vector<RistrettoPoint> pool;
+  std::vector<CompressedRistretto> pool_wire;
+  for (size_t i = 0; i < distinct; ++i) {
+    pool.push_back(RandomPoint(rng));
+    pool_wire.push_back(pool.back().Encode());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    s.in.scalars.push_back(Scalar::Random(rng));
+    if (i % 7 == 3) {
+      s.in.points.push_back(RistrettoPoint::Base());
+      s.keys.push_back(RistrettoPoint::BaseWire());
+      s.present.push_back(1);
+    } else if (i % 3 != 0) {
+      size_t j = i % distinct;
+      s.in.points.push_back(pool[j]);
+      s.keys.push_back(pool_wire[j]);
+      s.present.push_back(1);
+    } else {
+      s.in.points.push_back(RandomPoint(rng));
+      s.keys.push_back(CompressedRistretto{});
+      s.present.push_back(0);  // unkeyed term: no collapse, throwaway table
+    }
+  }
+  return s;
+}
+
+TEST(MsmShared, MatchesUnsharedEvaluationAcrossRegimes) {
+  ChaChaRng rng(77);
+  ResetSharedMsmForTest();
+  // Sizes straddle kPippengerThreshold so both regimes run the collapse.
+  for (size_t n : {1u, 5u, 60u, 190u, 300u, 700u}) {
+    SharedInput s = RandomSharedInput(n, 9, rng);
+    Scalar base = Scalar::Random(rng);
+    RistrettoPoint expected = MultiScalarMulWithBase(base, s.in.scalars, s.in.points);
+    RistrettoPoint got =
+        MultiScalarMulShared(base, s.in.scalars, s.in.points, s.keys, s.present);
+    EXPECT_TRUE(got == expected) << "n = " << n;
+  }
+  MsmSharedStats stats = SharedMsmStats();
+  EXPECT_GT(stats.collapsed_terms, 0u);
+  EXPECT_GT(stats.table_hits + stats.table_misses, 0u);
+}
+
+TEST(MsmShared, AllTermsOnOneKeyCollapseToASingleTerm) {
+  ChaChaRng rng(78);
+  ResetSharedMsmForTest();
+  RistrettoPoint p = RandomPoint(rng);
+  CompressedRistretto wire = p.Encode();
+  const size_t n = 64;
+  std::vector<Scalar> scalars;
+  std::vector<RistrettoPoint> points(n, p);
+  std::vector<CompressedRistretto> keys(n, wire);
+  std::vector<uint8_t> present(n, 1);
+  Scalar sum = Scalar::Zero();
+  for (size_t i = 0; i < n; ++i) {
+    scalars.push_back(Scalar::Random(rng));
+    sum = sum + scalars.back();
+  }
+  RistrettoPoint got =
+      MultiScalarMulShared(Scalar::Zero(), scalars, points, keys, present);
+  EXPECT_TRUE(got == sum * p);
+  EXPECT_EQ(SharedMsmStats().collapsed_terms, n - 1);
+}
+
+TEST(MsmShared, TableCacheHitsOnRepeatedCallsAndEvictsAtCapacity) {
+  ChaChaRng rng(79);
+  ResetSharedMsmForTest();
+  SharedInput s = RandomSharedInput(40, 5, rng);
+  Scalar base = Scalar::Random(rng);
+  RistrettoPoint first =
+      MultiScalarMulShared(base, s.in.scalars, s.in.points, s.keys, s.present);
+  MsmSharedStats after_first = SharedMsmStats();
+  EXPECT_GT(after_first.table_misses, 0u);
+  RistrettoPoint second =
+      MultiScalarMulShared(base, s.in.scalars, s.in.points, s.keys, s.present);
+  MsmSharedStats after_second = SharedMsmStats();
+  EXPECT_TRUE(first == second);
+  // The second call re-resolves the same keys: all hits, no new tables.
+  EXPECT_EQ(after_second.table_misses, after_first.table_misses);
+  EXPECT_EQ(after_second.table_hits, after_first.table_hits + after_first.table_misses);
+
+  // Push more than kFixedBaseTableCacheCapacity distinct recurring keys
+  // through (two terms per key — one-shot keys never enter the cache) and
+  // watch the LRU evict.
+  for (size_t round = 0; round < kFixedBaseTableCacheCapacity + 32; ++round) {
+    RistrettoPoint p = RandomPoint(rng);
+    std::vector<RistrettoPoint> points(2, p);
+    std::vector<CompressedRistretto> wires(2, p.Encode());
+    std::vector<Scalar> ws = {Scalar::Random(rng), Scalar::Random(rng)};
+    std::vector<uint8_t> present(2, 1);
+    MultiScalarMulShared(Scalar::Zero(), ws, points, wires, present);
+  }
+  EXPECT_GT(SharedMsmStats().table_evictions, 0u);
+  ResetSharedMsmForTest();
+}
+
 TEST(MsmBatch, CorruptingAnySingleSignatureIn100EntryBatchFlipsVerdict) {
   ChaChaRng rng(1011);
   auto entries = MakeSchnorrBatch(100, rng);

@@ -53,6 +53,32 @@ TEST(RevoteCounter, DecodeRoundTripAndLimit) {
       DecodeCounterPoint(RistrettoPoint::MulBase(Scalar::Random(rng)).Encode()).has_value());
 }
 
+TEST(RevoteDummies, BatchedConstructionMatchesPerMemberReference) {
+  // BuildRevoteDummyItems shares one MulBase+encode per group and the static
+  // counter table; its output must stay byte-identical (ciphertexts AND wire
+  // caches) to the per-member RevoteDummyItem spec it amortizes.
+  ChaChaRng rng(42);
+  std::vector<RevoteDummyGroup> groups;
+  groups.push_back({Scalar::Random(rng), 1});
+  groups.push_back({Scalar::Random(rng), 5});
+  groups.push_back({Scalar::Random(rng), kRevoteCounterLimit - 1});
+  std::vector<std::pair<size_t, uint64_t>> slots;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (uint64_t j = 0; j < groups[g].size; ++j) {
+      slots.emplace_back(g, j);
+    }
+  }
+  std::vector<MixItem> batched(slots.size());
+  Executor executor(4);
+  BuildRevoteDummyItems(groups, slots, batched, executor);
+  for (size_t k = 0; k < slots.size(); ++k) {
+    MixItem reference = RevoteDummyItem(groups[slots[k].first], slots[k].second);
+    ASSERT_TRUE(reference == batched[k]) << k;
+    ASSERT_TRUE(batched[k].HasWire()) << k;
+    EXPECT_EQ(HexEncode(reference.wire), HexEncode(batched[k].wire)) << k;
+  }
+}
+
 TEST(RevoteEnvelope, TargetsAreQuasilinearAndPlanLiftsToThem) {
   for (size_t total : {size_t{0}, size_t{1}, size_t{2}, size_t{5}, size_t{64},
                        size_t{1000}, size_t{100000}}) {

@@ -274,6 +274,130 @@ TEST(RistrettoBatch, BatchDecodeMatchesSingleIncludingRejects) {
   EXPECT_FALSE(RistrettoPoint::Decode(inputs[4]).has_value());  // off-group
 }
 
+TEST(RistrettoBatch, ValidateEncodingsAcceptsExactlyTheTrueEncodings) {
+  ChaChaRng rng(53);
+  std::vector<RistrettoPoint> points;
+  std::vector<CompressedRistretto> wire;
+  std::vector<bool> expect_ok;
+  auto add = [&](const RistrettoPoint& p, const CompressedRistretto& bytes, bool expected) {
+    points.push_back(p);
+    wire.push_back(bytes);
+    expect_ok.push_back(expected);
+  };
+
+  // Identity-coset reps reached through arithmetic (Z != 1, non-trivial
+  // internal representative): only the all-zero encoding may pass.
+  RistrettoPoint p0 = RandomPoint(rng);
+  add(p0 + (-p0), RistrettoPoint::Identity().Encode(), true);
+  add(p0 + (-p0), RistrettoPoint::Base().Encode(), false);
+  add(RistrettoPoint::Identity(), CompressedRistretto{}, true);
+
+  for (int i = 0; i < 48; ++i) {
+    RistrettoPoint p = RandomPoint(rng);
+    if (i % 3 == 1) {
+      p = p + RandomPoint(rng);  // Z != 1 representative
+    }
+    CompressedRistretto enc = p.Encode();
+    switch (i % 6) {
+      case 0:
+      case 1:
+        add(p, enc, true);
+        break;
+      case 2:  // the encoding of -P must never be accepted for P
+        add(p, (-p).Encode(), false);
+        break;
+      case 3: {  // bit flip somewhere in the encoding
+        CompressedRistretto bad = enc;
+        bad[static_cast<size_t>(i) % 32] ^= static_cast<uint8_t>(1 + i % 7);
+        add(p, bad, false);
+        break;
+      }
+      case 4: {  // non-canonical field encoding (s >= p)
+        Bytes raw =
+            HexDecode("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+        CompressedRistretto bad;
+        std::copy(raw.begin(), raw.end(), bad.begin());
+        add(p, bad, false);
+        break;
+      }
+      default:  // a different random point's encoding
+        add(p, RandomPoint(rng).Encode(), false);
+        break;
+    }
+  }
+
+  std::vector<uint8_t> ok(points.size(), 0xcc);
+  uint64_t enc0 = RistrettoEncodeInvocations();
+  uint64_t dec0 = RistrettoDecodeInvocations();
+  size_t failures = BatchValidateEncodings(points, wire, ok);
+  // The whole batch validates with zero Encode/Decode invocations — the
+  // point of the routine (no per-item inverse square roots).
+  EXPECT_EQ(RistrettoEncodeInvocations(), enc0);
+  EXPECT_EQ(RistrettoDecodeInvocations(), dec0);
+
+  size_t expected_failures = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(ok[i] == 1, expect_ok[i]) << "index " << i;
+    if (!expect_ok[i]) {
+      ++expected_failures;
+    }
+  }
+  EXPECT_EQ(failures, expected_failures);
+}
+
+TEST(RistrettoBatch, ValidateEncodingsAgreesWithDecodeCompareOnArbitraryBytes) {
+  // Reference semantics: ok[i] must equal "bytes decode AND the decoded point
+  // equals points[i]" — the exact check the verifier-side wire-cache
+  // validation previously implemented with per-item Decode.
+  ChaChaRng rng(54);
+  std::vector<RistrettoPoint> points;
+  std::vector<CompressedRistretto> wire;
+  for (int i = 0; i < 64; ++i) {
+    points.push_back(RandomPoint(rng));
+    CompressedRistretto c{};
+    if (i % 2 == 0) {
+      c = points.back().Encode();
+      if (i % 4 == 0) {
+        c[i % 32] ^= 0x40;  // half of the even slots corrupted
+      }
+    } else {
+      Bytes b = rng.RandomBytes(32);
+      std::copy(b.begin(), b.end(), c.begin());
+    }
+    wire.push_back(c);
+  }
+  std::vector<uint8_t> ok(points.size(), 0xcc);
+  BatchValidateEncodings(points, wire, ok);
+  for (size_t i = 0; i < points.size(); ++i) {
+    auto decoded = RistrettoPoint::Decode(wire[i]);
+    bool reference = decoded.has_value() && *decoded == points[i];
+    EXPECT_EQ(ok[i] == 1, reference) << "index " << i;
+  }
+}
+
+TEST(RistrettoBatch, AddX4RoutesAgreeAndMatchScalarAdds) {
+  // AddX4 picks between the 4-way kernel route and four scalar additions by
+  // a startup calibration; both must produce the same group elements and the
+  // same encodings regardless of which one the calibration would pick here.
+  ChaChaRng rng(53);
+  RistrettoPoint a[4], b[4], via_x4[4], via_scalar[4];
+  for (int k = 0; k < 4; ++k) {
+    a[k] = RandomPoint(rng);
+    b[k] = RandomPoint(rng);
+  }
+  const int previous = RistrettoPoint::SetAddX4ModeForTest(1);
+  RistrettoPoint::AddX4(a, b, via_x4);
+  RistrettoPoint::SetAddX4ModeForTest(0);
+  RistrettoPoint::AddX4(a, b, via_scalar);
+  RistrettoPoint::SetAddX4ModeForTest(previous);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(via_x4[k], a[k] + b[k]) << "lane " << k;
+    EXPECT_EQ(via_scalar[k], a[k] + b[k]) << "lane " << k;
+    EXPECT_EQ(HexEncode(via_x4[k].Encode()), HexEncode(via_scalar[k].Encode()))
+        << "lane " << k;
+  }
+}
+
 TEST(RistrettoBatch, BaseWireIsTheBasepointEncoding) {
   EXPECT_EQ(HexEncode(RistrettoPoint::BaseWire()),
             "e2f2ae0a6abc4e71a884a961c500515f58e30b6aa582dd8db6a65945e08d2d76");
